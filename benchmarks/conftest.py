@@ -1,0 +1,22 @@
+"""Shared fixtures for the benchmark harness.
+
+Run with:  pytest benchmarks/ --benchmark-only -s
+
+Each benchmark regenerates one table/figure/ablation of the paper and
+prints it; assertions check the reproduction *shape* (who wins, rough
+factors, crossovers), never exact numbers.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Run an expensive table build exactly once under the benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    def runner(fn):
+        return run_once(benchmark, fn)
+    return runner

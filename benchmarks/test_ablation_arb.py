@@ -1,0 +1,56 @@
+"""Ablation for Section 2.3: ARB capacity and the full-ARB policy.
+
+"As the ARB is a finite resource, it may run out of space. If this
+situation should occur, a simple solution is to free ARB storage by
+squashing tasks. ... A less drastic alternative is to stall all
+processing units but the head."
+
+We shrink the per-bank ARB until tomcatv's long tasks overflow it, and
+compare the paper's two policies.
+"""
+
+from dataclasses import replace
+
+from repro.config import multiscalar_config
+from repro.core import MultiscalarProcessor
+from repro.workloads import WORKLOADS
+
+
+def run(entries_per_bank, policy):
+    spec = WORKLOADS["tomcatv"]
+    config = multiscalar_config(8)
+    config = replace(config,
+                     memory=replace(config.memory,
+                                    arb_entries_per_bank=entries_per_bank),
+                     arb_full_policy=policy)
+    result = MultiscalarProcessor(spec.multiscalar_program(), config).run()
+    assert result.output == spec.expected_output
+    return result
+
+
+def build():
+    sweep = {}
+    for entries in (8, 16, 64, 256):
+        sweep[entries] = run(entries, "squash")
+    stall = run(8, "stall")
+    return sweep, stall
+
+
+def test_arb_capacity(once):
+    sweep, stall = once(build)
+    print()
+    for entries, result in sorted(sweep.items()):
+        print(f"ARB {entries:4d}/bank (squash policy): "
+              f"{result.cycles:7d} cycles, "
+              f"{result.squashes_arb:4d} capacity squashes")
+    print(f"ARB    8/bank (stall policy) : {stall.cycles:7d} cycles, "
+          f"{stall.squashes_arb:4d} capacity squashes")
+
+    # A tiny ARB must overflow; the paper's 256-entry ARB must not.
+    assert sweep[8].squashes_arb > 0
+    assert sweep[256].squashes_arb == 0
+    # More capacity never hurts.
+    assert sweep[256].cycles <= sweep[8].cycles
+    # The stall policy squashes nothing and (here) beats squashing.
+    assert stall.squashes_arb == 0
+    assert stall.cycles <= sweep[8].cycles

@@ -1,0 +1,38 @@
+"""Extension: speedup scaling from 1 to 16 processing units.
+
+The paper evaluates 4- and 8-unit machines; this sweep extends the
+curve to 16 units for a parallel workload (cmp), a recurrence-bound one
+(compress), and a squash-bound one (gcc), showing where each saturates.
+"""
+
+from repro.harness.runner import run_multiscalar, run_scalar
+
+UNITS = (1, 2, 4, 8, 16)
+
+
+def build():
+    out = {}
+    for name in ("cmp", "compress", "gcc"):
+        scalar = run_scalar(name, 1, False)
+        out[name] = [scalar.cycles / run_multiscalar(name, u, 1, False).cycles
+                     for u in UNITS]
+    return out
+
+
+def test_unit_scaling(once):
+    curves = once(build)
+    print()
+    header = "".join(f"{u:>7}U" for u in UNITS)
+    print(f"{'program':<10}{header}")
+    for name, curve in curves.items():
+        print(f"{name:<10}" + "".join(f"{s:>7.2f}x" for s in curve))
+
+    cmp_curve = curves["cmp"]
+    # cmp keeps scaling through 8 units and still gains at 16.
+    assert cmp_curve[3] > 2 * cmp_curve[1]
+    assert cmp_curve[4] >= cmp_curve[3]
+    # compress saturates: 16 units buy almost nothing over 4.
+    compress = curves["compress"]
+    assert compress[4] < compress[2] * 1.3
+    # gcc never scales meaningfully.
+    assert curves["gcc"][4] < 1.5

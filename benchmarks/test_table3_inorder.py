@@ -1,0 +1,56 @@
+"""Table 3: speedups with in-order-issue processing units.
+
+Regenerates every cell of the paper's Table 3 (scalar IPC, 4-unit and
+8-unit speedups at 1-way and 2-way issue, task-prediction accuracy) and
+checks the reproduction shape against the paper's published values.
+"""
+
+from repro.harness import PAPER_TABLE3, format_table3, table3_rows
+
+
+def test_table3_inorder(once):
+    rows = once(table3_rows)
+    print("\n" + format_table3(rows))
+    by_name = {row.name: row for row in rows}
+
+    # Scalar IPC band: the paper's aggressive single unit reaches
+    # 0.69-0.95 at 1-way; ours must be in a comparable band.
+    for row in rows:
+        assert 0.5 < row.scalar_ipc_1w <= 1.0, row.name
+        assert row.scalar_ipc_2w >= row.scalar_ipc_1w, row.name
+
+    # Winners and losers (the shape of the result).
+    for name in ("tomcatv", "cmp", "wc"):
+        assert by_name[name].cell_8u_1w.speedup > 2.5, name
+        # 8 units beat 4 units where parallelism exists.
+        assert by_name[name].cell_8u_1w.speedup > \
+            by_name[name].cell_4u_1w.speedup, name
+    for name in ("gcc", "xlisp"):
+        assert by_name[name].cell_8u_1w.speedup < 1.5, name
+    assert by_name["compress"].cell_8u_1w.speedup < 2.0
+
+    # The paper's most striking single number: cmp approaches 6x.
+    assert by_name["cmp"].cell_8u_1w.speedup > 5.0
+
+    # 2-way-issue speedups are lower than 1-way (higher baseline),
+    # checked on the benchmarks the paper shows it most clearly for.
+    for name in ("eqntott", "cmp", "wc", "example"):
+        assert by_name[name].cell_8u_2w.speedup <= \
+            by_name[name].cell_8u_1w.speedup * 1.05, name
+
+    # Task prediction: loop-dominated codes predict best (paper: 99.9%
+    # for wc/cmp/example vs 80-86% for gcc/xlisp/espresso).
+    assert by_name["cmp"].cell_8u_1w.prediction_accuracy > 95.0
+    assert by_name["espresso"].cell_8u_1w.prediction_accuracy < \
+        by_name["cmp"].cell_8u_1w.prediction_accuracy
+
+    # Every speedup within a loose factor-of-2 band of the paper's cell.
+    for row in rows:
+        paper = PAPER_TABLE3[row.name]
+        for ours, theirs in [
+                (row.cell_4u_1w.speedup, paper.speedup_4u_1w),
+                (row.cell_8u_1w.speedup, paper.speedup_8u_1w),
+                (row.cell_4u_2w.speedup, paper.speedup_4u_2w),
+                (row.cell_8u_2w.speedup, paper.speedup_8u_2w)]:
+            assert theirs / 2.2 < ours < theirs * 2.2, \
+                (row.name, ours, theirs)

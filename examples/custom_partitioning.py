@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Hand-written assembly, manual task partitioning, and the induction-
+variable placement experiment of Section 3.2.2.
+
+The paper: "If the induction variable for the outer loop had been
+updated at the end of the loop (as would normally be the case in code
+compiled for a sequential execution), then all iterations of the outer
+loop would be serialized ... If, on the other hand, we update and
+forward the induction variable early in the task ... the tasks may
+proceed in parallel."
+
+Both versions below carry explicit ``.task`` directives; the annotator
+fills in create masks, forward bits and stop bits. Watch the speedup
+difference from moving one instruction.
+
+Run:  python examples/custom_partitioning.py
+"""
+
+from repro.compiler import annotate_program
+from repro.config import multiscalar_config
+from repro.core import MultiscalarProcessor
+from repro.isa import FunctionalCPU, assemble
+
+# 60 iterations; each iteration does ~30 cycles of "work" on its index.
+COMMON_TAIL = """
+        mult $t2, $t0, $t0
+        div $t3, $t2, $t1
+        add $s0, $s0, $t3
+"""
+
+LATE_UPDATE = f"""
+        .task loop targets=loop,done
+main:   li $s0, 0
+        li $t1, 7
+        li $t0, 0
+loop:   {COMMON_TAIL}
+        addi $t0, $t0, 1        # induction updated LATE: serializes
+        blt $t0, 60, loop
+done:   li $v0, 1
+        move $a0, $s0
+        syscall
+        halt
+"""
+
+EARLY_UPDATE = f"""
+        .task loop targets=loop,done
+main:   li $s0, 0
+        li $t1, 7
+        li $t0, 0
+loop:   move $t4, $t0
+        addi $t0, $t0, 1        # induction updated EARLY and forwarded
+        mult $t2, $t4, $t4
+        div $t3, $t2, $t1
+        add $s0, $s0, $t3
+        blt $t0, 60, loop
+done:   li $v0, 1
+        move $a0, $s0
+        syscall
+        halt
+"""
+
+
+def run(source: str, label: str) -> int:
+    program = annotate_program(assemble(source))
+    loop = program.tasks[program.labels["loop"]]
+    reference = FunctionalCPU(program)
+    reference.run()
+    result = MultiscalarProcessor(program, multiscalar_config(8)).run()
+    assert result.output == reference.output
+    inter = result.distribution.fractions()["no_comp_inter_task"]
+    print(f"{label:13}: {result.cycles:5d} cycles, "
+          f"{inter:.0%} of unit-cycles waiting on predecessor values")
+    print(f"{'':15}{loop.describe()}")
+    return result.cycles
+
+
+def main() -> None:
+    late = run(LATE_UPDATE, "late update")
+    early = run(EARLY_UPDATE, "early update")
+    print(f"\nmoving the induction update to the top of the task made "
+          f"the 8-unit machine {late / early:.2f}x faster")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Unit-count scaling on a floating-point stencil (tomcatv-like).
+
+Sweeps the number of processing units and reports the speedup curve,
+plus where the time goes (the Section 3 cycle taxonomy) — at high unit
+counts the shared memory bus and task startup stagger flatten the
+curve, which is the effect the paper reports for tomcatv's higher-issue
+configurations.
+
+Run:  python examples/vector_stencil.py
+"""
+
+from repro.config import multiscalar_config, scalar_config
+from repro.core import MultiscalarProcessor, ScalarProcessor
+from repro.workloads import WORKLOADS
+
+
+def main() -> None:
+    spec = WORKLOADS["tomcatv"]
+    scalar = ScalarProcessor(spec.scalar_program(), scalar_config()).run()
+    print(f"scalar baseline: {scalar.cycles} cycles "
+          f"(IPC {scalar.ipc:.2f})")
+    print()
+    print(f"{'units':>6}{'cycles':>9}{'speedup':>9}{'useful':>8}"
+          f"{'inter':>7}{'intra':>7}{'retire':>8}")
+    for units in (1, 2, 4, 6, 8, 12, 16):
+        result = MultiscalarProcessor(spec.multiscalar_program(),
+                                      multiscalar_config(units)).run()
+        assert result.output == spec.expected_output
+        fractions = result.distribution.fractions()
+        print(f"{units:>6}{result.cycles:>9}"
+              f"{scalar.cycles / result.cycles:>8.2f}x"
+              f"{fractions['useful']:>8.2f}"
+              f"{fractions['no_comp_inter_task']:>7.2f}"
+              f"{fractions['no_comp_intra_task']:>7.2f}"
+              f"{fractions['no_comp_wait_retire']:>8.2f}")
+
+
+if __name__ == "__main__":
+    main()

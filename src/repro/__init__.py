@@ -1,0 +1,17 @@
+"""Reproduction of "Multiscalar Processors" (Sohi, Breach, Vijaykumar,
+ISCA 1995).
+
+Top-level packages:
+
+* :mod:`repro.isa`      — instruction set, assembler, functional executor
+* :mod:`repro.minic`    — the MinC compiler (stand-in for modified GCC)
+* :mod:`repro.compiler` — task partitioning and multiscalar annotation
+* :mod:`repro.pipeline` — the 5-stage processing-unit pipeline
+* :mod:`repro.memory`   — cache/bus timing models
+* :mod:`repro.arb`      — the Address Resolution Buffer
+* :mod:`repro.core`     — the multiscalar processor and scalar baseline
+* :mod:`repro.workloads`— benchmark kernels
+* :mod:`repro.harness`  — Tables 2-4 regeneration
+"""
+
+__version__ = "1.0.0"

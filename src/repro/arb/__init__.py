@@ -1,0 +1,5 @@
+"""The Address Resolution Buffer (Franklin & Sohi; paper Section 2.3)."""
+
+from repro.arb.arb import ARBFullError, AddressResolutionBuffer
+
+__all__ = ["ARBFullError", "AddressResolutionBuffer"]

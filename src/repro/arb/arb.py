@@ -1,0 +1,261 @@
+"""Address Resolution Buffer.
+
+The ARB holds the speculative memory operations of all active tasks:
+
+* loads from a task read the *nearest predecessor's* (or their own)
+  speculative store to each byte, falling back to committed memory;
+* every load records, per byte, which store it read from, so that a
+  later-arriving store from an *earlier* task can be recognized as a
+  memory-order violation ("a load from a successor unit occurred before
+  a store from a predecessor unit");
+* the data cache is updated only when a task retires: the head task's
+  merged stores are drained to committed memory and its records freed;
+* squashing a task discards its records without touching memory.
+
+Tasks are identified by monotonically increasing sequence numbers
+assigned by the sequencer, which gives the ARB a total order among
+active tasks. Byte-granularity tracking (as 4-byte masks per word
+entry) keeps sub-word stores precise: a ``sb`` only conflicts with loads
+that actually read that byte.
+
+Capacity is per data bank (256 entries, i.e. tracked word addresses, per
+bank in the paper's configuration). When a non-head operation needs a
+new entry in a full bank, :class:`ARBFullError` is raised and the
+processor applies its full-ARB policy (squash tasks, or stall all units
+but the head — Section 2.3 discusses both). Head operations never need
+new storage: head stores are checked for violations and then written
+straight to committed memory, and head loads do not record load bits
+because no predecessor can invalidate them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.memory_image import SparseMemory
+
+
+class ARBFullError(Exception):
+    """A speculative operation needs a new entry in a full ARB bank."""
+
+    def __init__(self, bank: int) -> None:
+        super().__init__(f"ARB bank {bank} is full")
+        self.bank = bank
+
+
+@dataclass
+class _Entry:
+    """Speculative state for one word address.
+
+    ``stores`` maps task seq -> (byte mask, 4-byte buffer); ``loads``
+    maps task seq -> (byte mask read, per-byte source seq). A source of
+    ``-1`` means the byte was read from committed memory.
+    """
+
+    stores: dict[int, tuple[int, bytearray]] = field(default_factory=dict)
+    loads: dict[int, tuple[int, list[int]]] = field(default_factory=dict)
+
+    def empty(self) -> bool:
+        return not self.stores and not self.loads
+
+
+@dataclass
+class ARBStats:
+    loads: int = 0
+    stores: int = 0
+    violations: int = 0
+    forwards: int = 0          # loads satisfied by a speculative store
+    peak_entries: int = 0
+    full_events: int = 0
+
+
+class AddressResolutionBuffer:
+    """Speculative memory state for the whole multiscalar processor."""
+
+    def __init__(self, memory: SparseMemory, num_banks: int,
+                 block_bits: int, entries_per_bank: int) -> None:
+        self.memory = memory
+        self.num_banks = num_banks
+        self.block_bits = block_bits
+        self.entries_per_bank = entries_per_bank
+        self._entries: dict[int, _Entry] = {}
+        self._bank_counts = [0] * num_banks
+        self._by_seq: dict[int, set[int]] = {}
+        self.stats = ARBStats()
+
+    # ------------------------------------------------------------ helpers
+
+    def _bank_of_word(self, word_addr: int) -> int:
+        return ((word_addr << 2) >> self.block_bits) % self.num_banks
+
+    def _get_entry(self, word_addr: int, seq: int) -> _Entry:
+        entry = self._entries.get(word_addr)
+        if entry is None:
+            bank = self._bank_of_word(word_addr)
+            if self._bank_counts[bank] >= self.entries_per_bank:
+                self.stats.full_events += 1
+                raise ARBFullError(bank)
+            entry = _Entry()
+            self._entries[word_addr] = entry
+            self._bank_counts[bank] += 1
+            self.stats.peak_entries = max(self.stats.peak_entries,
+                                          len(self._entries))
+        self._by_seq.setdefault(seq, set()).add(word_addr)
+        return entry
+
+    def _visible_byte(self, entry: _Entry | None, word_addr: int,
+                      byte: int, seq: int) -> tuple[int, int]:
+        """Value and source seq of one byte as seen by task ``seq``."""
+        best_seq = -1
+        value = None
+        if entry is not None:
+            for store_seq, (mask, data) in entry.stores.items():
+                if store_seq <= seq and store_seq > best_seq and \
+                        mask & (1 << byte):
+                    best_seq = store_seq
+                    value = data[byte]
+        if value is None:
+            value = self.memory.read_byte((word_addr << 2) + byte)
+            best_seq = -1
+        return value, best_seq
+
+    # --------------------------------------------------------- operations
+
+    def load(self, seq: int, addr: int, width: int,
+             is_head: bool = False) -> bytes:
+        """Perform a speculative load of ``width`` bytes at ``addr``.
+
+        Returns the bytes visible to task ``seq`` (own stores first, then
+        nearest predecessor stores, then committed memory) and records
+        per-byte load sources for later violation detection. Raises
+        :class:`ARBFullError` if a non-head load needs a new entry in a
+        full bank.
+        """
+        self.stats.loads += 1
+        out = bytearray()
+        forwarded = False
+        for offset in range(width):
+            byte_addr = addr + offset
+            word_addr = byte_addr >> 2
+            byte = byte_addr & 3
+            if is_head:
+                entry = self._entries.get(word_addr)
+            else:
+                entry = self._get_entry(word_addr, seq)
+            value, source = self._visible_byte(entry, word_addr, byte, seq)
+            if source >= 0:
+                forwarded = True
+            out.append(value)
+            if not is_head:
+                mask, sources = entry.loads.setdefault(
+                    seq, (0, [1 << 62] * 4))
+                new_mask = mask | (1 << byte)
+                # Keep the *oldest* source per byte: if any read depended
+                # on an old value, a store between that source and us is
+                # a violation.
+                sources[byte] = min(sources[byte], source)
+                entry.loads[seq] = (new_mask, sources)
+        if forwarded:
+            self.stats.forwards += 1
+        return bytes(out)
+
+    def reserve(self, seq: int, addr: int, width: int) -> None:
+        """Reserve ARB space for an upcoming store of ``width`` bytes.
+
+        Called when a store *issues*, so that the commit-time
+        :meth:`store` can never run out of space (a committed store
+        cannot be retried). Raises :class:`ARBFullError` if a new entry
+        would be needed in a full bank.
+        """
+        first = addr >> 2
+        last = (addr + width - 1) >> 2
+        for word_addr in range(first, last + 1):
+            entry = self._get_entry(word_addr, seq)
+            entry.stores.setdefault(seq, (0, bytearray(4)))
+
+    def store(self, seq: int, addr: int, data: bytes,
+              is_head: bool = False) -> int | None:
+        """Perform a speculative store.
+
+        Returns the sequence number of the earliest successor task whose
+        earlier load is violated by this store (that task and everything
+        after it must squash), or None. Head stores with no room write
+        committed memory directly after the violation check.
+        """
+        self.stats.stores += 1
+        violator: int | None = None
+        for offset, value in enumerate(data):
+            byte_addr = addr + offset
+            word_addr = byte_addr >> 2
+            byte = byte_addr & 3
+            entry = self._entries.get(word_addr)
+            if entry is not None:
+                for load_seq, (mask, sources) in entry.loads.items():
+                    # A successor's earlier load is violated if it read
+                    # from an older task (< seq) *or* from this task's
+                    # own earlier store to the byte (== seq), which this
+                    # store now supersedes.
+                    if load_seq > seq and mask & (1 << byte) and \
+                            sources[byte] <= seq:
+                        if violator is None or load_seq < violator:
+                            violator = load_seq
+            if is_head and entry is None:
+                # Non-speculative and nothing tracked: write through.
+                self.memory.write_byte(byte_addr, value)
+                continue
+            try:
+                entry = self._get_entry(word_addr, seq)
+            except ARBFullError:
+                if not is_head:
+                    raise
+                self.memory.write_byte(byte_addr, value)
+                continue
+            mask, buf = entry.stores.setdefault(seq, (0, bytearray(4)))
+            buf[byte] = value
+            entry.stores[seq] = (mask | (1 << byte), buf)
+        if violator is not None:
+            self.stats.violations += 1
+        return violator
+
+    # ------------------------------------------------------ commit/squash
+
+    def commit_task(self, seq: int) -> None:
+        """Drain the retiring task's stores to memory and free its records."""
+        for word_addr in self._by_seq.pop(seq, ()):
+            entry = self._entries.get(word_addr)
+            if entry is None:
+                continue
+            record = entry.stores.pop(seq, None)
+            if record is not None:
+                mask, buf = record
+                for byte in range(4):
+                    if mask & (1 << byte):
+                        self.memory.write_byte((word_addr << 2) + byte,
+                                               buf[byte])
+            entry.loads.pop(seq, None)
+            self._drop_if_empty(word_addr, entry)
+
+    def squash_task(self, seq: int) -> None:
+        """Discard all speculative records of a squashed task."""
+        for word_addr in self._by_seq.pop(seq, ()):
+            entry = self._entries.get(word_addr)
+            if entry is None:
+                continue
+            entry.stores.pop(seq, None)
+            entry.loads.pop(seq, None)
+            self._drop_if_empty(word_addr, entry)
+
+    def _drop_if_empty(self, word_addr: int, entry: _Entry) -> None:
+        if entry.empty():
+            del self._entries[word_addr]
+            self._bank_counts[self._bank_of_word(word_addr)] -= 1
+
+    # -------------------------------------------------------- inspection
+
+    def entry_count(self, bank: int | None = None) -> int:
+        if bank is None:
+            return len(self._entries)
+        return self._bank_counts[bank]
+
+    def is_empty(self) -> bool:
+        return not self._entries

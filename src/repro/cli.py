@@ -1,0 +1,230 @@
+"""Command-line interface for the multiscalar reproduction.
+
+Subcommands:
+
+* ``run FILE``       — run a program (``.mc`` MinC or ``.s``/``.asm``
+  assembly) on the scalar baseline or a multiscalar machine;
+* ``compile FILE``   — compile MinC to assembly text;
+* ``disasm FILE``    — print the annotated listing and task descriptors;
+* ``workloads``      — list or run the paper's benchmark stand-ins;
+* ``tables N``       — regenerate a table of the paper's evaluation.
+
+Examples::
+
+    python -m repro run program.mc --units 8 --timeline
+    python -m repro run kernel.s --entries loop --issue 2 --ooo
+    python -m repro workloads --run cmp --units 4
+    python -m repro tables 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.compiler import annotate_program
+from repro.config import multiscalar_config, scalar_config
+from repro.core import MultiscalarProcessor, ScalarProcessor
+from repro.core.tracer import TaskTracer
+from repro.isa import Program, assemble
+from repro.minic import compile_and_annotate, compile_minic, compile_scalar
+
+
+def _load_program(path: str, multiscalar: bool,
+                  entries: list[str], auto_loops: bool) -> Program:
+    text = Path(path).read_text()
+    if path.endswith(".mc") or path.endswith(".minc"):
+        if multiscalar:
+            return compile_and_annotate(text, path, extra_entries=entries,
+                                        auto_loops=auto_loops)
+        return compile_scalar(text, path)
+    program = assemble(text, path)
+    if multiscalar:
+        return annotate_program(program, task_entries=entries,
+                                auto_loops=auto_loops)
+    return program
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    multiscalar = args.units > 1 or args.multiscalar
+    program = _load_program(args.file, multiscalar, args.entries,
+                            args.auto_loops)
+    if multiscalar:
+        config = multiscalar_config(args.units, args.issue, args.ooo)
+        processor = MultiscalarProcessor(program, config)
+        tracer = TaskTracer().attach(processor) if args.timeline else None
+        result = processor.run(max_cycles=args.max_cycles)
+        print(result.output, end="")
+        if result.output and not result.output.endswith("\n"):
+            print()
+        print(f"-- {result.cycles} cycles, {result.instructions} "
+              f"instructions retired (IPC {result.ipc:.2f})",
+              file=sys.stderr)
+        print(f"-- tasks: {result.tasks_retired} retired, "
+              f"{result.tasks_squashed} squashed "
+              f"(mispredict {result.squashes_mispredict}, "
+              f"memory {result.squashes_memory}, "
+              f"ARB {result.squashes_arb}); "
+              f"prediction {result.prediction_accuracy:.1%}",
+              file=sys.stderr)
+        if args.stats:
+            for key, value in result.distribution.as_dict().items():
+                print(f"--   {key}: {value}", file=sys.stderr)
+        if tracer is not None:
+            print(tracer.render(), file=sys.stderr)
+            print("-- " + tracer.summary(), file=sys.stderr)
+    else:
+        config = scalar_config(args.issue, args.ooo)
+        result = ScalarProcessor(program, config).run(
+            max_cycles=args.max_cycles)
+        print(result.output, end="")
+        if result.output and not result.output.endswith("\n"):
+            print()
+        print(f"-- {result.cycles} cycles, {result.instructions} "
+              f"instructions (IPC {result.ipc:.2f})", file=sys.stderr)
+    return 0
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    unit = compile_minic(Path(args.file).read_text(), args.file)
+    output = unit.asm
+    if unit.task_labels:
+        output += "\n# parallel task entries: " \
+            + ", ".join(unit.task_labels) + "\n"
+    if args.output:
+        Path(args.output).write_text(output)
+    else:
+        print(output, end="")
+    return 0
+
+
+def cmd_disasm(args: argparse.Namespace) -> int:
+    program = _load_program(args.file, args.multiscalar, args.entries,
+                            args.auto_loops)
+    print(program.listing())
+    return 0
+
+
+def cmd_workloads(args: argparse.Namespace) -> int:
+    from repro.workloads import WORKLOADS
+
+    if not args.run:
+        for name, spec in WORKLOADS.items():
+            print(f"{name:10} {spec.paper_benchmark:28} "
+                  f"{spec.description}")
+        return 0
+    spec = WORKLOADS[args.run]
+    scalar = ScalarProcessor(spec.scalar_program(), scalar_config()).run()
+    processor = MultiscalarProcessor(spec.multiscalar_program(),
+                                     multiscalar_config(args.units))
+    result = processor.run()
+    assert result.output == spec.expected_output
+    print(f"{args.run}: scalar {scalar.cycles} cycles, "
+          f"{args.units}-unit multiscalar {result.cycles} cycles "
+          f"(speedup {scalar.cycles / result.cycles:.2f}x, "
+          f"prediction {result.prediction_accuracy:.1%})")
+    return 0
+
+
+def cmd_tables(args: argparse.Namespace) -> int:
+    from repro.harness import (
+        format_table1,
+        format_table2,
+        format_table3,
+        table2_rows,
+        table3_rows,
+        table4_rows,
+    )
+
+    if args.number == 1:
+        print(format_table1())
+    elif args.number == 2:
+        print(format_table2(table2_rows()))
+    elif args.number == 3:
+        print(format_table3(table3_rows(args.names or None)))
+    elif args.number == 4:
+        print(format_table3(table4_rows(args.names or None),
+                            out_of_order=True))
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.harness.report import generate_report
+
+    text = generate_report(quick=args.quick)
+    if args.output:
+        Path(args.output).write_text(text)
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(text, end="")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Multiscalar Processors (ISCA 1995) reproduction")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_machine_flags(p, with_units=True):
+        if with_units:
+            p.add_argument("--units", type=int, default=1,
+                           help="processing units (>1 implies multiscalar)")
+        p.add_argument("--issue", type=int, default=1, choices=(1, 2))
+        p.add_argument("--ooo", action="store_true",
+                       help="out-of-order issue")
+        p.add_argument("--multiscalar", action="store_true",
+                       help="force multiscalar annotation even at 1 unit")
+        p.add_argument("--entries", type=lambda s: s.split(","),
+                       default=[], help="extra task-entry labels")
+        p.add_argument("--auto-loops", action="store_true",
+                       help="make every loop header a task entry")
+
+    run = sub.add_parser("run", help="run a .mc or .s program")
+    run.add_argument("file")
+    add_machine_flags(run)
+    run.add_argument("--timeline", action="store_true",
+                     help="print the per-unit task timeline")
+    run.add_argument("--stats", action="store_true",
+                     help="print the cycle-distribution taxonomy")
+    run.add_argument("--max-cycles", type=int, default=20_000_000)
+    run.set_defaults(fn=cmd_run)
+
+    comp = sub.add_parser("compile", help="compile MinC to assembly")
+    comp.add_argument("file")
+    comp.add_argument("-o", "--output")
+    comp.set_defaults(fn=cmd_compile)
+
+    dis = sub.add_parser("disasm", help="print an annotated listing")
+    dis.add_argument("file")
+    add_machine_flags(dis, with_units=False)
+    dis.set_defaults(fn=cmd_disasm)
+
+    wl = sub.add_parser("workloads", help="list or run benchmark kernels")
+    wl.add_argument("--run", help="workload name to run")
+    wl.add_argument("--units", type=int, default=8)
+    wl.set_defaults(fn=cmd_workloads)
+
+    tables = sub.add_parser("tables", help="regenerate a paper table")
+    tables.add_argument("number", type=int, choices=(1, 2, 3, 4))
+    tables.add_argument("--names", type=lambda s: s.split(","),
+                        default=None, help="restrict to these workloads")
+    tables.set_defaults(fn=cmd_tables)
+
+    report = sub.add_parser(
+        "report", help="run the whole evaluation, write a report")
+    report.add_argument("-o", "--output", default=None)
+    report.add_argument("--quick", action="store_true",
+                        help="three representative workloads only")
+    report.set_defaults(fn=cmd_report)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,72 @@
+"""Interprocedural register liveness (dead-register analysis, §2.2).
+
+Standard backward dataflow over the suppressed-call CFG: calls use and
+define registers according to their callee's conservative summary. The
+result feeds create-mask pruning — only registers live on a task's exit
+edges need to appear in its create mask ("only values that are
+potentially live outside a task need to be communicated").
+
+Over-approximating uses is safe (it can only enlarge create masks);
+under-approximating them would corrupt execution, so unknown callees
+(indirect calls) use and define every register.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.cfg import ControlFlowGraph
+from repro.isa.opcodes import Kind
+
+
+class LivenessAnalysis:
+    """Block-level live-in/live-out sets plus per-instruction queries."""
+
+    def __init__(self, cfg: ControlFlowGraph, entry: int,
+                 whole_program: bool = False) -> None:
+        self.cfg = cfg
+        self.entry = entry
+        # Function summaries analyze one body; the annotator analyzes
+        # every block (function bodies are unreachable from the program
+        # entry under the suppressed-call view, yet their tasks need
+        # live-in sets when functions are task-partitioned).
+        if whole_program:
+            self.blocks = set(cfg.blocks)
+        else:
+            self.blocks = cfg.reachable_blocks(entry)
+        self.live_in: dict[int, frozenset[int]] = {}
+        self.live_out: dict[int, frozenset[int]] = {}
+        self._gen: dict[int, frozenset[int]] = {}
+        self._kill: dict[int, frozenset[int]] = {}
+        self._compute()
+
+    def _compute(self) -> None:
+        cfg = self.cfg
+        for addr in self.blocks:
+            gen: set[int] = set()
+            kill: set[int] = set()
+            for instr in cfg.blocks[addr].instructions:
+                gen |= cfg.instr_uses(instr) - kill
+                kill |= cfg.instr_defs(instr)
+            self._gen[addr] = frozenset(gen)
+            self._kill[addr] = frozenset(kill)
+            self.live_in[addr] = frozenset()
+            self.live_out[addr] = frozenset()
+        worklist = list(self.blocks)
+        while worklist:
+            addr = worklist.pop()
+            block = cfg.blocks[addr]
+            out: set[int] = set()
+            for succ in block.successors:
+                if succ in self.blocks:
+                    out |= self.live_in[succ]
+            new_out = frozenset(out)
+            new_in = frozenset(self._gen[addr]
+                               | (new_out - self._kill[addr]))
+            if new_out != self.live_out[addr] or new_in != self.live_in[addr]:
+                self.live_out[addr] = new_out
+                self.live_in[addr] = new_in
+                for pred in block.predecessors:
+                    if pred in self.blocks:
+                        worklist.append(pred)
+
+    def live_at_block_entry(self, addr: int) -> frozenset[int]:
+        return self.live_in.get(addr, frozenset())

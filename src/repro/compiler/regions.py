@@ -1,0 +1,198 @@
+"""Task regions: membership, exit edges, create masks.
+
+A task region is the set of blocks reachable from a task entry without
+crossing into another task entry. Exit edges leave the region for other
+task entries (or the end of the program). Task-entry sets are *closed*
+by construction: every exit-edge target becomes a task entry itself, so
+the sequencer can always continue its walk (the processor requires a
+descriptor wherever control flows).
+
+The create mask of a task is the set of registers the region (including
+suppressed callees) may define, intersected with the registers live at
+its exit targets — the paper's dead-register pruning.
+
+Functions and the "differing views" of Section 3.2.3: by default a call
+is *suppressed* (executed inside the calling task; the callee's register
+effects enter the analysis through its summary). But if a function's
+entry is itself a task entry, a call to it becomes a task boundary: the
+caller's task ends at the ``jal`` with a call-type exit (the sequencer
+pushes the return point on its return-address stack), the function body
+is partitioned into tasks of its own, and its ``jr`` is a return-type
+exit predicted through the RAS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler.cfg import ALL_REGS, ControlFlowGraph
+from repro.compiler.liveness import LivenessAnalysis
+from repro.isa.opcodes import Kind, Op, StopKind
+
+
+@dataclass
+class ExitEdge:
+    """One control edge leaving a task region."""
+
+    from_addr: int             # address of the exiting instruction
+    target: int | None         # successor task entry (None = return)
+    stop: StopKind             # stop condition this edge implies
+    ret_addr: int = 0          # call-type exits: the task control
+    #                            returns to when the callee finishes
+    #: Registers to consider live across this edge instead of the
+    #: target's live-in (used by call-type exits, where the consumers
+    #: are both the callee tasks and everything after the return).
+    live_override: frozenset[int] | None = None
+
+
+@dataclass
+class TaskRegion:
+    entry: int
+    blocks: set[int]
+    exits: list[ExitEdge] = field(default_factory=list)
+    create_mask: frozenset[int] = frozenset()
+    reaches_halt: bool = False
+    name: str = ""
+
+
+class RegionError(Exception):
+    pass
+
+
+def _call_boundary(block, entries: set[int]) -> bool:
+    """True when the block ends with a call to a task-partitioned
+    function (the task ends at the call)."""
+    last = block.last
+    return (last.kind is Kind.CALL and last.op is Op.JAL
+            and last.target in entries)
+
+
+def _intra_successors(block, entries: set[int]) -> list[int]:
+    """Successors explored when growing a region."""
+    if _call_boundary(block, entries):
+        return []   # control continues in the callee's tasks
+    return [s for s in block.successors if s not in entries]
+
+
+def close_entries(cfg: ControlFlowGraph, entries: set[int],
+                  program_entry: int) -> set[int]:
+    """Extend ``entries`` until every region exit targets an entry."""
+    entries = set(entries) | {program_entry}
+    changed = True
+    while changed:
+        changed = False
+        for entry in list(entries):
+            blocks = _region_blocks(cfg, entry, entries)
+            for addr in blocks:
+                block = cfg.blocks[addr]
+                if _call_boundary(block, entries):
+                    # The return point becomes a task entry: the callee's
+                    # final task returns there through the RAS.
+                    ret = block.last.addr + 4
+                    if ret in cfg.blocks and ret not in entries:
+                        entries.add(ret)
+                        changed = True
+                    continue
+                for succ in block.successors:
+                    if succ not in blocks and succ not in entries:
+                        entries.add(succ)
+                        changed = True
+    return entries
+
+
+def _region_blocks(cfg: ControlFlowGraph, entry: int,
+                   entries: set[int]) -> set[int]:
+    seen: set[int] = set()
+    stack = [entry]
+    while stack:
+        addr = stack.pop()
+        if addr in seen or addr not in cfg.blocks:
+            continue
+        seen.add(addr)
+        stack.extend(_intra_successors(cfg.blocks[addr], entries))
+    return seen
+
+
+def compute_regions(cfg: ControlFlowGraph, entries: set[int],
+                    liveness: LivenessAnalysis) -> dict[int, TaskRegion]:
+    """Build every task region with exits and create masks.
+
+    ``entries`` must already be closed (see :func:`close_entries`).
+    """
+    addr_to_label = {a: n for n, a in cfg.program.labels.items()}
+    regions: dict[int, TaskRegion] = {}
+    for entry in sorted(entries):
+        if entry not in cfg.blocks:
+            raise RegionError(f"task entry {entry:#x} is not in the text")
+        blocks = _region_blocks(cfg, entry, entries)
+        region = TaskRegion(entry=entry, blocks=blocks,
+                            name=addr_to_label.get(entry, ""))
+        may_def: set[int] = set()
+        live_at_exits: set[int] = set()
+        for addr in blocks:
+            block = cfg.blocks[addr]
+            for instr in block.instructions:
+                may_def |= cfg.instr_defs(instr)
+                if instr.kind is Kind.HALT:
+                    region.reaches_halt = True
+            for edge in _block_exits(cfg, block, blocks, entries, liveness):
+                region.exits.append(edge)
+                if edge.live_override is not None:
+                    live_at_exits |= edge.live_override
+                elif edge.target is not None:
+                    live_at_exits |= liveness.live_at_block_entry(edge.target)
+                else:
+                    # Return edge: the continuation is unknown here, so
+                    # every register must be considered live.
+                    live_at_exits |= ALL_REGS
+        region.create_mask = frozenset(may_def & live_at_exits)
+        regions[entry] = region
+    return regions
+
+
+def _block_exits(cfg: ControlFlowGraph, block, blocks: set[int],
+                 entries: set[int],
+                 liveness: LivenessAnalysis) -> list[ExitEdge]:
+    last = block.last
+    kind = last.kind
+    out: list[ExitEdge] = []
+    if kind is Kind.BRANCH:
+        taken, fall = last.target, last.addr + 4
+        # An edge to any task entry is an exit — including a back edge to
+        # this region's own entry, which starts the next loop-iteration
+        # task (the paper's canonical partitioning).
+        taken_exit = taken in entries
+        fall_exit = fall in entries
+        if taken_exit and fall_exit:
+            out.append(ExitEdge(last.addr, taken, StopKind.ALWAYS))
+            out.append(ExitEdge(last.addr, fall, StopKind.ALWAYS))
+        elif taken_exit:
+            out.append(ExitEdge(last.addr, taken, StopKind.TAKEN))
+        elif fall_exit:
+            out.append(ExitEdge(last.addr, fall, StopKind.NOT_TAKEN))
+    elif kind is Kind.JUMP:
+        if last.target in entries:
+            out.append(ExitEdge(last.addr, last.target, StopKind.ALWAYS))
+    elif kind is Kind.CALL and _call_boundary(block, entries):
+        callee = last.target
+        ret = last.addr + 4
+        # Consumers across a call-type exit: the callee's upward-exposed
+        # uses (including $ra, which the jal itself produces for the
+        # callee's eventual jr) plus everything live at the return point.
+        live = set(liveness.live_at_block_entry(ret))
+        summary = cfg.summaries.get(callee)
+        if summary is not None:
+            live |= summary.may_use
+        else:
+            live |= ALL_REGS
+        live.add(31)  # $ra: produced by the jal, consumed by the return
+        out.append(ExitEdge(last.addr, callee, StopKind.ALWAYS,
+                            ret_addr=ret,
+                            live_override=frozenset(live)))
+    elif kind is Kind.JUMP_REG:
+        out.append(ExitEdge(last.addr, None, StopKind.ALWAYS))
+    elif kind not in (Kind.HALT,):
+        fall = last.addr + 4
+        if fall in entries:
+            out.append(ExitEdge(last.addr, fall, StopKind.ALWAYS))
+    return out

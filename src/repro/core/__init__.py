@@ -1,0 +1,20 @@
+"""Processor cores: the scalar baseline and the multiscalar processor."""
+
+from repro.core.processor import (
+    MultiscalarProcessor,
+    MultiscalarResult,
+    TaskInstance,
+)
+from repro.core.predictor import TaskPredictor
+from repro.core.scalar import ScalarProcessor, ScalarResult
+from repro.core.stats import CycleDistribution
+
+__all__ = [
+    "CycleDistribution",
+    "MultiscalarProcessor",
+    "MultiscalarResult",
+    "ScalarProcessor",
+    "ScalarResult",
+    "TaskInstance",
+    "TaskPredictor",
+]

@@ -1,0 +1,154 @@
+"""Control-flow prediction for the sequencer (Section 5.1).
+
+The sequencer predicts, for each assigned task, which of its (up to
+four) successor targets will follow. The paper uses a PAs two-level
+predictor [Yeh & Patt]: a 64-entry first-level table records the last 6
+outcomes (2-bit target ids) per task address; the 12-bit history indexes
+a 4096-entry second-level pattern table whose 3-bit entries hold a 2-bit
+predicted target and a hysteresis bit. A 64-entry return-address stack
+predicts ``ret`` targets, and a 1024-entry direct-mapped task-descriptor
+cache gives descriptor-fetch timing.
+
+History is updated non-speculatively (when a task's actual successor is
+validated); this avoids history repair on squashes at a small accuracy
+cost for non-loop patterns, noted in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import PredictorConfig
+from repro.isa.program import TargetKind, TaskDescriptor
+
+
+@dataclass
+class PredictorStats:
+    predictions: int = 0     # predict() calls (includes squash re-walks)
+    validated: int = 0       # outcomes actually compared (update() calls)
+    correct: int = 0
+    ras_pushes: int = 0
+    ras_pops: int = 0
+
+    @property
+    def accuracy(self) -> float:
+        """Control-flow prediction accuracy per validated task outcome.
+
+        Matches the paper's "Pred" columns: a task restarted after a
+        memory-order squash is not a new control decision, so the
+        denominator is validations, not raw predict() calls.
+        """
+        return self.correct / self.validated if self.validated else 1.0
+
+
+@dataclass
+class Prediction:
+    """Outcome of one sequencer prediction."""
+
+    kind: TargetKind
+    addr: int               # predicted next task entry (ADDR / RETURN)
+    target_index: int       # which descriptor target was chosen
+
+
+class TaskPredictor:
+    """PAs two-level task predictor with a return-address stack."""
+
+    def __init__(self, config: PredictorConfig | None = None,
+                 static: bool = False) -> None:
+        self.config = config or PredictorConfig()
+        self.static = static
+        depth = self.config.history_depth
+        self._history_mask = (1 << (2 * depth)) - 1
+        self._histories = [0] * self.config.history_entries
+        # Pattern entry: (2-bit target id, hysteresis bit).
+        self._patterns = [(0, 0)] * self.config.pattern_entries
+        self.ras: list[int] = []
+        self.stats = PredictorStats()
+
+    # ----------------------------------------------------------- helpers
+
+    def _history_index(self, entry: int) -> int:
+        return (entry >> 2) % self.config.history_entries
+
+    def _pattern_index(self, entry: int, history: int) -> int:
+        return (history ^ (entry >> 2)) % self.config.pattern_entries
+
+    # ------------------------------------------------------------ predict
+
+    def predict(self, descriptor: TaskDescriptor) -> Prediction:
+        """Choose a successor target for the given task."""
+        targets = descriptor.targets
+        self.stats.predictions += 1
+        if self.static or len(targets) == 1:
+            index = 0
+        else:
+            history = self._histories[self._history_index(descriptor.entry)]
+            target, _conf = self._patterns[
+                self._pattern_index(descriptor.entry, history)]
+            index = target % len(targets)
+        chosen = targets[index]
+        addr = chosen.addr
+        if chosen.kind is TargetKind.RETURN:
+            if self.ras:
+                addr = self.ras.pop()
+                self.stats.ras_pops += 1
+            else:
+                addr = 0  # empty RAS: certain mispredict
+        elif chosen.kind is TargetKind.ADDR and chosen.ret_addr:
+            # Call-type target: remember where the callee returns to.
+            self.ras.append(chosen.ret_addr)
+            self.stats.ras_pushes += 1
+        return Prediction(kind=chosen.kind, addr=addr, target_index=index)
+
+    # ------------------------------------------------------------- update
+
+    def update(self, descriptor: TaskDescriptor, actual_index: int,
+               was_correct: bool) -> None:
+        """Record a validated outcome for a task."""
+        self.stats.validated += 1
+        if was_correct:
+            self.stats.correct += 1
+        if self.static:
+            return
+        hist_index = self._history_index(descriptor.entry)
+        history = self._histories[hist_index]
+        pat_index = self._pattern_index(descriptor.entry, history)
+        target, conf = self._patterns[pat_index]
+        if target == actual_index:
+            self._patterns[pat_index] = (target, 1)
+        elif conf:
+            self._patterns[pat_index] = (target, 0)
+        else:
+            self._patterns[pat_index] = (actual_index, 0)
+        self._histories[hist_index] = (
+            (history << 2) | (actual_index & 3)) & self._history_mask
+
+    # ---------------------------------------------------------------- RAS
+
+    def ras_snapshot(self) -> list[int]:
+        return list(self.ras)
+
+    def ras_restore(self, snapshot: list[int]) -> None:
+        self.ras = list(snapshot)
+        del self.ras[: max(0, len(self.ras) - self.config.ras_entries)]
+
+
+class DescriptorCache:
+    """Direct-mapped task-descriptor cache (timing only)."""
+
+    def __init__(self, entries: int = 1024) -> None:
+        self.entries = entries
+        self._tags: list[int | None] = [None] * entries
+        self.accesses = 0
+        self.misses = 0
+
+    def lookup(self, entry_addr: int) -> bool:
+        """Access the descriptor at ``entry_addr``; True on a hit."""
+        index = (entry_addr >> 2) % self.entries
+        tag = (entry_addr >> 2) // self.entries
+        self.accesses += 1
+        if self._tags[index] == tag:
+            return True
+        self.misses += 1
+        self._tags[index] = tag
+        return False

@@ -1,0 +1,678 @@
+"""The multiscalar processor (Figure 1 of the paper).
+
+A collection of processing units organized as a circular queue with
+head and tail pointers. The sequencer walks the CFG task by task:
+fetch a task descriptor, predict one of its successor targets, assign
+the task to the unit past the tail, and continue from the prediction.
+Register values flow to successor tasks on a unidirectional ring under
+create/accum mask control; speculative memory lives in the ARB; tasks
+retire in order at the head, and squashes (misprediction, memory-order
+violation, ARB overflow) discard a suffix of the active task window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arb import ARBFullError, AddressResolutionBuffer
+from repro.config import MachineConfig, multiscalar_config
+from repro.core.predictor import DescriptorCache, TaskPredictor
+from repro.core.ring import ForwardingRing
+from repro.core.stats import CycleDistribution, TaskCycleRecord
+from repro.isa import semantics
+from repro.isa.executor import (
+    SYS_EXIT,
+    SYS_PRINT_CHAR,
+    SYS_PRINT_INT,
+    SYS_PRINT_STRING,
+    _fresh_regs,
+)
+from repro.isa.instruction import Instruction
+from repro.isa.memory_image import u32
+from repro.isa.program import Program, TargetKind, TaskDescriptor
+from repro.memory import BankedDataCache, InstructionCache, SplitTransactionBus
+from repro.isa.opcodes import FUClass
+from repro.pipeline import PipelineContext, UnitPipeline
+from repro.pipeline.functional_units import FUPool
+from repro.pipeline.unit import MemRetry
+
+#: Sentinel for "the walk ends here" predictions.
+PRED_HALT = -1
+
+
+class MultiscalarError(Exception):
+    """Configuration or program-structure errors (missing descriptors)."""
+
+
+class SimulationTimeout(Exception):
+    """Cycle budget exhausted, or no forward progress (deadlock)."""
+
+
+@dataclass
+class TaskInstance:
+    """One task in flight on a processing unit."""
+
+    seq: int
+    descriptor: TaskDescriptor
+    unit_index: int
+    regs: list
+    #: The register state this task *inherited* (task-entry values plus
+    #: ring deliveries). Successor reconstruction reads non-created
+    #: registers from here, never from ``regs``, because a task's
+    #: transient writes to registers outside its create mask (e.g. a
+    #: suppressed callee's saves) must not leak to successor tasks.
+    snapshot: list
+    pending: dict[int, int]              # reg -> producer task seq
+    create_mask: frozenset[int]
+    ras_checkpoint: list[int]
+    committed_base: int
+    forwarded: set[int] = field(default_factory=set)
+    outgoing: dict[int, object] = field(default_factory=dict)
+    deferred: set[int] = field(default_factory=set)
+    predicted_next: int = PRED_HALT
+    predicted_index: int = 0
+    stopped: bool = False
+    validated: bool = False
+    squashed: bool = False
+    actual_next: int | None = None
+    cycles: TaskCycleRecord = field(default_factory=TaskCycleRecord)
+
+    @property
+    def entry(self) -> int:
+        return self.descriptor.entry
+
+
+@dataclass
+class _UnitSlot:
+    index: int
+    icache: InstructionCache
+    pipeline: UnitPipeline
+    context: "_UnitContext"
+    task: TaskInstance | None = None
+
+
+@dataclass
+class MultiscalarResult:
+    cycles: int
+    instructions: int            # retired (useful) dynamic instructions
+    output: str
+    ipc: float
+    tasks_retired: int
+    tasks_squashed: int
+    squashes_mispredict: int
+    squashes_memory: int
+    squashes_arb: int
+    prediction_accuracy: float
+    distribution: CycleDistribution
+    icache_misses: int
+    dcache_misses: int
+    arb_peak_entries: int
+    ring_sends: int
+
+
+class _UnitContext(PipelineContext):
+    """Glue between one unit's pipeline and the multiscalar core."""
+
+    def __init__(self, processor: "MultiscalarProcessor", index: int) -> None:
+        self.p = processor
+        self.index = index
+
+    @property
+    def task(self) -> TaskInstance:
+        return self.p.units[self.index].task
+
+    def fetch_group(self, addr: int, cycle: int) -> int:
+        return self.p.units[self.index].icache.fetch(addr, cycle)
+
+    def instr_at(self, addr: int) -> Instruction | None:
+        return self.p.program.instr_at(addr)
+
+    def reg_ready(self, reg: int) -> bool:
+        return reg not in self.task.pending
+
+    def read_reg(self, reg: int):
+        return self.task.regs[reg]
+
+    def write_reg(self, reg: int, value) -> None:
+        if reg != 0:
+            task = self.task
+            task.regs[reg] = value
+            # A local write supersedes any still-awaited predecessor value.
+            task.pending.pop(reg, None)
+
+    def _is_head(self, task: TaskInstance) -> bool:
+        active = self.p.active
+        return bool(active) and active[0] is task
+
+    def mem_load(self, instr: Instruction, addr: int, cycle: int):
+        task = self.task
+        width = semantics.load_width(instr.op)
+        try:
+            raw = self.p.arb.load(task.seq, addr, width,
+                                  is_head=self._is_head(task))
+        except ARBFullError:
+            self.p.request_arb_space(task)
+            raise MemRetry() from None
+        value = semantics.load_from_bytes(instr.op, raw)
+        done = self.p.dcache.access(addr, cycle, is_store=False)
+        return value, done
+
+    def mem_store_prepare(self, instr: Instruction, addr: int) -> None:
+        task = self.task
+        if self._is_head(task):
+            return  # head stores can always write through
+        width = semantics.load_width(instr.op)
+        try:
+            self.p.arb.reserve(task.seq, addr, width)
+        except ARBFullError:
+            self.p.request_arb_space(task)
+            raise MemRetry() from None
+
+    def mem_store(self, instr: Instruction, addr: int, value,
+                  cycle: int) -> None:
+        task = self.task
+        raw = semantics.store_bytes(instr.op, value)
+        violator = self.p.arb.store(task.seq, addr, raw,
+                                    is_head=self._is_head(task))
+        self.p.dcache.access(addr, cycle, is_store=True)
+        if violator is not None:
+            self.p.request_violation_squash(violator)
+
+    def on_forward(self, reg: int, value) -> None:
+        self.p.forward_value(self.task, reg, value)
+
+    def on_release(self, regs) -> None:
+        task = self.task
+        for reg in regs:
+            if reg in task.forwarded:
+                continue  # a value is sent at most once per task
+            if reg in task.pending:
+                task.deferred.add(reg)
+            else:
+                self.p.forward_value(task, reg, task.regs[reg])
+
+    def on_stop(self, instr: Instruction, next_pc: int) -> None:
+        self.p.task_stopped(self.task, next_pc)
+
+    def task_stopped(self) -> bool:
+        return self.task.stopped
+
+    def can_commit_syscall(self) -> bool:
+        return self._is_head(self.task)
+
+    def on_syscall(self) -> None:
+        self.p.syscall(self.task)
+
+    def on_halt(self) -> None:
+        self.p.halted = True
+
+
+class MultiscalarProcessor:
+    """Cycle-level simulator of a multiscalar processor."""
+
+    def __init__(self, program: Program,
+                 config: MachineConfig | None = None) -> None:
+        if not program.is_multiscalar():
+            raise MultiscalarError(
+                "program carries no task descriptors; run it through "
+                "repro.compiler.annotate or add .task directives")
+        self.program = program
+        self.config = config or multiscalar_config()
+        memory_config = self.config.memory
+        self.memory = program.initial_memory()
+        self.bus = SplitTransactionBus(memory_config.bus_first,
+                                       memory_config.bus_per_extra)
+        self.dcache = BankedDataCache(memory_config, self.bus,
+                                      self.config.num_banks)
+        block_bits = memory_config.dcache_block.bit_length() - 1
+        self.arb = AddressResolutionBuffer(
+            self.memory, num_banks=self.config.num_banks,
+            block_bits=block_bits,
+            entries_per_bank=memory_config.arb_entries_per_bank)
+        self.num_units = self.config.num_units
+        self.units: list[_UnitSlot] = []
+        shared_pool: FUPool | None = None
+        for index in range(self.num_units):
+            context = _UnitContext(self, index)
+            if self.config.shared_fp_units:
+                pool = FUPool(self.config.unit, share_with=shared_pool,
+                              shared_classes=(FUClass.FP,
+                                              FUClass.COMPLEX_INT))
+                if shared_pool is None:
+                    shared_pool = pool
+            else:
+                pool = None
+            slot = _UnitSlot(
+                index=index,
+                icache=InstructionCache(memory_config, self.bus),
+                pipeline=UnitPipeline(self.config.unit, context,
+                                      fu_pool=pool),
+                context=context)
+            self.units.append(slot)
+        self.ring = ForwardingRing(self.num_units,
+                                   self.config.ring_hop_latency,
+                                   self.config.unit.issue_width)
+        self.predictor = TaskPredictor(self.config.predictor,
+                                       static=self.config.predictor_static)
+        self.descriptor_cache = DescriptorCache(
+            self.config.predictor.descriptor_cache)
+        self.arch_regs = _fresh_regs()
+        self.active: list[TaskInstance] = []
+        self._next_unit = 0
+        self._seq = 0
+        self.next_pc: int | None = program.entry
+        self.seq_busy_until = 0
+        self.cycle = 0
+        self.halted = False
+        self.output: list[str] = []
+        self.distribution = CycleDistribution()
+        self.retired_instructions = 0
+        self.squashed_instructions = 0
+        self.tasks_retired = 0
+        self.tasks_squashed = 0
+        self.squashes_mispredict = 0
+        self.squashes_memory = 0
+        self.squashes_arb = 0
+        self._squash_request: tuple[str, int] | None = None
+        self._squashed_seqs: set[int] = set()
+        # Forwarded values of recently retired tasks, kept while any
+        # active task still holds a reservation naming them (a retired
+        # producer has, by definition, forwarded every create-mask
+        # register, but the ring message may die at a reassigned unit).
+        self._retired_outgoing: dict[int, dict[int, object]] = {}
+        self._last_progress = 0
+        #: Optional event observer (see repro.core.tracer.TaskTracer):
+        #: an object with task_assigned/task_stopped/task_retired/
+        #: task_squashed(task, cycle) methods.
+        self.observer = None
+
+    # ================================================== public interface
+
+    def run(self, max_cycles: int = 20_000_000) -> MultiscalarResult:
+        entry_task = self.program.task_at(self.program.entry)
+        if entry_task is None:
+            raise MultiscalarError(
+                f"no task descriptor at program entry "
+                f"{self.program.entry:#x}")
+        while not self.halted:
+            self.step()
+            if self.cycle >= max_cycles:
+                raise SimulationTimeout(
+                    f"exceeded {max_cycles} cycles (head task at "
+                    f"{self.active[0].entry:#x})" if self.active else
+                    f"exceeded {max_cycles} cycles")
+            if self.cycle - self._last_progress > 200_000:
+                raise SimulationTimeout(self._deadlock_report())
+        # The halting task retires (halt only commits at the head); any
+        # younger tasks are speculative overshoot past the program end.
+        if self.active:
+            head = self.active[0]
+            slot = self.units[head.unit_index]
+            self.arb.commit_task(head.seq)
+            self.arch_regs = list(head.regs)
+            self.retired_instructions += (
+                slot.pipeline.stats.committed - head.committed_base)
+            self.distribution.fold_retired(head.cycles)
+            self.tasks_retired += 1
+            slot.task = None
+            self.active.pop(0)
+            if self.observer is not None:
+                self.observer.task_retired(head, self.cycle)
+        for task in self.active:
+            self._discard_task(task)
+        self.active.clear()
+        return self._result()
+
+    # ========================================================== one step
+
+    def step(self) -> None:
+        cycle = self.cycle
+        self._deliver_ring(cycle)
+        self._try_assign(cycle)
+        noted_units: set[int] = set()
+        for task in list(self.active):
+            if task.squashed:
+                continue
+            slot = self.units[task.unit_index]
+            if slot.task is not task:
+                continue
+            issued, reason = slot.pipeline.step(cycle)
+            task.cycles.note(issued, reason)
+            noted_units.add(task.unit_index)
+            if issued:
+                self._last_progress = cycle
+            if self._squash_request is not None:
+                self._apply_squash_request(cycle)
+        for slot in self.units:
+            if slot.index not in noted_units:
+                self.distribution.idle += 1
+        self._try_retire(cycle)
+        self.cycle = cycle + 1
+
+    # ========================================================= sequencer
+
+    def _try_assign(self, cycle: int) -> None:
+        if self.halted or self.next_pc is None:
+            return
+        if cycle < self.seq_busy_until:
+            return
+        if len(self.active) >= self.num_units:
+            return
+        slot = self.units[self._next_unit]
+        if slot.task is not None:
+            return  # previous occupant not yet retired
+        entry = self.next_pc
+        descriptor = self.program.task_at(entry)
+        if descriptor is None:
+            raise MultiscalarError(
+                f"control reached {entry:#x} but no task descriptor "
+                "exists there (annotation bug)")
+        if not descriptor.mask_is_explicit:
+            raise MultiscalarError(
+                f"task {descriptor.name or hex(entry)} has no create "
+                "mask; run the program through repro.compiler.annotate")
+        if not self.descriptor_cache.lookup(entry):
+            # Fetch the descriptor (one 4-word transfer) before assigning.
+            self.seq_busy_until = self.bus.request(cycle, 4)
+            return
+        task = self._build_task(descriptor, slot.index)
+        slot.task = task
+        slot.pipeline.reset(pc=entry)
+        self.active.append(task)
+        if self.observer is not None:
+            self.observer.task_assigned(task, cycle)
+        self._next_unit = (self._next_unit + 1) % self.num_units
+        self.seq_busy_until = cycle + 1
+        self._last_progress = cycle
+        # Predict this task's successor and continue the walk there.
+        prediction = self.predictor.predict(descriptor)
+        task.predicted_index = prediction.target_index
+        if prediction.kind is TargetKind.HALT:
+            task.predicted_next = PRED_HALT
+            self.next_pc = None
+        else:
+            task.predicted_next = prediction.addr
+            self.next_pc = prediction.addr
+
+    def _build_task(self, descriptor: TaskDescriptor,
+                    unit_index: int) -> TaskInstance:
+        self._seq += 1
+        predecessor = self.active[-1] if self.active else None
+        if predecessor is None:
+            regs = list(self.arch_regs)
+            pending: dict[int, int] = {}
+        else:
+            regs = list(predecessor.snapshot)
+            # Values the predecessor itself still awaits flow through it
+            # on the ring and will reach this unit too.
+            pending = dict(predecessor.pending)
+        seen: set[int] = set()
+        for producer in reversed(self.active):
+            for reg in producer.create_mask:
+                if reg in seen:
+                    continue
+                seen.add(reg)
+                if reg in producer.outgoing:
+                    regs[reg] = producer.outgoing[reg]
+                    pending.pop(reg, None)
+                else:
+                    pending[reg] = producer.seq
+        # Reservations inherited from a now-retired producer resolve to
+        # the value it forwarded before retiring.
+        active_seqs = {t.seq for t in self.active}
+        for reg, producer_seq in list(pending.items()):
+            if producer_seq not in active_seqs:
+                regs[reg] = self._retired_outgoing[producer_seq][reg]
+                del pending[reg]
+        ras_checkpoint = self.predictor.ras_snapshot()
+        pipeline = self.units[unit_index].pipeline
+        return TaskInstance(
+            seq=self._seq, descriptor=descriptor, unit_index=unit_index,
+            regs=list(regs), snapshot=regs, pending=pending,
+            create_mask=descriptor.create_mask,
+            ras_checkpoint=ras_checkpoint,
+            committed_base=pipeline.stats.committed)
+
+    # ============================================================== ring
+
+    def _deliver_ring(self, cycle: int) -> None:
+        for dest, message in self.ring.arrivals(cycle):
+            task = self.units[dest].task
+            stop_here = False
+            if task is not None and not task.squashed:
+                if task.pending.get(message.reg) == message.sender_seq:
+                    task.regs[message.reg] = message.value
+                    task.snapshot[message.reg] = message.value
+                    del task.pending[message.reg]
+                    if message.reg in task.deferred:
+                        task.deferred.discard(message.reg)
+                        self.forward_value(task, message.reg, message.value)
+                    self.ring.stats.deliveries += 1
+                if message.reg in task.create_mask:
+                    stop_here = True  # this unit produces its own version
+            if not stop_here:
+                nxt = (dest + 1) % self.num_units
+                if nxt != message.origin_unit:
+                    self.ring.send(cycle, from_unit=dest,
+                                   origin_unit=message.origin_unit,
+                                   sender_seq=message.sender_seq,
+                                   reg=message.reg, value=message.value)
+
+    def forward_value(self, task: TaskInstance, reg: int, value) -> None:
+        """Send a register value to successor tasks (once per task)."""
+        if reg in task.forwarded:
+            return
+        task.forwarded.add(reg)
+        task.outgoing[reg] = value
+        if self.num_units > 1:
+            self.ring.send(self.cycle, from_unit=task.unit_index,
+                           origin_unit=task.unit_index,
+                           sender_seq=task.seq, reg=reg, value=value)
+
+    # ================================================== task completion
+
+    def task_stopped(self, task: TaskInstance, next_pc: int) -> None:
+        task.stopped = True
+        task.actual_next = next_pc
+        if self.observer is not None:
+            self.observer.task_stopped(task, self.cycle)
+        # End-of-task release: every create-mask register not yet sent is
+        # released now so successors never deadlock (Section 2.2).
+        for reg in sorted(task.create_mask - task.forwarded):
+            if reg in task.pending:
+                task.deferred.add(reg)
+            else:
+                self.forward_value(task, reg, task.regs[reg])
+        self._validate_prediction(task)
+
+    def _validate_prediction(self, task: TaskInstance) -> None:
+        if task.validated:
+            return
+        task.validated = True
+        actual = task.actual_next
+        descriptor = task.descriptor
+        actual_index = None
+        return_index = None
+        for i, target in enumerate(descriptor.targets):
+            if target.kind is TargetKind.ADDR and target.addr == actual:
+                actual_index = i
+                break
+            if target.kind is TargetKind.RETURN and return_index is None:
+                return_index = i
+        if actual_index is None:
+            actual_index = return_index if return_index is not None else 0
+        was_correct = task.predicted_next == actual
+        self.predictor.update(descriptor, actual_index, was_correct)
+        if was_correct:
+            return
+        self.squashes_mispredict += 1
+        # Repair the return-address stack: undo this task's successor
+        # prediction and redo the RAS effect of the actual outcome.
+        self.predictor.ras_restore(task.ras_checkpoint)
+        target = descriptor.targets[actual_index]
+        if target.kind is TargetKind.RETURN and self.predictor.ras:
+            self.predictor.ras.pop()
+        elif target.kind is TargetKind.ADDR and target.ret_addr:
+            self.predictor.ras.append(target.ret_addr)
+        try:
+            pos = self.active.index(task)
+        except ValueError:
+            return  # already squashed itself; nothing to repair
+        self._squash_from(pos + 1, actual)
+        task.predicted_next = actual  # now confirmed
+
+    # =========================================================== squash
+
+    def request_violation_squash(self, violator_seq: int) -> None:
+        """A predecessor store hit a successor's earlier load."""
+        current = self._squash_request
+        if current is None or violator_seq < current[1]:
+            self._squash_request = ("memory", violator_seq)
+
+    def request_arb_space(self, task: TaskInstance) -> None:
+        """A speculative operation found its ARB bank full."""
+        if self.config.arb_full_policy == "stall":
+            return  # all units but the head simply wait (Section 2.3)
+        if self._squash_request is None:
+            self._squash_request = ("arb", task.seq)
+
+    def _apply_squash_request(self, cycle: int) -> None:
+        kind, seq = self._squash_request
+        self._squash_request = None
+        if kind == "memory":
+            pos = next((i for i, t in enumerate(self.active)
+                        if t.seq == seq), None)
+            if pos is None:
+                return  # violator already squashed by an earlier event
+            self.squashes_memory += 1
+            victim = self.active[pos]
+            self.predictor.ras_restore(victim.ras_checkpoint)
+            self._squash_from(pos, victim.entry)
+        else:  # ARB overflow: free space by squashing the youngest task.
+            if len(self.active) <= 1:
+                return
+            self.squashes_arb += 1
+            victim = self.active[-1]
+            self.predictor.ras_restore(victim.ras_checkpoint)
+            self._squash_from(len(self.active) - 1, victim.entry)
+
+    def _squash_from(self, pos: int, restart_pc: int | None) -> None:
+        """Squash active tasks [pos:] and restart the walk at restart_pc."""
+        victims = self.active[pos:]
+        for task in reversed(victims):
+            self._discard_task(task)
+        del self.active[pos:]
+        if victims:
+            self._next_unit = victims[0].unit_index
+            self.ring.drop_stale(self._squashed_seqs)
+            self._squashed_seqs.clear()
+            self.seq_busy_until = max(
+                self.seq_busy_until,
+                self.cycle + self.config.squash_overhead)
+        self.next_pc = restart_pc
+
+    def _discard_task(self, task: TaskInstance) -> None:
+        task.squashed = True
+        self.tasks_squashed += 1
+        self._squashed_seqs.add(task.seq)
+        self.arb.squash_task(task.seq)
+        slot = self.units[task.unit_index]
+        self.squashed_instructions += (
+            slot.pipeline.stats.committed - task.committed_base)
+        slot.pipeline.reset(pc=None)
+        slot.task = None
+        self.distribution.fold_squashed(task.cycles)
+        if self.observer is not None:
+            self.observer.task_squashed(task, self.cycle)
+
+    # =========================================================== retire
+
+    def _try_retire(self, cycle: int) -> None:
+        if not self.active:
+            return
+        head = self.active[0]
+        slot = self.units[head.unit_index]
+        if not head.stopped or not slot.pipeline.drained():
+            return
+        if head.pending or head.deferred:
+            return  # a predecessor value is still in flight on the ring
+        self.arb.commit_task(head.seq)
+        self.arch_regs = list(head.regs)
+        self._retired_outgoing[head.seq] = head.outgoing
+        referenced = {seq for t in self.active if t is not head
+                      for seq in t.pending.values()}
+        for seq in [s for s in self._retired_outgoing
+                    if s not in referenced and s != head.seq]:
+            del self._retired_outgoing[seq]
+        self.retired_instructions += (
+            slot.pipeline.stats.committed - head.committed_base)
+        self.distribution.fold_retired(head.cycles)
+        self.tasks_retired += 1
+        slot.task = None
+        self.active.pop(0)
+        self._last_progress = cycle
+        if self.observer is not None:
+            self.observer.task_retired(head, cycle)
+
+    # =========================================================== system
+
+    def syscall(self, task: TaskInstance) -> None:
+        code = task.regs[2]   # $v0
+        arg = task.regs[4]    # $a0
+        if code == SYS_PRINT_INT:
+            self.output.append(str(arg - 0x100000000
+                                   if arg >= 0x80000000 else arg))
+        elif code == SYS_PRINT_STRING:
+            self.output.append(self._read_string(task, u32(arg)))
+        elif code == SYS_PRINT_CHAR:
+            self.output.append(chr(arg & 0xFF))
+        elif code == SYS_EXIT:
+            self.halted = True
+        else:
+            raise MultiscalarError(f"unknown syscall {code}")
+
+    def _read_string(self, task: TaskInstance, addr: int,
+                     limit: int = 1 << 16) -> str:
+        # Read through the ARB so the head sees its own pending stores.
+        out = bytearray()
+        for i in range(limit):
+            byte = self.arb.load(task.seq, addr + i, 1, is_head=True)[0]
+            if byte == 0:
+                break
+            out.append(byte)
+        return out.decode("latin-1")
+
+    # ============================================================ result
+
+    def _result(self) -> MultiscalarResult:
+        cycles = self.cycle
+        instructions = self.retired_instructions
+        return MultiscalarResult(
+            cycles=cycles,
+            instructions=instructions,
+            output="".join(self.output),
+            ipc=instructions / cycles if cycles else 0.0,
+            tasks_retired=self.tasks_retired,
+            tasks_squashed=self.tasks_squashed,
+            squashes_mispredict=self.squashes_mispredict,
+            squashes_memory=self.squashes_memory,
+            squashes_arb=self.squashes_arb,
+            prediction_accuracy=self.predictor.stats.accuracy,
+            distribution=self.distribution,
+            icache_misses=sum(s.icache.stats.misses for s in self.units),
+            dcache_misses=self.dcache.stats.misses,
+            arb_peak_entries=self.arb.stats.peak_entries,
+            ring_sends=self.ring.stats.sends)
+
+    def _deadlock_report(self) -> str:
+        lines = [f"no forward progress since cycle {self._last_progress} "
+                 f"(now {self.cycle})"]
+        for i, task in enumerate(self.active):
+            slot = self.units[task.unit_index]
+            pending = {reg: seq for reg, seq in task.pending.items()}
+            lines.append(
+                f"  [{i}] unit {task.unit_index} task "
+                f"{task.descriptor.name or hex(task.entry)} seq {task.seq} "
+                f"stopped={task.stopped} pending={pending} "
+                f"rob={len(slot.pipeline.rob)} pc={slot.pipeline.pc}")
+        return "\n".join(lines)

@@ -1,0 +1,141 @@
+"""The scalar baseline processor (Section 5.1, "Scalar IPC" columns).
+
+A single aggressive processing unit: the same 5-stage pipeline as a
+multiscalar unit (in-order or out-of-order, 1- or 2-way issue), a 32 KB
+instruction cache, a single data cache with a 1-cycle hit, and the
+shared split-transaction memory bus. Multiscalar tag bits are ignored,
+so the scalar core can also run annotated binaries for equivalence
+testing (release instructions execute as no-ops).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import MachineConfig, scalar_config
+from repro.isa import semantics
+from repro.isa.executor import (
+    SYS_EXIT,
+    SYS_PRINT_CHAR,
+    SYS_PRINT_INT,
+    SYS_PRINT_STRING,
+    _fresh_regs,
+)
+from repro.isa.instruction import Instruction
+from repro.isa.memory_image import u32
+from repro.isa.program import Program
+from repro.memory import InstructionCache, ScalarDataCache, SplitTransactionBus
+from repro.pipeline import PipelineContext, UnitPipeline
+from repro.pipeline.context import StallReason
+
+
+class SimulationTimeout(Exception):
+    """The cycle budget was exhausted before the program halted."""
+
+
+@dataclass
+class ScalarResult:
+    cycles: int
+    instructions: int
+    output: str
+    ipc: float
+    icache_misses: int
+    dcache_misses: int
+    stall_cycles: dict[str, int]
+
+
+class _ScalarContext(PipelineContext):
+    def __init__(self, processor: "ScalarProcessor") -> None:
+        self.p = processor
+
+    def fetch_group(self, addr: int, cycle: int) -> int:
+        return self.p.icache.fetch(addr, cycle)
+
+    def instr_at(self, addr: int) -> Instruction | None:
+        return self.p.program.instr_at(addr)
+
+    def reg_ready(self, reg: int) -> bool:
+        return True
+
+    def read_reg(self, reg: int):
+        return self.p.regs[reg]
+
+    def write_reg(self, reg: int, value) -> None:
+        if reg != 0:
+            self.p.regs[reg] = value
+
+    def mem_load(self, instr: Instruction, addr: int, cycle: int):
+        value = semantics.do_load(instr.op, self.p.memory, addr)
+        done = self.p.dcache.access(addr, cycle, is_store=False)
+        return value, done
+
+    def mem_store(self, instr: Instruction, addr: int, value,
+                  cycle: int) -> None:
+        semantics.do_store(instr.op, self.p.memory, addr, value)
+        self.p.dcache.access(addr, cycle, is_store=True)
+
+    def suppress_annotations(self) -> bool:
+        return True
+
+    def on_syscall(self) -> None:
+        self.p.syscall()
+
+    def on_halt(self) -> None:
+        self.p.halted = True
+
+
+class ScalarProcessor:
+    """Runs a program on one pipelined processing unit."""
+
+    def __init__(self, program: Program,
+                 config: MachineConfig | None = None) -> None:
+        self.program = program
+        self.config = config or scalar_config()
+        self.memory = program.initial_memory()
+        self.regs = _fresh_regs()
+        self.bus = SplitTransactionBus(self.config.memory.bus_first,
+                                       self.config.memory.bus_per_extra)
+        self.icache = InstructionCache(self.config.memory, self.bus)
+        self.dcache = ScalarDataCache(self.config.memory, self.bus)
+        self.halted = False
+        self.output: list[str] = []
+        self.cycle = 0
+        self.stall_cycles: dict[str, int] = {r.name: 0 for r in StallReason}
+        ctx = _ScalarContext(self)
+        self.pipeline = UnitPipeline(self.config.unit, ctx)
+        self.pipeline.reset(pc=program.entry)
+
+    def syscall(self) -> None:
+        code = self.regs[2]   # $v0
+        arg = self.regs[4]    # $a0
+        if code == SYS_PRINT_INT:
+            self.output.append(str(arg - 0x100000000
+                                   if arg >= 0x80000000 else arg))
+        elif code == SYS_PRINT_STRING:
+            self.output.append(self.memory.read_cstring(u32(arg)))
+        elif code == SYS_PRINT_CHAR:
+            self.output.append(chr(arg & 0xFF))
+        elif code == SYS_EXIT:
+            self.halted = True
+        else:
+            raise RuntimeError(f"unknown syscall {code}")
+
+    def run(self, max_cycles: int = 20_000_000) -> ScalarResult:
+        while not self.halted:
+            issued, reason = self.pipeline.step(self.cycle)
+            if not issued:
+                self.stall_cycles[reason.name] += 1
+            self.cycle += 1
+            if self.cycle > max_cycles:
+                raise SimulationTimeout(
+                    f"scalar run exceeded {max_cycles} cycles")
+        committed = self.pipeline.stats.committed
+        return ScalarResult(
+            cycles=self.cycle,
+            instructions=committed,
+            output="".join(self.output),
+            ipc=committed / self.cycle if self.cycle else 0.0,
+            icache_misses=self.icache.stats.misses,
+            dcache_misses=self.dcache.stats.misses,
+            stall_cycles=dict(self.stall_cycles),
+        )

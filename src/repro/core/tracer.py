@@ -1,0 +1,108 @@
+"""Task-timeline tracing: an ASCII Gantt chart of the unit queue.
+
+Attach a :class:`TaskTracer` to a :class:`MultiscalarProcessor` before
+running and render the per-unit task timeline afterwards — squashed
+tasks, the head's in-order retirement wavefront, and load imbalance all
+become visible at a glance:
+
+    unit 0 |=====R|===========R|xxxx|====R|
+    unit 1 |......|======R|xxxxxx|=====R|
+            ^ each column is a slice of simulated time
+
+``=`` task executing (eventually retired), ``x`` task eventually
+squashed, ``.`` no task assigned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TaskEvent:
+    seq: int
+    unit: int
+    name: str
+    entry: int
+    assigned: int
+    stopped: int | None = None
+    ended: int | None = None
+    fate: str = "active"        # 'retired' or 'squashed'
+
+
+@dataclass
+class TaskTracer:
+    """Records task lifecycle events (attach via ``processor.observer``)."""
+
+    events: dict[int, TaskEvent] = field(default_factory=dict)
+
+    def attach(self, processor) -> "TaskTracer":
+        processor.observer = self
+        self._num_units = processor.num_units
+        return self
+
+    # ------------------------------------------------- observer protocol
+
+    def task_assigned(self, task, cycle: int) -> None:
+        self.events[task.seq] = TaskEvent(
+            seq=task.seq, unit=task.unit_index,
+            name=task.descriptor.name or hex(task.entry),
+            entry=task.entry, assigned=cycle)
+
+    def task_stopped(self, task, cycle: int) -> None:
+        event = self.events.get(task.seq)
+        if event is not None:
+            event.stopped = cycle
+
+    def task_retired(self, task, cycle: int) -> None:
+        event = self.events.get(task.seq)
+        if event is not None:
+            event.ended = cycle
+            event.fate = "retired"
+
+    def task_squashed(self, task, cycle: int) -> None:
+        event = self.events.get(task.seq)
+        if event is not None:
+            event.ended = cycle
+            event.fate = "squashed"
+
+    # ------------------------------------------------------- inspection
+
+    def retired(self) -> list[TaskEvent]:
+        return [e for e in self.events.values() if e.fate == "retired"]
+
+    def squashed(self) -> list[TaskEvent]:
+        return [e for e in self.events.values() if e.fate == "squashed"]
+
+    def render(self, width: int = 100) -> str:
+        """Render the per-unit timeline as ASCII art."""
+        if not self.events:
+            return "(no tasks traced)"
+        end = max(e.ended if e.ended is not None else e.assigned
+                  for e in self.events.values()) + 1
+        scale = max(1, -(-end // width))
+        columns = -(-end // scale)
+        num_units = getattr(self, "_num_units",
+                            max(e.unit for e in self.events.values()) + 1)
+        rows = [["."] * columns for _ in range(num_units)]
+        for event in sorted(self.events.values(), key=lambda e: e.seq):
+            stop = event.ended if event.ended is not None else end
+            glyph = "x" if event.fate == "squashed" else "="
+            for col in range(event.assigned // scale,
+                             min(columns, stop // scale + 1)):
+                rows[event.unit][col] = glyph
+            if event.fate == "retired" and stop // scale < columns:
+                rows[event.unit][stop // scale] = "R"
+        lines = [f"timeline ({scale} cycles/column, {end} cycles total)"]
+        for unit, row in enumerate(rows):
+            lines.append(f"unit {unit:2d} |{''.join(row)}|")
+        return "\n".join(lines)
+
+    def summary(self) -> str:
+        retired = self.retired()
+        squashed = self.squashed()
+        sizes = [e.ended - e.assigned for e in retired
+                 if e.ended is not None]
+        avg = sum(sizes) / len(sizes) if sizes else 0.0
+        return (f"{len(retired)} tasks retired, {len(squashed)} squashed; "
+                f"mean retired-task lifetime {avg:.1f} cycles")

@@ -1,0 +1,43 @@
+"""Evaluation harness: regenerates the paper's Tables 2, 3, and 4."""
+
+from repro.harness.paper_data import (
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    PaperSpeedups,
+)
+from repro.harness.runner import (
+    SpeedupCell,
+    TableRow,
+    clear_cache,
+    run_multiscalar,
+    run_scalar,
+    table2_rows,
+    table3_rows,
+    table4_rows,
+)
+from repro.harness.tables import (
+    format_table1,
+    format_table2,
+    format_table3,
+    format_cycle_distribution,
+)
+
+__all__ = [
+    "PAPER_TABLE2",
+    "PAPER_TABLE3",
+    "PAPER_TABLE4",
+    "PaperSpeedups",
+    "SpeedupCell",
+    "TableRow",
+    "clear_cache",
+    "format_cycle_distribution",
+    "format_table1",
+    "format_table2",
+    "format_table3",
+    "run_multiscalar",
+    "run_scalar",
+    "table2_rows",
+    "table3_rows",
+    "table4_rows",
+]

@@ -1,0 +1,95 @@
+"""The paper's published numbers (Tables 2-4), used for shape checks.
+
+Transcribed from Sohi, Breach & Vijaykumar, "Multiscalar Processors,"
+ISCA 1995. Our absolute numbers differ (synthetic kernels on a Python
+simulator, scaled inputs); what must reproduce is the *shape*: which
+benchmarks speed up, by roughly what factor, how 4 vs 8 units and
+1-way vs 2-way issue move, and where multiscalar loses to scalar.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PaperSpeedups:
+    """One benchmark row of Table 3 or Table 4."""
+
+    scalar_ipc_1w: float
+    speedup_4u_1w: float
+    pred_4u_1w: float
+    speedup_8u_1w: float
+    pred_8u_1w: float
+    scalar_ipc_2w: float
+    speedup_4u_2w: float
+    pred_4u_2w: float
+    speedup_8u_2w: float
+    pred_8u_2w: float
+
+
+#: Table 2: dynamic instruction counts (millions) and percent increase.
+PAPER_TABLE2: dict[str, tuple[float, float, float]] = {
+    "compress": (71.04, 81.21, 14.3),
+    "eqntott": (1077.50, 1237.73, 14.9),
+    "espresso": (526.50, 615.95, 17.0),
+    "gcc": (66.48, 75.31, 13.3),
+    "sc": (409.06, 460.79, 12.6),
+    "xlisp": (46.61, 54.34, 16.6),
+    "tomcatv": (582.22, 590.66, 1.4),
+    "cmp": (0.98, 1.09, 10.9),
+    "wc": (1.22, 1.43, 17.3),
+    "example": (1.05, 1.09, 4.2),
+}
+
+#: Table 3: in-order issue processing units.
+PAPER_TABLE3: dict[str, PaperSpeedups] = {
+    "compress": PaperSpeedups(0.69, 1.17, 86.8, 1.50, 86.1,
+                              0.87, 1.04, 86.8, 1.34, 86.4),
+    "eqntott": PaperSpeedups(0.83, 2.05, 94.8, 2.91, 94.6,
+                             1.10, 1.82, 94.8, 2.58, 94.6),
+    "espresso": PaperSpeedups(0.85, 1.34, 85.9, 1.59, 85.9,
+                              1.11, 1.22, 85.3, 1.41, 85.2),
+    "gcc": PaperSpeedups(0.81, 1.02, 81.2, 1.08, 80.9,
+                         1.04, 0.92, 81.2, 0.98, 80.9),
+    "sc": PaperSpeedups(0.75, 1.36, 90.5, 1.68, 90.0,
+                        0.94, 1.28, 90.0, 1.56, 89.5),
+    "xlisp": PaperSpeedups(0.80, 0.91, 80.6, 0.94, 79.5,
+                           1.03, 0.86, 80.0, 0.88, 78.7),
+    "tomcatv": PaperSpeedups(0.80, 3.00, 99.2, 4.65, 99.2,
+                             0.97, 2.71, 99.2, 3.96, 99.2),
+    "cmp": PaperSpeedups(0.95, 3.23, 99.4, 6.24, 99.4,
+                         1.32, 3.02, 99.4, 5.82, 99.4),
+    "wc": PaperSpeedups(0.89, 2.37, 99.9, 4.33, 99.9,
+                        1.09, 2.36, 99.9, 4.27, 99.9),
+    "example": PaperSpeedups(0.79, 2.79, 99.9, 3.96, 99.9,
+                             1.07, 2.43, 99.9, 3.47, 99.9),
+}
+
+#: Table 4: out-of-order issue processing units.
+PAPER_TABLE4: dict[str, PaperSpeedups] = {
+    "compress": PaperSpeedups(0.72, 1.23, 86.7, 1.56, 86.0,
+                              0.94, 1.07, 86.7, 1.33, 86.3),
+    "eqntott": PaperSpeedups(0.84, 2.23, 94.8, 3.35, 94.6,
+                             1.21, 1.79, 94.8, 2.64, 94.5),
+    "espresso": PaperSpeedups(0.88, 1.47, 85.9, 1.73, 85.8,
+                              1.31, 1.12, 85.3, 1.25, 85.4),
+    "gcc": PaperSpeedups(0.83, 1.06, 81.1, 1.13, 80.6,
+                         1.15, 0.91, 81.1, 0.95, 80.6),
+    "sc": PaperSpeedups(0.80, 1.42, 90.5, 1.75, 90.0,
+                        1.10, 1.24, 90.2, 1.50, 90.2),
+    "xlisp": PaperSpeedups(0.82, 0.95, 75.6, 1.01, 77.1,
+                           1.12, 0.85, 74.6, 0.90, 76.5),
+    "tomcatv": PaperSpeedups(0.96, 2.92, 99.2, 4.17, 99.2,
+                             1.43, 2.16, 99.2, 2.93, 99.2),
+    "cmp": PaperSpeedups(0.95, 3.24, 99.2, 6.28, 99.1,
+                         1.68, 2.76, 99.2, 5.30, 99.2),
+    "wc": PaperSpeedups(0.89, 2.37, 99.9, 4.34, 99.9,
+                        1.13, 2.34, 99.9, 4.26, 99.9),
+    "example": PaperSpeedups(0.86, 3.27, 99.9, 4.86, 99.9,
+                             1.28, 2.41, 99.9, 3.57, 99.9),
+}
+
+#: Row order used by every table in the paper.
+ROW_ORDER = ["compress", "eqntott", "espresso", "gcc", "sc", "xlisp",
+             "tomcatv", "cmp", "wc", "example"]

@@ -1,0 +1,134 @@
+"""Run workloads across machine configurations and build table rows.
+
+All simulation results are memoized for the duration of the process, so
+benchmarks for Table 3, Table 4, and the cycle-distribution study can
+share runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import multiscalar_config, scalar_config
+from repro.core.processor import MultiscalarProcessor, MultiscalarResult
+from repro.core.scalar import ScalarProcessor, ScalarResult
+from repro.harness.paper_data import ROW_ORDER
+from repro.isa import FunctionalCPU
+from repro.workloads import WORKLOADS
+
+_scalar_cache: dict[tuple, ScalarResult] = {}
+_multi_cache: dict[tuple, MultiscalarResult] = {}
+_count_cache: dict[tuple, int] = {}
+
+
+def clear_cache() -> None:
+    _scalar_cache.clear()
+    _multi_cache.clear()
+    _count_cache.clear()
+
+
+def run_scalar(name: str, issue_width: int = 1,
+               out_of_order: bool = False) -> ScalarResult:
+    """Run one workload on the scalar baseline (memoized)."""
+    key = (name, issue_width, out_of_order)
+    if key not in _scalar_cache:
+        spec = WORKLOADS[name]
+        config = scalar_config(issue_width, out_of_order)
+        result = ScalarProcessor(spec.scalar_program(), config).run()
+        assert result.output == spec.expected_output, name
+        _scalar_cache[key] = result
+    return _scalar_cache[key]
+
+
+def run_multiscalar(name: str, units: int, issue_width: int = 1,
+                    out_of_order: bool = False) -> MultiscalarResult:
+    """Run one workload on a multiscalar configuration (memoized)."""
+    key = (name, units, issue_width, out_of_order)
+    if key not in _multi_cache:
+        spec = WORKLOADS[name]
+        config = multiscalar_config(units, issue_width, out_of_order)
+        result = MultiscalarProcessor(spec.multiscalar_program(),
+                                      config).run()
+        assert result.output == spec.expected_output, name
+        _multi_cache[key] = result
+    return _multi_cache[key]
+
+
+def dynamic_count(name: str, multiscalar: bool) -> int:
+    """Dynamic instruction count of a workload binary (memoized)."""
+    key = (name, multiscalar)
+    if key not in _count_cache:
+        spec = WORKLOADS[name]
+        program = spec.multiscalar_program() if multiscalar \
+            else spec.scalar_program()
+        cpu = FunctionalCPU(program)
+        cpu.run()
+        assert cpu.output == spec.expected_output, name
+        _count_cache[key] = cpu.instruction_count
+    return _count_cache[key]
+
+
+# ------------------------------------------------------------ table rows
+
+@dataclass
+class SpeedupCell:
+    speedup: float
+    prediction_accuracy: float   # percent
+
+
+@dataclass
+class TableRow:
+    """One benchmark row of Table 3 or Table 4."""
+
+    name: str
+    scalar_ipc_1w: float
+    cell_4u_1w: SpeedupCell
+    cell_8u_1w: SpeedupCell
+    scalar_ipc_2w: float
+    cell_4u_2w: SpeedupCell
+    cell_8u_2w: SpeedupCell
+
+
+def table2_rows() -> list[tuple[str, int, int, float]]:
+    """(name, scalar count, multiscalar count, percent increase) rows."""
+    rows = []
+    for name in ROW_ORDER:
+        scalar = dynamic_count(name, multiscalar=False)
+        multi = dynamic_count(name, multiscalar=True)
+        rows.append((name, scalar, multi, 100.0 * (multi / scalar - 1)))
+    return rows
+
+
+def _speedup_cell(name: str, units: int, issue_width: int,
+                  out_of_order: bool) -> SpeedupCell:
+    scalar = run_scalar(name, issue_width, out_of_order)
+    multi = run_multiscalar(name, units, issue_width, out_of_order)
+    return SpeedupCell(
+        speedup=scalar.cycles / multi.cycles,
+        prediction_accuracy=100.0 * multi.prediction_accuracy)
+
+
+def _speedup_rows(out_of_order: bool,
+                  names: list[str] | None = None) -> list[TableRow]:
+    rows = []
+    for name in names or ROW_ORDER:
+        rows.append(TableRow(
+            name=name,
+            scalar_ipc_1w=run_scalar(name, 1, out_of_order).ipc,
+            cell_4u_1w=_speedup_cell(name, 4, 1, out_of_order),
+            cell_8u_1w=_speedup_cell(name, 8, 1, out_of_order),
+            scalar_ipc_2w=run_scalar(name, 2, out_of_order).ipc,
+            cell_4u_2w=_speedup_cell(name, 4, 2, out_of_order),
+            cell_8u_2w=_speedup_cell(name, 8, 2, out_of_order),
+        ))
+    return rows
+
+
+def table3_rows(names: list[str] | None = None) -> list[TableRow]:
+    """Table 3: in-order issue processing units."""
+    return _speedup_rows(out_of_order=False, names=names)
+
+
+def table4_rows(names: list[str] | None = None) -> list[TableRow]:
+    """Table 4: out-of-order issue processing units."""
+    return _speedup_rows(out_of_order=True, names=names)

@@ -1,0 +1,101 @@
+"""Text rendering of the reproduced tables, side by side with the paper."""
+
+from __future__ import annotations
+
+from repro.config import TABLE1_LATENCIES
+from repro.core.stats import CycleDistribution
+from repro.harness.paper_data import (
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    ROW_ORDER,
+)
+from repro.harness.runner import TableRow
+
+_T1_ROWS = [
+    ("Integer Add/Sub", "int_alu", "SP Add/Sub", "sp_add"),
+    ("Shift/Logic", "int_alu", "SP Multiply", "sp_mul"),
+    ("Integer Multiply", "int_mul", "SP Divide", "sp_div"),
+    ("Integer Divide", "int_div", "DP Add/Sub", "dp_add"),
+    ("Mem Store", "mem_store", "DP Multiply", "dp_mul"),
+    ("Mem Load", "mem_load", "DP Divide", "dp_div"),
+    ("Branch", "branch", "", ""),
+]
+
+
+def format_table1() -> str:
+    """Table 1: functional-unit latencies (configuration)."""
+    lines = ["Table 1: Functional Unit Latencies",
+             f"{'Integer':<18}{'Lat':>4}   {'Float':<14}{'Lat':>4}"]
+    for int_name, int_key, fp_name, fp_key in _T1_ROWS:
+        fp_lat = str(TABLE1_LATENCIES[fp_key]) if fp_key else ""
+        lines.append(f"{int_name:<18}{TABLE1_LATENCIES[int_key]:>4}   "
+                     f"{fp_name:<14}{fp_lat:>4}")
+    return "\n".join(lines)
+
+
+def format_table2(rows) -> str:
+    """Table 2: dynamic instruction counts, ours vs the paper's shape."""
+    lines = [
+        "Table 2: Benchmark Instruction Counts "
+        "(ours, with paper % increase for comparison)",
+        f"{'Program':<10}{'Scalar':>10}{'Multiscalar':>13}"
+        f"{'Increase':>10}{'Paper':>9}",
+    ]
+    for name, scalar, multi, pct in rows:
+        paper_pct = PAPER_TABLE2[name][2]
+        lines.append(f"{name:<10}{scalar:>10}{multi:>13}{pct:>9.1f}%"
+                     f"{paper_pct:>8.1f}%")
+    return "\n".join(lines)
+
+
+def format_table3(rows: list[TableRow], out_of_order: bool = False) -> str:
+    """Tables 3/4: scalar IPC, speedups, prediction accuracy vs paper."""
+    paper = PAPER_TABLE4 if out_of_order else PAPER_TABLE3
+    number = "4" if out_of_order else "3"
+    kind = "Out-Of-Order" if out_of_order else "In-Order"
+    lines = [
+        f"Table {number}: {kind} Issue Processing Units "
+        "(speedup over the matching scalar; paper values in parens)",
+        f"{'Program':<10}"
+        f"{'IPC1':>6}{'4U/1W':>13}{'8U/1W':>13}{'Pred':>7}"
+        f"{'IPC2':>7}{'4U/2W':>13}{'8U/2W':>13}{'Pred':>7}",
+    ]
+    for row in rows:
+        p = paper[row.name]
+
+        def cell(ours, theirs):
+            return f"{ours.speedup:5.2f}({theirs:5.2f})"
+
+        lines.append(
+            f"{row.name:<10}"
+            f"{row.scalar_ipc_1w:>6.2f}"
+            f"{cell(row.cell_4u_1w, p.speedup_4u_1w):>13}"
+            f"{cell(row.cell_8u_1w, p.speedup_8u_1w):>13}"
+            f"{row.cell_8u_1w.prediction_accuracy:>6.1f}%"
+            f"{row.scalar_ipc_2w:>7.2f}"
+            f"{cell(row.cell_4u_2w, p.speedup_4u_2w):>13}"
+            f"{cell(row.cell_8u_2w, p.speedup_8u_2w):>13}"
+            f"{row.cell_8u_2w.prediction_accuracy:>6.1f}%")
+    return "\n".join(lines)
+
+
+def format_cycle_distribution(
+        distributions: dict[str, CycleDistribution]) -> str:
+    """Section-3 cycle taxonomy, one row per workload."""
+    lines = [
+        "Cycle distribution (fraction of unit-cycles; paper Section 3)",
+        f"{'Program':<10}{'useful':>8}{'nonuse':>8}{'inter':>8}"
+        f"{'intra':>8}{'retire':>8}{'syscall':>9}{'idle':>8}",
+    ]
+    for name in ROW_ORDER:
+        if name not in distributions:
+            continue
+        f = distributions[name].fractions()
+        lines.append(
+            f"{name:<10}"
+            f"{f['useful']:>8.3f}{f['non_useful']:>8.3f}"
+            f"{f['no_comp_inter_task']:>8.3f}{f['no_comp_intra_task']:>8.3f}"
+            f"{f['no_comp_wait_retire']:>8.3f}{f['no_comp_syscall']:>9.3f}"
+            f"{f['idle']:>8.3f}")
+    return "\n".join(lines)

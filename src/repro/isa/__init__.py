@@ -1,0 +1,54 @@
+"""Instruction-set substrate for the multiscalar reproduction.
+
+This package defines a MIPS-like RISC instruction set (32 integer + 32
+floating-point registers), an assembler that turns assembly text into
+:class:`~repro.isa.program.Program` objects, and a functional executor
+that defines the architectural semantics every timing model must match.
+
+The ISA carries the multiscalar annotations described in Section 2.2 of
+the paper: per-instruction *forward* and *stop* bits, an explicit
+``release`` instruction, and per-task descriptors (successor targets and
+create masks).
+"""
+
+from repro.isa.registers import (
+    FP_REG_BASE,
+    FPCOND_REG,
+    NUM_INT_REGS,
+    REG_NAMES,
+    fp_reg,
+    is_fp_reg,
+    reg_name,
+)
+from repro.isa.opcodes import FUClass, Kind, Op, OPSPECS, StopKind
+from repro.isa.instruction import Instruction
+from repro.isa.program import Program, TaskDescriptor, TargetKind, TaskTarget
+from repro.isa.assembler import AssemblerError, assemble
+from repro.isa.executor import ExecutionError, FunctionalCPU, MachineState
+from repro.isa.memory_image import SparseMemory
+
+__all__ = [
+    "AssemblerError",
+    "ExecutionError",
+    "FP_REG_BASE",
+    "FPCOND_REG",
+    "FUClass",
+    "FunctionalCPU",
+    "Instruction",
+    "Kind",
+    "MachineState",
+    "NUM_INT_REGS",
+    "Op",
+    "OPSPECS",
+    "Program",
+    "REG_NAMES",
+    "SparseMemory",
+    "StopKind",
+    "TargetKind",
+    "TaskDescriptor",
+    "TaskTarget",
+    "assemble",
+    "fp_reg",
+    "is_fp_reg",
+    "reg_name",
+]

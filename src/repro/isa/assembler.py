@@ -1,0 +1,440 @@
+"""A two-pass assembler for the multiscalar ISA.
+
+Syntax is classic MIPS-style assembly with a handful of extensions for
+the multiscalar annotations of Section 2.2 of the paper:
+
+* trailing tags ``!fwd``, ``!stop``, ``!stop_taken``, ``!stop_nottaken``
+  set the forward/stop bits of an instruction;
+* ``release $r1, $r2, ...`` is the explicit release instruction;
+* ``.task <entry-label> targets=<t1,t2,...> [creates=$r1,$r2,...]``
+  declares a task descriptor. Targets are labels, or the keywords
+  ``ret`` (successor from the return-address stack) and ``halt``.
+  When ``creates=`` is omitted the create mask is computed later by
+  :mod:`repro.compiler.annotate`.
+
+Supported directives: ``.text``, ``.data``, ``.word``, ``.byte``,
+``.float``, ``.double``, ``.asciiz``, ``.space``, ``.align``,
+``.entry``, ``.globl`` (ignored).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.isa.instruction import Instruction
+from repro.isa.memory_image import SparseMemory, u32
+from repro.isa.opcodes import Fmt, MNEMONICS, Op, OPSPECS, StopKind
+from repro.isa.program import (
+    DATA_BASE,
+    Program,
+    TEXT_BASE,
+    TargetKind,
+    TaskDescriptor,
+    TaskTarget,
+)
+from repro.isa.registers import parse_reg
+
+
+class AssemblerError(Exception):
+    """Raised for any syntax or resolution error, with line context."""
+
+    def __init__(self, message: str, line: int = 0) -> None:
+        super().__init__(f"line {line}: {message}" if line else message)
+        self.line = line
+
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*)\s*:\s*(.*)$")
+_MEMOP_RE = re.compile(r"^(.*?)\(\s*(\$\w+)\s*\)$")
+_TAGS = {
+    "!fwd": ("forward", True),
+    "!stop": ("stop", StopKind.ALWAYS),
+    "!stop_taken": ("stop", StopKind.TAKEN),
+    "!stop_nottaken": ("stop", StopKind.NOT_TAKEN),
+}
+
+
+@dataclass
+class _TaskSpec:
+    entry_label: str
+    targets: list[str]
+    creates: list[str] | None
+    line: int
+
+
+@dataclass
+class _Fixup:
+    """A data word that refers to a label, resolved in pass two."""
+
+    addr: int
+    label: str
+    line: int
+
+
+def _parse_int(text: str, line: int) -> int:
+    text = text.strip()
+    try:
+        if text.startswith("'") and text.endswith("'") and len(text) >= 3:
+            body = text[1:-1].encode().decode("unicode_escape")
+            if len(body) != 1:
+                raise ValueError
+            return ord(body)
+        return int(text, 0)
+    except ValueError:
+        raise AssemblerError(f"bad integer literal {text!r}", line) from None
+
+
+def _split_operands(text: str) -> list[str]:
+    """Split an operand string on commas not inside quotes."""
+    parts: list[str] = []
+    depth_quote = None
+    current = ""
+    for ch in text:
+        if depth_quote:
+            current += ch
+            if ch == depth_quote:
+                depth_quote = None
+        elif ch in "\"'":
+            depth_quote = ch
+            current += ch
+        elif ch == ",":
+            parts.append(current.strip())
+            current = ""
+        else:
+            current += ch
+    if current.strip():
+        parts.append(current.strip())
+    return parts
+
+
+class _Assembler:
+    def __init__(self, source: str, name: str) -> None:
+        self.source = source
+        self.name = name
+        self.instructions: list[Instruction] = []
+        self.labels: dict[str, int] = {}
+        self.data = SparseMemory()
+        self.data_addr = DATA_BASE
+        self.section = "text"
+        self.task_specs: list[_TaskSpec] = []
+        self.fixups: list[_Fixup] = []
+        self.entry_label: str | None = None
+
+    # ------------------------------------------------------------- pass 1
+
+    def run(self) -> Program:
+        for lineno, raw in enumerate(self.source.splitlines(), start=1):
+            line = raw.split("#", 1)[0].strip()
+            while line:
+                match = _LABEL_RE.match(line)
+                if match and not line.startswith("."):
+                    self._define_label(match.group(1), lineno)
+                    line = match.group(2).strip()
+                    continue
+                break
+            if not line:
+                continue
+            if line.startswith("."):
+                self._directive(line, lineno)
+            else:
+                self._instruction(line, lineno)
+        return self._finish()
+
+    def _define_label(self, name: str, line: int) -> None:
+        if name in self.labels:
+            raise AssemblerError(f"duplicate label {name!r}", line)
+        if self.section == "text":
+            self.labels[name] = TEXT_BASE + 4 * len(self.instructions)
+        else:
+            self.labels[name] = self.data_addr
+
+    def _directive(self, line: int | str, lineno: int) -> None:
+        parts = line.split(None, 1)
+        name = parts[0]
+        rest = parts[1] if len(parts) > 1 else ""
+        if name == ".text":
+            self.section = "text"
+        elif name == ".data":
+            self.section = "data"
+        elif name == ".globl":
+            pass
+        elif name == ".entry":
+            self.entry_label = rest.strip()
+        elif name == ".task":
+            self._task_directive(rest, lineno)
+        elif name == ".word":
+            for item in _split_operands(rest):
+                try:
+                    value = _parse_int(item, lineno)
+                except AssemblerError:
+                    self.fixups.append(_Fixup(self.data_addr, item, lineno))
+                    value = 0
+                self.data.write_word(self.data_addr, u32(value))
+                self.data_addr += 4
+        elif name == ".byte":
+            for item in _split_operands(rest):
+                self.data.write_byte(self.data_addr, _parse_int(item, lineno))
+                self.data_addr += 1
+        elif name == ".float":
+            for item in _split_operands(rest):
+                self.data.write_float(self.data_addr, float(item))
+                self.data_addr += 4
+        elif name == ".double":
+            for item in _split_operands(rest):
+                self.data.write_double(self.data_addr, float(item))
+                self.data_addr += 8
+        elif name == ".asciiz":
+            text = rest.strip()
+            if not (text.startswith('"') and text.endswith('"')):
+                raise AssemblerError(".asciiz expects a quoted string",
+                                     lineno)
+            body = text[1:-1].encode().decode("unicode_escape")
+            self.data.write_bytes(self.data_addr,
+                                  body.encode("latin-1") + b"\x00")
+            self.data_addr += len(body) + 1
+        elif name == ".space":
+            self.data_addr += _parse_int(rest, lineno)
+        elif name == ".align":
+            align = 1 << _parse_int(rest, lineno)
+            self.data_addr = (self.data_addr + align - 1) & ~(align - 1)
+        else:
+            raise AssemblerError(f"unknown directive {name}", lineno)
+
+    def _task_directive(self, rest: str, lineno: int) -> None:
+        tokens = rest.split()
+        if not tokens:
+            raise AssemblerError(".task needs an entry label", lineno)
+        entry = tokens[0]
+        targets: list[str] = []
+        creates: list[str] | None = None
+        for token in tokens[1:]:
+            if token.startswith("targets="):
+                targets = [t for t in token[len("targets="):].split(",") if t]
+            elif token.startswith("creates="):
+                creates = [c for c in token[len("creates="):].split(",") if c]
+            else:
+                raise AssemblerError(f"bad .task clause {token!r}", lineno)
+        if not targets:
+            raise AssemblerError(".task needs targets=", lineno)
+        self.task_specs.append(_TaskSpec(entry, targets, creates, lineno))
+
+    # ------------------------------------------------------ instructions
+
+    def _instruction(self, line: str, lineno: int) -> None:
+        if self.section != "text":
+            raise AssemblerError("instruction outside .text", lineno)
+        forward = False
+        stop = StopKind.NONE
+        words = line.split()
+        while words and words[-1] in _TAGS:
+            attr, value = _TAGS[words.pop()]
+            if attr == "forward":
+                forward = True
+            else:
+                stop = value
+        line = " ".join(words)
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        operand_text = parts[1] if len(parts) > 1 else ""
+        op = MNEMONICS.get(mnemonic)
+        if op is None:
+            raise AssemblerError(f"unknown mnemonic {mnemonic!r}", lineno)
+        operands = _split_operands(operand_text)
+        # Pseudo-expansion: compare-and-branch against an immediate becomes
+        # "li $at, imm" followed by the register form (classic MIPS).
+        if (OPSPECS[op].fmt is Fmt.BR2 and len(operands) == 3
+                and not operands[1].lstrip().startswith("$")):
+            imm = _parse_int(operands[1], lineno)
+            li = Instruction(Op.LI, rd=1, imm=imm)
+            li.addr = TEXT_BASE + 4 * len(self.instructions)
+            li.line = lineno
+            self.instructions.append(li)
+            operands = [operands[0], "$at", operands[2]]
+        instr = self._decode(op, operands, lineno)
+        instr.forward = forward
+        instr.stop = stop
+        instr.addr = TEXT_BASE + 4 * len(self.instructions)
+        instr.line = lineno
+        self.instructions.append(instr)
+
+    def _reg(self, text: str, line: int) -> int:
+        try:
+            return parse_reg(text)
+        except ValueError as exc:
+            raise AssemblerError(str(exc), line) from None
+
+    def _expect(self, operands: list[str], count: int, op: Op,
+                line: int) -> None:
+        if len(operands) != count:
+            raise AssemblerError(
+                f"{op.value} expects {count} operands, got {len(operands)}",
+                line)
+
+    def _memop(self, text: str, line: int) -> tuple[int, int | None, str | None]:
+        """Parse ``offset(base)`` / ``label`` / ``label+off(base)``.
+
+        Returns (imm, base_reg_or_None, label_or_None); a bare label is an
+        absolute address with base ``$zero``.
+        """
+        match = _MEMOP_RE.match(text.strip())
+        if match:
+            offset_text, base_text = match.group(1).strip(), match.group(2)
+            base = self._reg(base_text, line)
+        else:
+            offset_text, base = text.strip(), None
+        label = None
+        imm = 0
+        if offset_text:
+            plus = offset_text.rsplit("+", 1)
+            try:
+                imm = _parse_int(offset_text, line)
+            except AssemblerError:
+                if len(plus) == 2:
+                    label = plus[0].strip()
+                    imm = _parse_int(plus[1], line)
+                else:
+                    label = offset_text
+        return imm, base, label
+
+    def _decode(self, op: Op, ops: list[str], line: int) -> Instruction:
+        fmt = OPSPECS[op].fmt
+        reg = self._reg
+        if fmt is Fmt.R3:
+            self._expect(ops, 3, op, line)
+            return Instruction(op, rd=reg(ops[0], line), rs=reg(ops[1], line),
+                               rt=reg(ops[2], line))
+        if fmt is Fmt.R2I:
+            self._expect(ops, 3, op, line)
+            return Instruction(op, rd=reg(ops[0], line), rs=reg(ops[1], line),
+                               imm=_parse_int(ops[2], line))
+        if fmt is Fmt.R2:
+            self._expect(ops, 2, op, line)
+            return Instruction(op, rd=reg(ops[0], line), rs=reg(ops[1], line))
+        if fmt is Fmt.RI:
+            self._expect(ops, 2, op, line)
+            return Instruction(op, rd=reg(ops[0], line),
+                               imm=_parse_int(ops[1], line))
+        if fmt is Fmt.RL:
+            self._expect(ops, 2, op, line)
+            return Instruction(op, rd=reg(ops[0], line),
+                               target_label=ops[1])
+        if fmt in (Fmt.LOAD, Fmt.STORE, Fmt.FLOAD, Fmt.FSTORE):
+            self._expect(ops, 2, op, line)
+            imm, base, label = self._memop(ops[1], line)
+            instr = Instruction(op, imm=imm, rs=base if base is not None
+                                else 0, target_label=label)
+            if fmt is Fmt.LOAD:
+                instr.rd = reg(ops[0], line)
+            elif fmt is Fmt.STORE:
+                instr.rt = reg(ops[0], line)
+            elif fmt is Fmt.FLOAD:
+                instr.fd = reg(ops[0], line)
+            else:
+                instr.ft = reg(ops[0], line)
+            return instr
+        if fmt is Fmt.F3:
+            self._expect(ops, 3, op, line)
+            return Instruction(op, fd=reg(ops[0], line), fs=reg(ops[1], line),
+                               ft=reg(ops[2], line))
+        if fmt is Fmt.F2:
+            self._expect(ops, 2, op, line)
+            return Instruction(op, fd=reg(ops[0], line), fs=reg(ops[1], line))
+        if fmt is Fmt.FCMP:
+            self._expect(ops, 2, op, line)
+            return Instruction(op, fs=reg(ops[0], line), ft=reg(ops[1], line))
+        if fmt is Fmt.CVT_FI:
+            self._expect(ops, 2, op, line)
+            return Instruction(op, fd=reg(ops[0], line), rs=reg(ops[1], line))
+        if fmt is Fmt.CVT_IF:
+            self._expect(ops, 2, op, line)
+            return Instruction(op, rd=reg(ops[0], line), fs=reg(ops[1], line))
+        if fmt is Fmt.BR2:
+            self._expect(ops, 3, op, line)
+            return Instruction(op, rs=reg(ops[0], line), rt=reg(ops[1], line),
+                               target_label=ops[2])
+        if fmt is Fmt.BR1:
+            self._expect(ops, 2, op, line)
+            return Instruction(op, rs=reg(ops[0], line), target_label=ops[1])
+        if fmt in (Fmt.BR0, Fmt.JUMP):
+            self._expect(ops, 1, op, line)
+            return Instruction(op, target_label=ops[0])
+        if fmt is Fmt.JREG:
+            self._expect(ops, 1, op, line)
+            return Instruction(op, rs=reg(ops[0], line))
+        if fmt is Fmt.NONE:
+            self._expect(ops, 0, op, line)
+            return Instruction(op)
+        if fmt is Fmt.REGLIST:
+            if not ops:
+                raise AssemblerError("release needs at least one register",
+                                     line)
+            return Instruction(op, regs=tuple(reg(o, line) for o in ops))
+        raise AssemblerError(f"unhandled format for {op.value}", line)
+
+    # ------------------------------------------------------------- pass 2
+
+    def _finish(self) -> Program:
+        for instr in self.instructions:
+            if instr.target_label is not None:
+                addr = self.labels.get(instr.target_label)
+                if addr is None:
+                    raise AssemblerError(
+                        f"undefined label {instr.target_label!r}", instr.line)
+                instr.target = addr
+                if instr.spec.fmt in (Fmt.LOAD, Fmt.STORE, Fmt.FLOAD,
+                                      Fmt.FSTORE):
+                    instr.imm += addr
+                    instr.target = None
+        for fixup in self.fixups:
+            addr = self.labels.get(fixup.label)
+            if addr is None:
+                raise AssemblerError(f"undefined label {fixup.label!r}",
+                                     fixup.line)
+            self.data.write_word(fixup.addr, addr)
+        tasks: dict[int, TaskDescriptor] = {}
+        for spec in self.task_specs:
+            entry = self.labels.get(spec.entry_label)
+            if entry is None:
+                raise AssemblerError(
+                    f"undefined task entry {spec.entry_label!r}", spec.line)
+            targets = []
+            for t in spec.targets:
+                if t == "ret":
+                    targets.append(TaskTarget(TargetKind.RETURN))
+                elif t == "halt":
+                    targets.append(TaskTarget(TargetKind.HALT))
+                else:
+                    addr = self.labels.get(t)
+                    if addr is None:
+                        raise AssemblerError(
+                            f"undefined task target {t!r}", spec.line)
+                    targets.append(TaskTarget(TargetKind.ADDR, addr))
+            if spec.creates is None:
+                mask: frozenset[int] = frozenset()
+                explicit = False
+            else:
+                mask = frozenset(self._reg(c, spec.line)
+                                 for c in spec.creates)
+                explicit = True
+            tasks[entry] = TaskDescriptor(
+                entry=entry, targets=tuple(targets), create_mask=mask,
+                name=spec.entry_label, mask_is_explicit=explicit)
+        entry = TEXT_BASE
+        if self.entry_label:
+            if self.entry_label not in self.labels:
+                raise AssemblerError(
+                    f"undefined entry label {self.entry_label!r}")
+            entry = self.labels[self.entry_label]
+        elif "main" in self.labels:
+            entry = self.labels["main"]
+        return Program(instructions=self.instructions, labels=self.labels,
+                       data=self.data, entry=entry, tasks=tasks,
+                       source_name=self.name)
+
+
+def assemble(source: str, name: str = "<asm>") -> Program:
+    """Assemble a program from source text.
+
+    Raises :class:`AssemblerError` with line information on any error.
+    """
+    return _Assembler(source, name).run()

@@ -1,0 +1,164 @@
+"""The in-memory instruction representation.
+
+Instructions are kept in decoded object form rather than as encoded
+32-bit words: the timing simulators only need operand identities and the
+multiscalar annotation bits, and the paper itself treats the tag bits
+(forward/stop) as logically concatenated to each instruction by the
+instruction cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.opcodes import Fmt, Kind, Op, OPSPECS, OpSpec, StopKind
+from repro.isa.registers import FPCOND_REG, RA, reg_name
+
+
+@dataclass
+class Instruction:
+    """One decoded instruction plus its multiscalar tag bits.
+
+    Register fields hold *unified* register indices (see
+    :mod:`repro.isa.registers`). Unused fields are ``None``.
+    """
+
+    op: Op
+    rd: int | None = None
+    rs: int | None = None
+    rt: int | None = None
+    fd: int | None = None
+    fs: int | None = None
+    ft: int | None = None
+    imm: int = 0
+    target: int | None = None        # resolved branch/jump target address
+    target_label: str | None = None  # symbolic target (pre-resolution)
+    regs: tuple[int, ...] = ()       # release register list
+    # Multiscalar tag bits (Section 2.2).
+    forward: bool = False            # forward bit on the destination register
+    stop: StopKind = StopKind.NONE   # stop bit / condition
+    # Provenance, filled by the assembler.
+    addr: int = 0
+    line: int = 0
+
+    _srcs: tuple[int, ...] | None = field(
+        default=None, repr=False, compare=False)
+    _dsts: tuple[int, ...] | None = field(
+        default=None, repr=False, compare=False)
+
+    @property
+    def spec(self) -> OpSpec:
+        return OPSPECS[self.op]
+
+    def src_regs(self) -> tuple[int, ...]:
+        """Unified indices of the registers this instruction reads."""
+        if self._srcs is None:
+            self._srcs = self._resolve(self.spec.reads)
+        return self._srcs
+
+    def dst_regs(self) -> tuple[int, ...]:
+        """Unified indices of the registers this instruction writes."""
+        if self._dsts is None:
+            self._dsts = self._resolve(self.spec.writes)
+        return self._dsts
+
+    def _resolve(self, roles: tuple[str, ...]) -> tuple[int, ...]:
+        out: list[int] = []
+        for role in roles:
+            if role == "fcc":
+                out.append(FPCOND_REG)
+            elif role == "ra":
+                out.append(RA)
+            else:
+                value = getattr(self, role)
+                if value is None:
+                    raise ValueError(
+                        f"{self.op.value} at {self.addr:#x} is missing "
+                        f"operand {role}")
+                out.append(value)
+        # The zero register is hardwired; it is never a real destination.
+        if roles is self.spec.writes:
+            out = [r for r in out if r != 0]
+        return tuple(out)
+
+    @property
+    def kind(self) -> Kind:
+        return self.spec.kind
+
+    def is_control(self) -> bool:
+        """True for every instruction that may change the PC."""
+        return self.kind in (Kind.BRANCH, Kind.JUMP, Kind.CALL,
+                             Kind.JUMP_REG)
+
+    def is_conditional(self) -> bool:
+        return self.kind is Kind.BRANCH
+
+    def is_mem(self) -> bool:
+        return self.kind in (Kind.LOAD, Kind.STORE)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return format_instruction(self)
+
+
+def format_instruction(instr: Instruction) -> str:
+    """Render an instruction back to assembler syntax (for diagnostics)."""
+    op = instr.op
+    fmt = instr.spec.fmt
+    label = instr.target_label or (
+        f"{instr.target:#x}" if instr.target is not None else "?")
+    body: str
+    if fmt is Fmt.R3:
+        body = f"{reg_name(instr.rd)}, {reg_name(instr.rs)}, " \
+               f"{reg_name(instr.rt)}"
+    elif fmt is Fmt.R2I:
+        body = f"{reg_name(instr.rd)}, {reg_name(instr.rs)}, {instr.imm}"
+    elif fmt is Fmt.R2:
+        body = f"{reg_name(instr.rd)}, {reg_name(instr.rs)}"
+    elif fmt is Fmt.RI:
+        body = f"{reg_name(instr.rd)}, {instr.imm}"
+    elif fmt is Fmt.RL:
+        body = f"{reg_name(instr.rd)}, {label}"
+    elif fmt is Fmt.LOAD:
+        body = f"{reg_name(instr.rd)}, {instr.imm}({reg_name(instr.rs)})"
+    elif fmt is Fmt.STORE:
+        body = f"{reg_name(instr.rt)}, {instr.imm}({reg_name(instr.rs)})"
+    elif fmt is Fmt.FLOAD:
+        body = f"{reg_name(instr.fd)}, {instr.imm}({reg_name(instr.rs)})"
+    elif fmt is Fmt.FSTORE:
+        body = f"{reg_name(instr.ft)}, {instr.imm}({reg_name(instr.rs)})"
+    elif fmt is Fmt.F3:
+        body = f"{reg_name(instr.fd)}, {reg_name(instr.fs)}, " \
+               f"{reg_name(instr.ft)}"
+    elif fmt is Fmt.F2:
+        body = f"{reg_name(instr.fd)}, {reg_name(instr.fs)}"
+    elif fmt is Fmt.FCMP:
+        body = f"{reg_name(instr.fs)}, {reg_name(instr.ft)}"
+    elif fmt is Fmt.CVT_FI:
+        body = f"{reg_name(instr.fd)}, {reg_name(instr.rs)}"
+    elif fmt is Fmt.CVT_IF:
+        body = f"{reg_name(instr.rd)}, {reg_name(instr.fs)}"
+    elif fmt is Fmt.BR2:
+        body = f"{reg_name(instr.rs)}, {reg_name(instr.rt)}, {label}"
+    elif fmt is Fmt.BR1:
+        body = f"{reg_name(instr.rs)}, {label}"
+    elif fmt in (Fmt.BR0, Fmt.JUMP):
+        body = label
+    elif fmt is Fmt.JREG:
+        body = reg_name(instr.rs)
+    elif fmt is Fmt.REGLIST:
+        body = ", ".join(reg_name(r) for r in instr.regs)
+    else:
+        body = ""
+    text = f"{op.value} {body}".strip()
+    tags = []
+    if instr.forward:
+        tags.append("!fwd")
+    if instr.stop is StopKind.ALWAYS:
+        tags.append("!stop")
+    elif instr.stop is StopKind.TAKEN:
+        tags.append("!stop_taken")
+    elif instr.stop is StopKind.NOT_TAKEN:
+        tags.append("!stop_nottaken")
+    if tags:
+        text = f"{text} {' '.join(tags)}"
+    return text

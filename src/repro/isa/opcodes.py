@@ -1,0 +1,315 @@
+"""Opcode definitions and per-opcode metadata.
+
+Every opcode carries an :class:`OpSpec` describing its assembly format,
+the functional-unit class that executes it, the latency class used to
+look up Table 1 of the paper, its operand roles, and its control-flow
+kind. The timing models (scalar pipeline and multiscalar units) and the
+functional executor all consult this single table, which keeps the
+architectural semantics and the timing semantics from drifting apart.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Op(enum.Enum):
+    """All opcodes of the multiscalar ISA."""
+
+    # Integer ALU, register-register.
+    ADD = "add"
+    ADDU = "addu"
+    SUB = "sub"
+    SUBU = "subu"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    NOR = "nor"
+    SLT = "slt"
+    SLTU = "sltu"
+    SLLV = "sllv"
+    SRLV = "srlv"
+    SRAV = "srav"
+    MULT = "mult"
+    MULTU = "multu"
+    DIV = "div"
+    DIVU = "divu"
+    REM = "rem"
+    REMU = "remu"
+    # Integer ALU, register-immediate.
+    ADDI = "addi"
+    ADDIU = "addiu"
+    ANDI = "andi"
+    ORI = "ori"
+    XORI = "xori"
+    SLTI = "slti"
+    SLTIU = "sltiu"
+    SLL = "sll"
+    SRL = "srl"
+    SRA = "sra"
+    LUI = "lui"
+    LI = "li"
+    LA = "la"
+    MOVE = "move"
+    NOT = "not"
+    NEG = "neg"
+    NOP = "nop"
+    # Integer memory.
+    LW = "lw"
+    SW = "sw"
+    LB = "lb"
+    LBU = "lbu"
+    SB = "sb"
+    # Floating point (FP registers hold doubles; SP/DP differ in latency).
+    L_S = "l.s"
+    S_S = "s.s"
+    L_D = "l.d"
+    S_D = "s.d"
+    ADD_S = "add.s"
+    SUB_S = "sub.s"
+    MUL_S = "mul.s"
+    DIV_S = "div.s"
+    ADD_D = "add.d"
+    SUB_D = "sub.d"
+    MUL_D = "mul.d"
+    DIV_D = "div.d"
+    ABS_S = "abs.s"
+    ABS_D = "abs.d"
+    NEG_S = "neg.s"
+    NEG_D = "neg.d"
+    MOV_S = "mov.s"
+    MOV_D = "mov.d"
+    CVT_D_W = "cvt.d.w"
+    CVT_W_D = "cvt.w.d"
+    C_EQ_D = "c.eq.d"
+    C_LT_D = "c.lt.d"
+    C_LE_D = "c.le.d"
+    C_EQ_S = "c.eq.s"
+    C_LT_S = "c.lt.s"
+    C_LE_S = "c.le.s"
+    BC1T = "bc1t"
+    BC1F = "bc1f"
+    # Control flow.
+    BEQ = "beq"
+    BNE = "bne"
+    BLT = "blt"
+    BGE = "bge"
+    BLE = "ble"
+    BGT = "bgt"
+    BLTU = "bltu"
+    BGEU = "bgeu"
+    BLEZ = "blez"
+    BGTZ = "bgtz"
+    BLTZ = "bltz"
+    BGEZ = "bgez"
+    B = "b"
+    J = "j"
+    JAL = "jal"
+    JR = "jr"
+    JALR = "jalr"
+    # System.
+    SYSCALL = "syscall"
+    HALT = "halt"
+    # Multiscalar-specific.
+    RELEASE = "release"
+
+
+class Fmt(enum.Enum):
+    """Assembly operand format of an opcode."""
+
+    R3 = enum.auto()        # op rd, rs, rt
+    R2I = enum.auto()       # op rd, rs, imm
+    R2 = enum.auto()        # op rd, rs
+    RI = enum.auto()        # op rd, imm          (li, lui)
+    RL = enum.auto()        # op rd, label        (la)
+    LOAD = enum.auto()      # op rd, imm(rs)
+    STORE = enum.auto()     # op rt, imm(rs)      (rt is a source)
+    FLOAD = enum.auto()     # op fd, imm(rs)
+    FSTORE = enum.auto()    # op ft, imm(rs)      (ft is a source)
+    F3 = enum.auto()        # op fd, fs, ft
+    F2 = enum.auto()        # op fd, fs
+    FCMP = enum.auto()      # op fs, ft           (writes $fcc)
+    CVT_FI = enum.auto()    # op fd, rs           (int -> double)
+    CVT_IF = enum.auto()    # op rd, fs           (double -> int)
+    BR2 = enum.auto()       # op rs, rt, label
+    BR1 = enum.auto()       # op rs, label
+    BR0 = enum.auto()       # op label            (b, bc1t, bc1f)
+    JUMP = enum.auto()      # op label            (j, jal)
+    JREG = enum.auto()      # op rs               (jr, jalr)
+    NONE = enum.auto()      # op                  (nop, syscall, halt)
+    REGLIST = enum.auto()   # op r1, r2, ...      (release)
+
+
+class FUClass(enum.Enum):
+    """Functional-unit classes, as configured in Section 5.1 of the paper."""
+
+    SIMPLE_INT = enum.auto()
+    COMPLEX_INT = enum.auto()
+    FP = enum.auto()
+    BRANCH = enum.auto()
+    MEM = enum.auto()
+
+
+class Kind(enum.Enum):
+    """Control-flow/side-effect classification used by the pipelines."""
+
+    ALU = enum.auto()
+    LOAD = enum.auto()
+    STORE = enum.auto()
+    BRANCH = enum.auto()     # conditional, direct target
+    JUMP = enum.auto()       # unconditional, direct target
+    CALL = enum.auto()       # jal/jalr: writes $ra
+    JUMP_REG = enum.auto()   # jr: indirect
+    SYSCALL = enum.auto()
+    HALT = enum.auto()
+    RELEASE = enum.auto()
+
+
+class StopKind(enum.Enum):
+    """Stop-bit conditions attached to instructions at task exits."""
+
+    NONE = enum.auto()
+    ALWAYS = enum.auto()       # task ends after this instruction
+    TAKEN = enum.auto()        # task ends if the branch is taken
+    NOT_TAKEN = enum.auto()    # task ends if the branch falls through
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """Static metadata for one opcode."""
+
+    op: Op
+    fmt: Fmt
+    fu: FUClass
+    latency: str           # key into the Table-1 latency map
+    kind: Kind
+    reads: tuple[str, ...]  # instruction fields read as source registers
+    writes: tuple[str, ...]  # instruction fields written as destinations
+
+
+def _spec(op: Op, fmt: Fmt, fu: FUClass, latency: str, kind: Kind,
+          reads: tuple[str, ...], writes: tuple[str, ...]) -> tuple[Op, OpSpec]:
+    return op, OpSpec(op, fmt, fu, latency, kind, reads, writes)
+
+
+_SIMPLE_R3 = [Op.ADD, Op.ADDU, Op.SUB, Op.SUBU, Op.AND, Op.OR, Op.XOR,
+              Op.NOR, Op.SLT, Op.SLTU, Op.SLLV, Op.SRLV, Op.SRAV]
+_COMPLEX_R3 = [Op.MULT, Op.MULTU, Op.DIV, Op.DIVU, Op.REM, Op.REMU]
+_SIMPLE_R2I = [Op.ADDI, Op.ADDIU, Op.ANDI, Op.ORI, Op.XORI, Op.SLTI,
+               Op.SLTIU, Op.SLL, Op.SRL, Op.SRA]
+_FP3_S = [Op.ADD_S, Op.SUB_S, Op.MUL_S, Op.DIV_S]
+_FP3_D = [Op.ADD_D, Op.SUB_D, Op.MUL_D, Op.DIV_D]
+_BR2 = [Op.BEQ, Op.BNE, Op.BLT, Op.BGE, Op.BLE, Op.BGT, Op.BLTU, Op.BGEU]
+_BR1 = [Op.BLEZ, Op.BGTZ, Op.BLTZ, Op.BGEZ]
+
+_FP_LAT = {
+    Op.ADD_S: "sp_add", Op.SUB_S: "sp_add",
+    Op.MUL_S: "sp_mul", Op.DIV_S: "sp_div",
+    Op.ADD_D: "dp_add", Op.SUB_D: "dp_add",
+    Op.MUL_D: "dp_mul", Op.DIV_D: "dp_div",
+}
+
+_INT_LAT = {
+    Op.MULT: "int_mul", Op.MULTU: "int_mul",
+    Op.DIV: "int_div", Op.DIVU: "int_div",
+    Op.REM: "int_div", Op.REMU: "int_div",
+}
+
+OPSPECS: dict[Op, OpSpec] = dict(
+    [
+        *[_spec(o, Fmt.R3, FUClass.SIMPLE_INT, "int_alu", Kind.ALU,
+                ("rs", "rt"), ("rd",)) for o in _SIMPLE_R3],
+        *[_spec(o, Fmt.R3, FUClass.COMPLEX_INT, _INT_LAT[o], Kind.ALU,
+                ("rs", "rt"), ("rd",)) for o in _COMPLEX_R3],
+        *[_spec(o, Fmt.R2I, FUClass.SIMPLE_INT, "int_alu", Kind.ALU,
+                ("rs",), ("rd",)) for o in _SIMPLE_R2I],
+        _spec(Op.LUI, Fmt.RI, FUClass.SIMPLE_INT, "int_alu", Kind.ALU,
+              (), ("rd",)),
+        _spec(Op.LI, Fmt.RI, FUClass.SIMPLE_INT, "int_alu", Kind.ALU,
+              (), ("rd",)),
+        _spec(Op.LA, Fmt.RL, FUClass.SIMPLE_INT, "int_alu", Kind.ALU,
+              (), ("rd",)),
+        _spec(Op.MOVE, Fmt.R2, FUClass.SIMPLE_INT, "int_alu", Kind.ALU,
+              ("rs",), ("rd",)),
+        _spec(Op.NOT, Fmt.R2, FUClass.SIMPLE_INT, "int_alu", Kind.ALU,
+              ("rs",), ("rd",)),
+        _spec(Op.NEG, Fmt.R2, FUClass.SIMPLE_INT, "int_alu", Kind.ALU,
+              ("rs",), ("rd",)),
+        _spec(Op.NOP, Fmt.NONE, FUClass.SIMPLE_INT, "int_alu", Kind.ALU,
+              (), ()),
+        _spec(Op.LW, Fmt.LOAD, FUClass.MEM, "mem_load", Kind.LOAD,
+              ("rs",), ("rd",)),
+        _spec(Op.LB, Fmt.LOAD, FUClass.MEM, "mem_load", Kind.LOAD,
+              ("rs",), ("rd",)),
+        _spec(Op.LBU, Fmt.LOAD, FUClass.MEM, "mem_load", Kind.LOAD,
+              ("rs",), ("rd",)),
+        _spec(Op.SW, Fmt.STORE, FUClass.MEM, "mem_store", Kind.STORE,
+              ("rs", "rt"), ()),
+        _spec(Op.SB, Fmt.STORE, FUClass.MEM, "mem_store", Kind.STORE,
+              ("rs", "rt"), ()),
+        _spec(Op.L_S, Fmt.FLOAD, FUClass.MEM, "mem_load", Kind.LOAD,
+              ("rs",), ("fd",)),
+        _spec(Op.L_D, Fmt.FLOAD, FUClass.MEM, "mem_load", Kind.LOAD,
+              ("rs",), ("fd",)),
+        _spec(Op.S_S, Fmt.FSTORE, FUClass.MEM, "mem_store", Kind.STORE,
+              ("rs", "ft"), ()),
+        _spec(Op.S_D, Fmt.FSTORE, FUClass.MEM, "mem_store", Kind.STORE,
+              ("rs", "ft"), ()),
+        *[_spec(o, Fmt.F3, FUClass.FP, _FP_LAT[o], Kind.ALU,
+                ("fs", "ft"), ("fd",)) for o in _FP3_S + _FP3_D],
+        _spec(Op.ABS_S, Fmt.F2, FUClass.FP, "sp_add", Kind.ALU,
+              ("fs",), ("fd",)),
+        _spec(Op.ABS_D, Fmt.F2, FUClass.FP, "dp_add", Kind.ALU,
+              ("fs",), ("fd",)),
+        _spec(Op.NEG_S, Fmt.F2, FUClass.FP, "sp_add", Kind.ALU,
+              ("fs",), ("fd",)),
+        _spec(Op.NEG_D, Fmt.F2, FUClass.FP, "dp_add", Kind.ALU,
+              ("fs",), ("fd",)),
+        _spec(Op.MOV_S, Fmt.F2, FUClass.FP, "sp_add", Kind.ALU,
+              ("fs",), ("fd",)),
+        _spec(Op.MOV_D, Fmt.F2, FUClass.FP, "dp_add", Kind.ALU,
+              ("fs",), ("fd",)),
+        _spec(Op.CVT_D_W, Fmt.CVT_FI, FUClass.FP, "dp_add", Kind.ALU,
+              ("rs",), ("fd",)),
+        _spec(Op.CVT_W_D, Fmt.CVT_IF, FUClass.FP, "dp_add", Kind.ALU,
+              ("fs",), ("rd",)),
+        _spec(Op.C_EQ_D, Fmt.FCMP, FUClass.FP, "dp_add", Kind.ALU,
+              ("fs", "ft"), ("fcc",)),
+        _spec(Op.C_LT_D, Fmt.FCMP, FUClass.FP, "dp_add", Kind.ALU,
+              ("fs", "ft"), ("fcc",)),
+        _spec(Op.C_LE_D, Fmt.FCMP, FUClass.FP, "dp_add", Kind.ALU,
+              ("fs", "ft"), ("fcc",)),
+        _spec(Op.C_EQ_S, Fmt.FCMP, FUClass.FP, "sp_add", Kind.ALU,
+              ("fs", "ft"), ("fcc",)),
+        _spec(Op.C_LT_S, Fmt.FCMP, FUClass.FP, "sp_add", Kind.ALU,
+              ("fs", "ft"), ("fcc",)),
+        _spec(Op.C_LE_S, Fmt.FCMP, FUClass.FP, "sp_add", Kind.ALU,
+              ("fs", "ft"), ("fcc",)),
+        _spec(Op.BC1T, Fmt.BR0, FUClass.BRANCH, "branch", Kind.BRANCH,
+              ("fcc",), ()),
+        _spec(Op.BC1F, Fmt.BR0, FUClass.BRANCH, "branch", Kind.BRANCH,
+              ("fcc",), ()),
+        *[_spec(o, Fmt.BR2, FUClass.BRANCH, "branch", Kind.BRANCH,
+                ("rs", "rt"), ()) for o in _BR2],
+        *[_spec(o, Fmt.BR1, FUClass.BRANCH, "branch", Kind.BRANCH,
+                ("rs",), ()) for o in _BR1],
+        _spec(Op.B, Fmt.BR0, FUClass.BRANCH, "branch", Kind.JUMP, (), ()),
+        _spec(Op.J, Fmt.JUMP, FUClass.BRANCH, "branch", Kind.JUMP, (), ()),
+        _spec(Op.JAL, Fmt.JUMP, FUClass.BRANCH, "branch", Kind.CALL,
+              (), ("ra",)),
+        _spec(Op.JALR, Fmt.JREG, FUClass.BRANCH, "branch", Kind.CALL,
+              ("rs",), ("ra",)),
+        _spec(Op.JR, Fmt.JREG, FUClass.BRANCH, "branch", Kind.JUMP_REG,
+              ("rs",), ()),
+        _spec(Op.SYSCALL, Fmt.NONE, FUClass.SIMPLE_INT, "int_alu",
+              Kind.SYSCALL, (), ()),
+        _spec(Op.HALT, Fmt.NONE, FUClass.SIMPLE_INT, "int_alu",
+              Kind.HALT, (), ()),
+        _spec(Op.RELEASE, Fmt.REGLIST, FUClass.SIMPLE_INT, "int_alu",
+              Kind.RELEASE, (), ()),
+    ]
+)
+
+#: Opcode lookup by assembly mnemonic.
+MNEMONICS: dict[str, Op] = {op.value: op for op in Op}

@@ -1,0 +1,97 @@
+"""Register-name space for the multiscalar ISA.
+
+The ISA exposes 32 integer registers and 32 floating-point registers.
+Internally every register is identified by a single integer in a unified
+name space so that create masks, accum masks, and ring messages can treat
+integer and floating-point registers uniformly:
+
+* ``0 .. 31``   — integer registers (``$0``/``$zero`` .. ``$31``/``$ra``)
+* ``32 .. 63``  — floating-point registers (``$f0`` .. ``$f31``)
+* ``64``        — the floating-point condition flag (``$fcc``), which is
+  forwarded between tasks like any other register so that FP compares may
+  cross task boundaries.
+
+The conventional MIPS ABI names are accepted by the assembler.
+"""
+
+from __future__ import annotations
+
+NUM_INT_REGS = 32
+NUM_FP_REGS = 32
+
+#: Unified index of the first floating-point register.
+FP_REG_BASE = 32
+
+#: Unified index of the floating-point condition flag pseudo-register.
+FPCOND_REG = 64
+
+#: Total number of forwardable registers (ints + floats + condition flag).
+NUM_UNIFIED_REGS = 65
+
+#: Conventional ABI names, by integer register number.
+REG_NAMES = (
+    "zero", "at", "v0", "v1", "a0", "a1", "a2", "a3",
+    "t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7",
+    "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7",
+    "t8", "t9", "k0", "k1", "gp", "sp", "fp", "ra",
+)
+
+#: Map from every accepted register spelling to its unified index.
+REG_ALIASES: dict[str, int] = {}
+for _i, _name in enumerate(REG_NAMES):
+    REG_ALIASES[_name] = _i
+    REG_ALIASES[str(_i)] = _i
+REG_ALIASES["s8"] = 30  # $fp is also known as $s8
+for _i in range(NUM_FP_REGS):
+    REG_ALIASES[f"f{_i}"] = FP_REG_BASE + _i
+REG_ALIASES["fcc"] = FPCOND_REG
+
+# ABI register numbers that code in this repository relies on.
+ZERO = 0
+V0 = 2
+V1 = 3
+A0 = 4
+A1 = 5
+A2 = 6
+A3 = 7
+GP = 28
+SP = 29
+FP = 30
+RA = 31
+
+
+def fp_reg(n: int) -> int:
+    """Return the unified index of floating-point register ``$f<n>``."""
+    if not 0 <= n < NUM_FP_REGS:
+        raise ValueError(f"FP register number out of range: {n}")
+    return FP_REG_BASE + n
+
+
+def is_fp_reg(reg: int) -> bool:
+    """Return True if the unified register index names an FP register."""
+    return FP_REG_BASE <= reg < FP_REG_BASE + NUM_FP_REGS
+
+
+def parse_reg(text: str) -> int:
+    """Parse a register operand such as ``$t0``, ``$5``, ``$f12`` or ``$fcc``.
+
+    Returns the unified register index. Raises ValueError for unknown names.
+    """
+    name = text.strip()
+    if name.startswith("$"):
+        name = name[1:]
+    name = name.lower()
+    if name in REG_ALIASES:
+        return REG_ALIASES[name]
+    raise ValueError(f"unknown register: {text!r}")
+
+
+def reg_name(reg: int) -> str:
+    """Render a unified register index in assembler syntax."""
+    if 0 <= reg < NUM_INT_REGS:
+        return f"${REG_NAMES[reg]}"
+    if is_fp_reg(reg):
+        return f"$f{reg - FP_REG_BASE}"
+    if reg == FPCOND_REG:
+        return "$fcc"
+    raise ValueError(f"register index out of range: {reg}")

@@ -1,0 +1,264 @@
+"""Architectural semantics shared by every simulator.
+
+The functional executor, the scalar pipeline, and the multiscalar
+processing units all call into these pure functions so that a given
+instruction computes the same result everywhere. Values are passed in a
+``srcs`` mapping from unified register index to value (ints are unsigned
+32-bit Python ints; FP registers hold Python floats).
+
+Speculative execution requirement: no input may crash the simulator.
+Division by zero and float-to-int conversion of non-finite values are
+given fixed, deterministic results rather than raising, because a
+squashed-later task may execute them with garbage operands.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instruction import Instruction
+from repro.isa.memory_image import MASK32, SparseMemory, s32, u32
+from repro.isa.opcodes import Op
+from repro.isa.registers import FPCOND_REG
+
+
+def _sdiv(a: int, b: int) -> int:
+    if b == 0:
+        return 0
+    sa, sb = s32(a), s32(b)
+    q = abs(sa) // abs(sb)
+    if (sa < 0) != (sb < 0):
+        q = -q
+    return u32(q)
+
+
+def _srem(a: int, b: int) -> int:
+    if b == 0:
+        return a
+    sa, sb = s32(a), s32(b)
+    r = abs(sa) % abs(sb)
+    if sa < 0:
+        r = -r
+    return u32(r)
+
+
+def _sra(a: int, sh: int) -> int:
+    return u32(s32(a) >> (sh & 31))
+
+
+#: Integer register-register ALU ops: f(rs_value, rt_value) -> result.
+_INT_R3 = {
+    Op.ADD: lambda a, b: u32(a + b),
+    Op.ADDU: lambda a, b: u32(a + b),
+    Op.SUB: lambda a, b: u32(a - b),
+    Op.SUBU: lambda a, b: u32(a - b),
+    Op.AND: lambda a, b: a & b,
+    Op.OR: lambda a, b: a | b,
+    Op.XOR: lambda a, b: a ^ b,
+    Op.NOR: lambda a, b: u32(~(a | b)),
+    Op.SLT: lambda a, b: int(s32(a) < s32(b)),
+    Op.SLTU: lambda a, b: int(a < b),
+    Op.SLLV: lambda a, b: u32(a << (b & 31)),
+    Op.SRLV: lambda a, b: a >> (b & 31),
+    Op.SRAV: lambda a, b: _sra(a, b),
+    Op.MULT: lambda a, b: u32(s32(a) * s32(b)),
+    Op.MULTU: lambda a, b: u32(a * b),
+    Op.DIV: _sdiv,
+    Op.DIVU: lambda a, b: (a // b) if b else 0,
+    Op.REM: _srem,
+    Op.REMU: lambda a, b: (a % b) if b else a,
+}
+
+#: Integer register-immediate ALU ops: f(rs_value, imm) -> result.
+_INT_R2I = {
+    Op.ADDI: lambda a, i: u32(a + i),
+    Op.ADDIU: lambda a, i: u32(a + i),
+    Op.ANDI: lambda a, i: a & u32(i),
+    Op.ORI: lambda a, i: a | u32(i),
+    Op.XORI: lambda a, i: a ^ u32(i),
+    Op.SLTI: lambda a, i: int(s32(a) < i),
+    Op.SLTIU: lambda a, i: int(a < u32(i)),
+    Op.SLL: lambda a, i: u32(a << (i & 31)),
+    Op.SRL: lambda a, i: a >> (i & 31),
+    Op.SRA: _sra,
+}
+
+#: Floating-point three-operand ops: f(fs_value, ft_value) -> result.
+_FP3 = {
+    Op.ADD_S: lambda a, b: a + b,
+    Op.SUB_S: lambda a, b: a - b,
+    Op.MUL_S: lambda a, b: a * b,
+    Op.DIV_S: lambda a, b: (a / b) if b != 0.0 else 0.0,
+    Op.ADD_D: lambda a, b: a + b,
+    Op.SUB_D: lambda a, b: a - b,
+    Op.MUL_D: lambda a, b: a * b,
+    Op.DIV_D: lambda a, b: (a / b) if b != 0.0 else 0.0,
+}
+
+_FP2 = {
+    Op.ABS_S: abs,
+    Op.ABS_D: abs,
+    Op.NEG_S: lambda a: -a,
+    Op.NEG_D: lambda a: -a,
+    Op.MOV_S: lambda a: a,
+    Op.MOV_D: lambda a: a,
+}
+
+_FCMP = {
+    Op.C_EQ_D: lambda a, b: a == b,
+    Op.C_LT_D: lambda a, b: a < b,
+    Op.C_LE_D: lambda a, b: a <= b,
+    Op.C_EQ_S: lambda a, b: a == b,
+    Op.C_LT_S: lambda a, b: a < b,
+    Op.C_LE_S: lambda a, b: a <= b,
+}
+
+_BR2 = {
+    Op.BEQ: lambda a, b: a == b,
+    Op.BNE: lambda a, b: a != b,
+    Op.BLT: lambda a, b: s32(a) < s32(b),
+    Op.BGE: lambda a, b: s32(a) >= s32(b),
+    Op.BLE: lambda a, b: s32(a) <= s32(b),
+    Op.BGT: lambda a, b: s32(a) > s32(b),
+    Op.BLTU: lambda a, b: a < b,
+    Op.BGEU: lambda a, b: a >= b,
+}
+
+_BR1 = {
+    Op.BLEZ: lambda a: s32(a) <= 0,
+    Op.BGTZ: lambda a: s32(a) > 0,
+    Op.BLTZ: lambda a: s32(a) < 0,
+    Op.BGEZ: lambda a: s32(a) >= 0,
+}
+
+
+def _to_int(value: float) -> int:
+    """Truncate a float to a 32-bit int; non-finite values become 0."""
+    try:
+        return u32(int(value))
+    except (OverflowError, ValueError):
+        return 0
+
+
+def evaluate_alu(instr: Instruction, srcs: dict[int, object]) -> object:
+    """Compute the single result value of a non-memory, non-control op.
+
+    ``srcs`` maps unified register index -> current value. Returns the
+    value to be written to the (single) destination register. Raises
+    KeyError for opcodes with no ALU result.
+    """
+    op = instr.op
+    if op in _INT_R3:
+        return _INT_R3[op](srcs[instr.rs], srcs[instr.rt])
+    if op in _INT_R2I:
+        return _INT_R2I[op](srcs[instr.rs], instr.imm)
+    if op in _FP3:
+        return _FP3[op](srcs[instr.fs], srcs[instr.ft])
+    if op in _FP2:
+        return _FP2[op](srcs[instr.fs])
+    if op in _FCMP:
+        return int(_FCMP[op](srcs[instr.fs], srcs[instr.ft]))
+    if op is Op.LUI:
+        return u32(instr.imm << 16)
+    if op is Op.LI:
+        return u32(instr.imm)
+    if op is Op.LA:
+        return u32(instr.target if instr.target is not None else instr.imm)
+    if op is Op.MOVE:
+        return srcs[instr.rs]
+    if op is Op.NOT:
+        return u32(~srcs[instr.rs])
+    if op is Op.NEG:
+        return u32(-s32(srcs[instr.rs]))
+    if op is Op.CVT_D_W:
+        return float(s32(srcs[instr.rs]))
+    if op is Op.CVT_W_D:
+        return _to_int(srcs[instr.fs])
+    raise KeyError(f"{op.value} has no ALU result")
+
+
+def branch_taken(instr: Instruction, srcs: dict[int, object]) -> bool:
+    """Evaluate a conditional branch's outcome."""
+    op = instr.op
+    if op in _BR2:
+        return _BR2[op](srcs[instr.rs], srcs[instr.rt])
+    if op in _BR1:
+        return _BR1[op](srcs[instr.rs])
+    if op is Op.BC1T:
+        return bool(srcs[FPCOND_REG])
+    if op is Op.BC1F:
+        return not srcs[FPCOND_REG]
+    raise KeyError(f"{op.value} is not a conditional branch")
+
+
+def effective_addr(instr: Instruction, srcs: dict[int, object]) -> int:
+    """Effective address of a load or store."""
+    return u32(srcs[instr.rs] + instr.imm)
+
+
+def load_width(op: Op) -> int:
+    """Access width in bytes of a memory opcode."""
+    if op in (Op.LB, Op.LBU, Op.SB):
+        return 1
+    if op in (Op.L_D, Op.S_D):
+        return 8
+    return 4
+
+
+def do_load(op: Op, mem: SparseMemory, addr: int) -> object:
+    """Perform a load against a memory image and return the value."""
+    if op is Op.LW:
+        return mem.read_word(addr)
+    if op is Op.LB:
+        return u32(s32((mem.read_byte(addr) ^ 0x80) - 0x80))
+    if op is Op.LBU:
+        return mem.read_byte(addr)
+    if op is Op.L_S:
+        return mem.read_float(addr)
+    if op is Op.L_D:
+        return mem.read_double(addr)
+    raise KeyError(f"{op.value} is not a load")
+
+
+def do_store(op: Op, mem: SparseMemory, addr: int, value: object) -> None:
+    """Perform a store against a memory image."""
+    if op is Op.SW:
+        mem.write_word(addr, value)
+    elif op is Op.SB:
+        mem.write_byte(addr, value)
+    elif op is Op.S_S:
+        mem.write_float(addr, value)
+    elif op is Op.S_D:
+        mem.write_double(addr, value)
+    else:
+        raise KeyError(f"{op.value} is not a store")
+
+
+def store_bytes(op: Op, value: object) -> bytes:
+    """Encode a store value as raw bytes (used by the ARB)."""
+    import struct
+
+    if op is Op.SW:
+        return (value & MASK32).to_bytes(4, "little")
+    if op is Op.SB:
+        return bytes([value & 0xFF])
+    if op is Op.S_S:
+        return struct.pack("<f", value)
+    if op is Op.S_D:
+        return struct.pack("<d", value)
+    raise KeyError(f"{op.value} is not a store")
+
+
+def load_from_bytes(op: Op, raw: bytes) -> object:
+    """Decode load result from raw bytes (used by the ARB)."""
+    import struct
+
+    if op is Op.LW:
+        return int.from_bytes(raw, "little")
+    if op is Op.LB:
+        return u32((raw[0] ^ 0x80) - 0x80)
+    if op is Op.LBU:
+        return raw[0]
+    if op is Op.L_S:
+        return struct.unpack("<f", raw)[0]
+    if op is Op.L_D:
+        return struct.unpack("<d", raw)[0]
+    raise KeyError(f"{op.value} is not a load")

@@ -1,0 +1,22 @@
+"""Timing models of the memory hierarchy.
+
+All caches in this package are *timing-only*: they track tags to decide
+hits and misses and account for bus and bank contention, while the data
+itself always lives in the architectural :class:`~repro.isa.SparseMemory`
+(and, for speculative multiscalar stores, in the ARB). This is the
+standard trace-driven simplification and cannot change simulated values,
+only simulated time.
+"""
+
+from repro.memory.bus import SplitTransactionBus
+from repro.memory.cache import DirectMappedCache
+from repro.memory.icache import InstructionCache
+from repro.memory.dcache import BankedDataCache, ScalarDataCache
+
+__all__ = [
+    "BankedDataCache",
+    "DirectMappedCache",
+    "InstructionCache",
+    "ScalarDataCache",
+    "SplitTransactionBus",
+]

@@ -1,0 +1,58 @@
+"""The single split-transaction memory bus (Section 5.1).
+
+All cache misses in the machine—every unit's instruction cache and every
+data bank—share one bus. A transfer of ``words`` words costs 10 cycles
+for the first 4 words plus 1 cycle for each additional 4 words. Because
+the bus is split-transaction, a new request may start while an earlier
+response is still in flight; what serializes requests is the data-beat
+occupancy of the bus itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class BusStats:
+    requests: int = 0
+    words: int = 0
+    busy_cycles: int = 0
+    wait_cycles: int = 0
+
+
+class SplitTransactionBus:
+    """Timing model of the shared 4-word-wide memory bus."""
+
+    def __init__(self, first: int = 10, per_extra: int = 1,
+                 width_words: int = 4) -> None:
+        self.first = first
+        self.per_extra = per_extra
+        self.width_words = width_words
+        self._busy_until = 0
+        self.stats = BusStats()
+
+    def transfer_latency(self, words: int) -> int:
+        """Pure latency of a transfer of ``words`` words (no contention)."""
+        beats = max(1, -(-words // self.width_words))
+        return self.first + (beats - 1) * self.per_extra
+
+    def request(self, cycle: int, words: int) -> int:
+        """Issue a transfer at ``cycle``; returns its completion cycle.
+
+        Contention: the bus carries one transaction's beats at a time, so
+        a request issued while the bus is occupied waits for the earlier
+        transaction's beats to drain.
+        """
+        beats = max(1, -(-words // self.width_words))
+        start = max(cycle, self._busy_until)
+        self.stats.requests += 1
+        self.stats.words += words
+        self.stats.wait_cycles += start - cycle
+        self.stats.busy_cycles += beats
+        self._busy_until = start + beats
+        return start + self.first + (beats - 1) * self.per_extra
+
+    def reset(self) -> None:
+        self._busy_until = 0
+        self.stats = BusStats()

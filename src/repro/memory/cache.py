@@ -1,0 +1,66 @@
+"""A direct-mapped, timing-only cache."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class CacheStats:
+    accesses: int = 0
+    misses: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.accesses - self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class DirectMappedCache:
+    """Tag store of a direct-mapped cache.
+
+    ``probe`` reports whether an address currently hits; ``touch``
+    performs an access (allocating the block on a miss) and reports
+    whether it hit. Writes allocate like reads (write-allocate,
+    write-back is irrelevant for a timing-only model because all misses
+    cost one block transfer on the shared bus).
+    """
+
+    def __init__(self, size: int, block_size: int) -> None:
+        if size % block_size:
+            raise ValueError("cache size must be a multiple of block size")
+        self.block_size = block_size
+        self.num_sets = size // block_size
+        self._block_bits = block_size.bit_length() - 1
+        if 1 << self._block_bits != block_size:
+            raise ValueError("block size must be a power of two")
+        self._tags: list[int | None] = [None] * self.num_sets
+        self.stats = CacheStats()
+
+    def _index_tag(self, addr: int) -> tuple[int, int]:
+        block = addr >> self._block_bits
+        return block % self.num_sets, block // self.num_sets
+
+    def probe(self, addr: int) -> bool:
+        index, tag = self._index_tag(addr)
+        return self._tags[index] == tag
+
+    def touch(self, addr: int) -> bool:
+        """Access ``addr``; allocate on miss. Returns True on a hit."""
+        index, tag = self._index_tag(addr)
+        self.stats.accesses += 1
+        if self._tags[index] == tag:
+            return True
+        self.stats.misses += 1
+        self._tags[index] = tag
+        return False
+
+    def invalidate_all(self) -> None:
+        self._tags = [None] * self.num_sets
+
+    @property
+    def words_per_block(self) -> int:
+        return self.block_size // 4

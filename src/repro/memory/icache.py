@@ -1,0 +1,40 @@
+"""Per-unit instruction cache.
+
+Each processing unit owns a 32 KB direct-mapped instruction cache with
+64-byte blocks. A hit returns 4 words (one fetch group) in 1 cycle; a
+miss adds the 10+3-cycle block transfer plus any contention on the
+shared memory bus (Section 5.1).
+"""
+
+from __future__ import annotations
+
+from repro.config import MemoryConfig
+from repro.memory.bus import SplitTransactionBus
+from repro.memory.cache import DirectMappedCache
+
+
+class InstructionCache:
+    """Timing-only instruction cache for one processing unit."""
+
+    def __init__(self, config: MemoryConfig, bus: SplitTransactionBus) -> None:
+        self.config = config
+        self.bus = bus
+        self.cache = DirectMappedCache(config.icache_size,
+                                       config.icache_block)
+        #: Words delivered per hit access (one fetch group).
+        self.fetch_words = 4
+
+    def fetch(self, addr: int, cycle: int) -> int:
+        """Fetch the 4-word group containing ``addr``.
+
+        Returns the cycle at which the instructions are available to
+        decode.
+        """
+        if self.cache.touch(addr):
+            return cycle + self.config.icache_hit
+        done = self.bus.request(cycle, self.cache.words_per_block)
+        return done + self.config.icache_hit
+
+    @property
+    def stats(self):
+        return self.cache.stats

@@ -1,0 +1,141 @@
+"""AST node definitions for MinC."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Node:
+    line: int = 0
+
+
+# ------------------------------------------------------------ expressions
+
+@dataclass
+class IntLit(Node):
+    value: int = 0
+
+
+@dataclass
+class FloatLit(Node):
+    value: float = 0.0
+
+
+@dataclass
+class StrLit(Node):
+    value: str = ""
+
+
+@dataclass
+class Var(Node):
+    name: str = ""
+
+
+@dataclass
+class Index(Node):
+    base: Node = None
+    index: Node = None
+
+
+@dataclass
+class Unary(Node):
+    op: str = ""
+    operand: Node = None
+
+
+@dataclass
+class Binary(Node):
+    op: str = ""
+    left: Node = None
+    right: Node = None
+
+
+@dataclass
+class Call(Node):
+    name: str = ""
+    args: list[Node] = field(default_factory=list)
+
+
+# ------------------------------------------------------------- statements
+
+@dataclass
+class VarDecl(Node):
+    type: str = "int"          # 'int' or 'float'
+    name: str = ""
+    size: int | None = None    # array length (None for scalars)
+    init: Node | None = None
+
+
+@dataclass
+class Assign(Node):
+    target: Node = None        # Var or Index
+    op: str = "="              # '=', '+=', '-=', '*='
+    value: Node = None
+
+
+@dataclass
+class If(Node):
+    cond: Node = None
+    then: list[Node] = field(default_factory=list)
+    otherwise: list[Node] = field(default_factory=list)
+
+
+@dataclass
+class While(Node):
+    cond: Node = None
+    body: list[Node] = field(default_factory=list)
+    parallel: bool = False
+
+
+@dataclass
+class For(Node):
+    init: Node | None = None
+    cond: Node | None = None
+    step: Node | None = None
+    body: list[Node] = field(default_factory=list)
+    parallel: bool = False
+
+
+@dataclass
+class Return(Node):
+    value: Node | None = None
+
+
+@dataclass
+class Break(Node):
+    pass
+
+
+@dataclass
+class Continue(Node):
+    pass
+
+
+@dataclass
+class ExprStmt(Node):
+    expr: Node = None
+
+
+# ------------------------------------------------------------- top level
+
+@dataclass
+class GlobalDecl(Node):
+    type: str = "int"
+    name: str = ""
+    size: int | None = None
+    init: object = None        # int/float, list of them, or None
+
+
+@dataclass
+class Function(Node):
+    return_type: str = "void"  # 'int', 'float', 'void'
+    name: str = ""
+    params: list[tuple[str, str]] = field(default_factory=list)
+    body: list[Node] = field(default_factory=list)
+
+
+@dataclass
+class TranslationUnit(Node):
+    globals: list[GlobalDecl] = field(default_factory=list)
+    functions: list[Function] = field(default_factory=list)

@@ -1,0 +1,914 @@
+"""MinC code generation.
+
+Strategy (deliberately simple, in the spirit of early-90s compilers):
+
+* scalar ``int`` locals and parameters live in callee-saved registers
+  ``$s0..$s7``; scalar ``float`` locals in ``$f20..$f30`` — keeping loop
+  induction variables and accumulators in registers is what lets the
+  multiscalar annotator communicate them over the ring instead of
+  through memory;
+* expression temporaries use ``$t0..$t7`` / ``$f4..$f18`` with stack
+  discipline, spilled around calls;
+* local arrays live in the stack frame; pointers are plain ints;
+* ``main`` is compiled as the program entry (no wrapper call), so that
+  ``parallel`` loops inside it become task entries the sequencer can
+  actually reach — calls are suppressed inside tasks (Section 3.2.3),
+  so a partitioned region must be the entry function's own code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.minic import ast_nodes as ast
+from repro.minic.parser import parse
+
+
+class CodegenError(Exception):
+    def __init__(self, message: str, line: int = 0) -> None:
+        super().__init__(f"line {line}: {message}" if line else message)
+        self.line = line
+
+
+@dataclass
+class CompiledUnit:
+    """Output of the MinC compiler."""
+
+    asm: str
+    task_labels: list[str]
+    source_name: str = "<minc>"
+
+
+_INT_TEMPS = [f"$t{i}" for i in range(8)]
+_FLOAT_TEMPS = [f"$f{n}" for n in range(4, 20, 2)]
+# $t8/$t9 join the callee-saved locals pool under MinC's private ABI.
+_INT_LOCALS = [f"$s{i}" for i in range(8)] + ["$t8", "$t9"]
+_FLOAT_LOCALS = [f"$f{n}" for n in range(20, 32, 2)]
+
+# Frame layout (fixed header; arrays follow).
+_OFF_RA = 0
+_OFF_SREGS = 4                    # locals pool -> 4..44
+_OFF_FREGS = 48                   # $f20..$f30 -> 48..88 (8 bytes each)
+_OFF_INT_SPILL = 96               # $t0..$t7 -> 96..128
+_OFF_FLOAT_SPILL = 128            # $f4..$f18 -> 128..192
+_OFF_ARRAYS = 192
+
+_INT_BINOPS = {
+    "+": "add", "-": "sub", "*": "mult", "/": "div", "%": "rem",
+    "&": "and", "|": "or", "^": "xor", "<<": "sllv", ">>": "srav",
+}
+_FLOAT_BINOPS = {"+": "add.d", "-": "sub.d", "*": "mul.d", "/": "div.d"}
+
+
+@dataclass
+class _Global:
+    type: str
+    label: str
+    is_array: bool
+
+
+@dataclass
+class _FunctionInfo:
+    return_type: str
+    param_types: list[str]
+
+
+@dataclass
+class _Scope:
+    int_regs: dict[str, str] = field(default_factory=dict)
+    float_regs: dict[str, str] = field(default_factory=dict)
+    arrays: dict[str, tuple[str, int]] = field(default_factory=dict)
+    # array name -> (element type, frame offset)
+
+
+class _Codegen:
+    def __init__(self, unit: ast.TranslationUnit, name: str) -> None:
+        self.unit = unit
+        self.name = name
+        self.data_lines: list[str] = []
+        self.text_lines: list[str] = []
+        self.task_labels: list[str] = []
+        self.globals: dict[str, _Global] = {}
+        self.functions: dict[str, _FunctionInfo] = {}
+        self.string_labels: dict[str, str] = {}
+        self._label_count = 0
+        self._float_consts: dict[float, str] = {}
+        # Per-function state.
+        self.scope = _Scope()
+        self.int_temps: list[str] = []
+        self.float_temps: list[str] = []
+        self.in_use_int: list[str] = []
+        self.in_use_float: list[str] = []
+        self.loop_stack: list[tuple[str, str]] = []  # (continue, break)
+        self.epilogue_label = ""
+        self.current_function: ast.Function | None = None
+        self.array_offset = _OFF_ARRAYS
+
+    # ---------------------------------------------------------- utilities
+
+    def emit(self, line: str) -> None:
+        self.text_lines.append(f"        {line}")
+
+    def label(self, name: str) -> None:
+        self.text_lines.append(f"{name}:")
+
+    def new_label(self, stem: str) -> str:
+        self._label_count += 1
+        return f"L{stem}_{self._label_count}"
+
+    def temp_int(self, line: int) -> str:
+        if not self.int_temps:
+            raise CodegenError("expression too complex (out of integer "
+                               "temporaries)", line)
+        reg = self.int_temps.pop()
+        self.in_use_int.append(reg)
+        return reg
+
+    def temp_float(self, line: int) -> str:
+        if not self.float_temps:
+            raise CodegenError("expression too complex (out of float "
+                               "temporaries)", line)
+        reg = self.float_temps.pop()
+        self.in_use_float.append(reg)
+        return reg
+
+    def free(self, reg: str, type_name: str) -> None:
+        if type_name == "int":
+            self.in_use_int.remove(reg)
+            self.int_temps.append(reg)
+        else:
+            self.in_use_float.remove(reg)
+            self.float_temps.append(reg)
+
+    def float_const(self, value: float) -> str:
+        if value not in self._float_consts:
+            label = f"FC{len(self._float_consts)}"
+            self._float_consts[value] = label
+            self.data_lines.append(f"{label}: .double {value!r}")
+        return self._float_consts[value]
+
+    # ---------------------------------------------------------- top level
+
+    def run(self) -> CompiledUnit:
+        for decl in self.unit.globals:
+            self._declare_global(decl)
+        defined: set[str] = set()
+        for function in self.unit.functions:
+            info = _FunctionInfo(function.return_type,
+                                 [t for t, _ in function.params])
+            existing = self.functions.get(function.name)
+            if existing is not None:
+                if function.name in defined and function.body is not None:
+                    raise CodegenError(
+                        f"duplicate function {function.name!r}",
+                        function.line)
+                if (existing.return_type, existing.param_types) != \
+                        (info.return_type, info.param_types):
+                    raise CodegenError(
+                        f"conflicting declarations of {function.name!r}",
+                        function.line)
+            self.functions[function.name] = info
+            if function.body is not None:
+                defined.add(function.name)
+        bodies = [f for f in self.unit.functions if f.body is not None]
+        main = next((f for f in bodies if f.name == "main"), None)
+        if main is None:
+            raise CodegenError("no main() function")
+        self._function(main, is_main=True)
+        for function in bodies:
+            if function is not main:
+                self._function(function, is_main=False)
+        lines = []
+        if self.data_lines:
+            lines.append("        .data")
+            lines.extend(self.data_lines)
+        lines.append("        .text")
+        lines.extend(self.text_lines)
+        lines.append("        .entry main")
+        return CompiledUnit(asm="\n".join(lines) + "\n",
+                            task_labels=list(self.task_labels),
+                            source_name=self.name)
+
+    def _declare_global(self, decl: ast.GlobalDecl) -> None:
+        if decl.name in self.globals:
+            raise CodegenError(f"duplicate global {decl.name!r}", decl.line)
+        label = f"G_{decl.name}"
+        self.globals[decl.name] = _Global(decl.type, label,
+                                          decl.size is not None)
+        if decl.type == "byte":
+            if decl.size is None:
+                raise CodegenError("byte globals must be arrays",
+                                   decl.line)
+            if decl.init is None:
+                self.data_lines.append(f"{label}: .space {decl.size}")
+            else:
+                values = decl.init if isinstance(decl.init, list) \
+                    else [decl.init]
+                values = list(values) + [0] * (decl.size - len(values))
+                rendered = ", ".join(str(int(v) & 0xFF) for v in values)
+                self.data_lines.append(f"{label}: .byte {rendered}")
+            return
+        directive = ".word" if decl.type == "int" else ".double"
+        elem = 4 if decl.type == "int" else 8
+        if decl.size is None:
+            value = decl.init if decl.init is not None else 0
+            self.data_lines.append(f"{label}: {directive} {value!r}"
+                                   if decl.type == "float"
+                                   else f"{label}: {directive} {value}")
+        elif decl.init is None:
+            self.data_lines.append("        .align 3")
+            self.data_lines.append(f"{label}: .space {decl.size * elem}")
+        else:
+            values = decl.init if isinstance(decl.init, list) else [decl.init]
+            if len(values) > decl.size:
+                raise CodegenError("too many initializers", decl.line)
+            values = list(values) + [0] * (decl.size - len(values))
+            rendered = ", ".join(repr(float(v)) if decl.type == "float"
+                                 else str(int(v)) for v in values)
+            self.data_lines.append("        .align 3")
+            self.data_lines.append(f"{label}: {directive} {rendered}")
+
+    # ---------------------------------------------------------- functions
+
+    def _function(self, function: ast.Function, is_main: bool) -> None:
+        self.scope = _Scope()
+        self.int_temps = list(_INT_TEMPS)
+        self.float_temps = list(_FLOAT_TEMPS)
+        self.in_use_int = []
+        self.in_use_float = []
+        self.loop_stack = []
+        self.current_function = function
+        self.epilogue_label = self.new_label(f"ret_{function.name}")
+        self.array_offset = _OFF_ARRAYS
+        int_pool = list(_INT_LOCALS)
+        float_pool = list(_FLOAT_LOCALS)
+        body_mark = len(self.text_lines)
+        self.label(function.name)
+        prologue_mark = len(self.text_lines)
+        # Bind parameters.
+        int_arg = 0
+        float_arg = 0
+        for ptype, pname in function.params:
+            if ptype == "int":
+                if int_arg >= 4:
+                    raise CodegenError("too many int parameters",
+                                       function.line)
+                reg = self._bind_local(pname, "int", int_pool,
+                                       function.line)
+                self.emit(f"move {reg}, $a{int_arg}")
+                int_arg += 1
+            else:
+                if float_arg >= 2:
+                    raise CodegenError("too many float parameters",
+                                       function.line)
+                reg = self._bind_local(pname, "float", float_pool,
+                                       function.line)
+                self.emit(f"mov.d {reg}, $f{12 + 2 * float_arg}")
+                float_arg += 1
+        self._int_pool = int_pool
+        self._float_pool = float_pool
+        for statement in function.body:
+            self._statement(statement)
+        self.label(self.epilogue_label)
+        if is_main:
+            self.emit("li $v0, 10")
+            self.emit("syscall")
+            self.emit("halt")
+        # Build the prologue/epilogue now that register usage is known.
+        used_s = sorted(set(self.scope.int_regs.values()),
+                        key=_INT_LOCALS.index)
+        used_f = sorted(set(self.scope.float_regs.values()),
+                        key=_FLOAT_LOCALS.index)
+        frame = self.array_offset
+        frame = (frame + 7) & ~7
+        prologue = [f"        addi $sp, $sp, -{frame}"]
+        epilogue: list[str] = []
+        if not is_main:
+            prologue.append(f"        sw $ra, {_OFF_RA}($sp)")
+            epilogue.append(f"        lw $ra, {_OFF_RA}($sp)")
+            for reg in used_s:
+                off = _OFF_SREGS + 4 * _INT_LOCALS.index(reg)
+                prologue.append(f"        sw {reg}, {off}($sp)")
+                epilogue.append(f"        lw {reg}, {off}($sp)")
+            for reg in used_f:
+                off = _OFF_FREGS + 8 * _FLOAT_LOCALS.index(reg)
+                prologue.append(f"        s.d {reg}, {off}($sp)")
+                epilogue.append(f"        l.d {reg}, {off}($sp)")
+        epilogue.append(f"        addi $sp, $sp, {frame}")
+        if not is_main:
+            epilogue.append("        jr $ra")
+        self.text_lines[prologue_mark:prologue_mark] = prologue
+        self.text_lines.extend(epilogue)
+        del body_mark
+
+    def _bind_local(self, name: str, type_name: str, pool: list[str],
+                    line: int) -> str:
+        # MinC has flat function scope: re-declaring a scalar of the same
+        # type (the classic reused loop counter) rebinds the same register.
+        if type_name == "int" and name in self.scope.int_regs:
+            return self.scope.int_regs[name]
+        if type_name == "float" and name in self.scope.float_regs:
+            return self.scope.float_regs[name]
+        if name in self.scope.int_regs or name in self.scope.float_regs \
+                or name in self.scope.arrays:
+            raise CodegenError(f"duplicate local {name!r}", line)
+        if not pool:
+            raise CodegenError(
+                f"too many {type_name} locals in one function (register "
+                "allocator limit)", line)
+        reg = pool.pop(0)
+        if type_name == "int":
+            self.scope.int_regs[name] = reg
+        else:
+            self.scope.float_regs[name] = reg
+        return reg
+
+    # --------------------------------------------------------- statements
+
+    def _statement(self, node: ast.Node) -> None:
+        if isinstance(node, ast.VarDecl):
+            self._var_decl(node)
+        elif isinstance(node, ast.Assign):
+            self._assign(node)
+        elif isinstance(node, ast.If):
+            self._if(node)
+        elif isinstance(node, ast.While):
+            self._while(node)
+        elif isinstance(node, ast.For):
+            self._for(node)
+        elif isinstance(node, ast.Return):
+            self._return(node)
+        elif isinstance(node, ast.Break):
+            if not self.loop_stack:
+                raise CodegenError("break outside a loop", node.line)
+            self.emit(f"j {self.loop_stack[-1][1]}")
+        elif isinstance(node, ast.Continue):
+            if not self.loop_stack:
+                raise CodegenError("continue outside a loop", node.line)
+            self.emit(f"j {self.loop_stack[-1][0]}")
+        elif isinstance(node, ast.ExprStmt):
+            reg, type_name = self._expression(node.expr)
+            if reg is not None:
+                self.free(reg, type_name)
+        else:
+            raise CodegenError(f"unhandled statement {type(node).__name__}",
+                               node.line)
+
+    def _var_decl(self, node: ast.VarDecl) -> None:
+        if node.size is not None:
+            elem = 4 if node.type == "int" else 8
+            size = node.size * elem
+            offset = (self.array_offset + 7) & ~7
+            self.array_offset = offset + size
+            self.scope.arrays[node.name] = (node.type, offset)
+            return
+        pool = self._int_pool if node.type == "int" else self._float_pool
+        reg = self._bind_local(node.name, node.type, pool, node.line)
+        if node.init is not None:
+            value, vtype = self._expression(node.init)
+            value = self._convert(value, vtype, node.type, node.line)
+            if node.type == "int":
+                self.emit(f"move {reg}, {value}")
+            else:
+                self.emit(f"mov.d {reg}, {value}")
+            self.free(value, node.type)
+        elif node.type == "int":
+            self.emit(f"li {reg}, 0")
+        else:
+            label = self.float_const(0.0)
+            self.emit(f"l.d {reg}, {label}")
+
+    def _assign(self, node: ast.Assign) -> None:
+        if node.op != "=":
+            binop = node.op[0]
+            node = ast.Assign(
+                line=node.line, target=node.target, op="=",
+                value=ast.Binary(line=node.line, op=binop,
+                                 left=node.target, right=node.value))
+        target = node.target
+        if isinstance(target, ast.Var):
+            self._assign_var(target, node.value)
+        elif isinstance(target, ast.Index):
+            self._assign_index(target, node.value)
+        else:
+            raise CodegenError("bad assignment target", node.line)
+
+    def _assign_var(self, target: ast.Var, value: ast.Node) -> None:
+        name = target.name
+        if name in self.scope.int_regs:
+            reg, vtype = self._expression(value)
+            reg = self._convert(reg, vtype, "int", target.line)
+            self.emit(f"move {self.scope.int_regs[name]}, {reg}")
+            self.free(reg, "int")
+        elif name in self.scope.float_regs:
+            reg, vtype = self._expression(value)
+            reg = self._convert(reg, vtype, "float", target.line)
+            self.emit(f"mov.d {self.scope.float_regs[name]}, {reg}")
+            self.free(reg, "float")
+        elif name in self.globals and not self.globals[name].is_array:
+            g = self.globals[name]
+            reg, vtype = self._expression(value)
+            reg = self._convert(reg, vtype, g.type, target.line)
+            if g.type == "int":
+                self.emit(f"sw {reg}, {g.label}")
+                self.free(reg, "int")
+            else:
+                self.emit(f"s.d {reg}, {g.label}")
+                self.free(reg, "float")
+        else:
+            raise CodegenError(f"cannot assign to {name!r}", target.line)
+
+    def _assign_index(self, target: ast.Index, value: ast.Node) -> None:
+        addr, elem_type = self._element_addr(target)
+        reg, vtype = self._expression(value)
+        reg = self._convert(reg, vtype,
+                            "int" if elem_type == "byte" else elem_type,
+                            target.line)
+        if elem_type == "byte":
+            self.emit(f"sb {reg}, 0({addr})")
+            self.free(reg, "int")
+        elif elem_type == "int":
+            self.emit(f"sw {reg}, 0({addr})")
+            self.free(reg, "int")
+        else:
+            self.emit(f"s.d {reg}, 0({addr})")
+            self.free(reg, "float")
+        self.free(addr, "int")
+
+    def _if(self, node: ast.If) -> None:
+        cond, ctype = self._expression(node.cond)
+        if ctype != "int":
+            raise CodegenError("condition must be an int", node.line)
+        else_label = self.new_label("else")
+        end_label = self.new_label("endif")
+        self.emit(f"beq {cond}, $zero, "
+                  f"{else_label if node.otherwise else end_label}")
+        self.free(cond, "int")
+        for statement in node.then:
+            self._statement(statement)
+        if node.otherwise:
+            self.emit(f"j {end_label}")
+            self.label(else_label)
+            for statement in node.otherwise:
+                self._statement(statement)
+        self.label(end_label)
+
+    def _while(self, node: ast.While) -> None:
+        head = self.new_label("while")
+        end = self.new_label("endwhile")
+        self.label(head)
+        if node.parallel:
+            self.task_labels.append(head)
+        cond, ctype = self._expression(node.cond)
+        if ctype != "int":
+            raise CodegenError("condition must be an int", node.line)
+        self.emit(f"beq {cond}, $zero, {end}")
+        self.free(cond, "int")
+        self.loop_stack.append((head, end))
+        for statement in node.body:
+            self._statement(statement)
+        self.loop_stack.pop()
+        self.emit(f"j {head}")
+        self.label(end)
+
+    def _for(self, node: ast.For) -> None:
+        if node.init is not None:
+            self._statement(node.init)
+        head = self.new_label("for")
+        step_label = self.new_label("forstep")
+        end = self.new_label("endfor")
+        self.label(head)
+        if node.parallel:
+            self.task_labels.append(head)
+        if node.cond is not None:
+            cond, ctype = self._expression(node.cond)
+            if ctype != "int":
+                raise CodegenError("condition must be an int", node.line)
+            self.emit(f"beq {cond}, $zero, {end}")
+            self.free(cond, "int")
+        self.loop_stack.append((step_label, end))
+        for statement in node.body:
+            self._statement(statement)
+        self.loop_stack.pop()
+        self.label(step_label)
+        if node.step is not None:
+            self._statement(node.step)
+        self.emit(f"j {head}")
+        self.label(end)
+
+    def _return(self, node: ast.Return) -> None:
+        function = self.current_function
+        if node.value is not None:
+            reg, vtype = self._expression(node.value)
+            reg = self._convert(reg, vtype, function.return_type
+                                if function.return_type != "void" else vtype,
+                                node.line)
+            if function.return_type == "float":
+                self.emit(f"mov.d $f0, {reg}")
+                self.free(reg, "float")
+            else:
+                self.emit(f"move $v0, {reg}")
+                self.free(reg, "int")
+        self.emit(f"j {self.epilogue_label}")
+
+    # -------------------------------------------------------- expressions
+
+    def _expression(self, node: ast.Node) -> tuple[str | None, str]:
+        if isinstance(node, ast.IntLit):
+            reg = self.temp_int(node.line)
+            self.emit(f"li {reg}, {node.value}")
+            return reg, "int"
+        if isinstance(node, ast.FloatLit):
+            reg = self.temp_float(node.line)
+            self.emit(f"l.d {reg}, {self.float_const(node.value)}")
+            return reg, "float"
+        if isinstance(node, ast.StrLit):
+            label = self._string_label(node.value)
+            reg = self.temp_int(node.line)
+            self.emit(f"la {reg}, {label}")
+            return reg, "int"
+        if isinstance(node, ast.Var):
+            return self._var(node)
+        if isinstance(node, ast.Index):
+            return self._load_index(node)
+        if isinstance(node, ast.Unary):
+            return self._unary(node)
+        if isinstance(node, ast.Binary):
+            return self._binary(node)
+        if isinstance(node, ast.Call):
+            return self._call(node)
+        raise CodegenError(f"unhandled expression {type(node).__name__}",
+                           node.line)
+
+    def _string_label(self, value: str) -> str:
+        if value not in self.string_labels:
+            label = f"STR{len(self.string_labels)}"
+            self.string_labels[value] = label
+            escaped = value.replace("\\", "\\\\").replace('"', '\\"') \
+                .replace("\n", "\\n").replace("\t", "\\t")
+            self.data_lines.append(f'{label}: .asciiz "{escaped}"')
+        return self.string_labels[value]
+
+    def _var(self, node: ast.Var) -> tuple[str, str]:
+        name = node.name
+        if name in self.scope.int_regs:
+            reg = self.temp_int(node.line)
+            self.emit(f"move {reg}, {self.scope.int_regs[name]}")
+            return reg, "int"
+        if name in self.scope.float_regs:
+            reg = self.temp_float(node.line)
+            self.emit(f"mov.d {reg}, {self.scope.float_regs[name]}")
+            return reg, "float"
+        if name in self.scope.arrays:
+            _etype, offset = self.scope.arrays[name]
+            reg = self.temp_int(node.line)
+            self.emit(f"addi {reg}, $sp, {offset}")
+            return reg, "int"
+        if name in self.globals:
+            g = self.globals[name]
+            if g.is_array:
+                reg = self.temp_int(node.line)
+                self.emit(f"la {reg}, {g.label}")
+                return reg, "int"
+            if g.type == "int":
+                reg = self.temp_int(node.line)
+                self.emit(f"lw {reg}, {g.label}")
+                return reg, "int"
+            reg = self.temp_float(node.line)
+            self.emit(f"l.d {reg}, {g.label}")
+            return reg, "float"
+        raise CodegenError(f"undefined variable {name!r}", node.line)
+
+    def _element_addr(self, node: ast.Index) -> tuple[str, str]:
+        """Address of ``base[index]``; returns (address reg, elem type)."""
+        if not isinstance(node.base, ast.Var):
+            raise CodegenError("only one-dimensional indexing is "
+                               "supported", node.line)
+        name = node.base.name
+        if name in self.scope.arrays:
+            elem_type, offset = self.scope.arrays[name]
+            base = self.temp_int(node.line)
+            self.emit(f"addi {base}, $sp, {offset}")
+        elif name in self.globals and self.globals[name].is_array:
+            elem_type = self.globals[name].type
+            base = self.temp_int(node.line)
+            self.emit(f"la {base}, {self.globals[name].label}")
+        elif name in self.scope.int_regs:
+            elem_type = "int"   # pointer-as-int: word elements
+            base = self.temp_int(node.line)
+            self.emit(f"move {base}, {self.scope.int_regs[name]}")
+        else:
+            raise CodegenError(f"{name!r} is not indexable", node.line)
+        index, itype = self._expression(node.index)
+        if itype != "int":
+            raise CodegenError("array index must be an int", node.line)
+        if elem_type != "byte":
+            shift = 2 if elem_type == "int" else 3
+            self.emit(f"sll {index}, {index}, {shift}")
+        self.emit(f"add {base}, {base}, {index}")
+        self.free(index, "int")
+        return base, elem_type
+
+    def _load_index(self, node: ast.Index) -> tuple[str, str]:
+        addr, elem_type = self._element_addr(node)
+        if elem_type == "byte":
+            self.emit(f"lbu {addr}, 0({addr})")
+            return addr, "int"
+        if elem_type == "int":
+            self.emit(f"lw {addr}, 0({addr})")
+            return addr, "int"
+        reg = self.temp_float(node.line)
+        self.emit(f"l.d {reg}, 0({addr})")
+        self.free(addr, "int")
+        return reg, "float"
+
+    def _unary(self, node: ast.Unary) -> tuple[str, str]:
+        reg, type_name = self._expression(node.operand)
+        if node.op == "-":
+            self.emit(f"neg {reg}, {reg}" if type_name == "int"
+                      else f"neg.d {reg}, {reg}")
+            return reg, type_name
+        if type_name != "int":
+            raise CodegenError(f"{node.op!r} needs an int operand",
+                               node.line)
+        if node.op == "!":
+            self.emit(f"sltiu {reg}, {reg}, 1")
+        else:  # '~'
+            self.emit(f"not {reg}, {reg}")
+        return reg, "int"
+
+    def _binary(self, node: ast.Binary) -> tuple[str, str]:
+        if node.op in ("&&", "||"):
+            return self._short_circuit(node)
+        left, ltype = self._expression(node.left)
+        right, rtype = self._expression(node.right)
+        if ltype == "float" or rtype == "float":
+            left = self._convert(left, ltype, "float", node.line)
+            right = self._convert(right, rtype, "float", node.line)
+            return self._float_binary(node, left, right)
+        op = node.op
+        if op in _INT_BINOPS:
+            self.emit(f"{_INT_BINOPS[op]} {left}, {left}, {right}")
+        elif op == "<":
+            self.emit(f"slt {left}, {left}, {right}")
+        elif op == ">":
+            self.emit(f"slt {left}, {right}, {left}")
+        elif op == "<=":
+            self.emit(f"slt {left}, {right}, {left}")
+            self.emit(f"xori {left}, {left}, 1")
+        elif op == ">=":
+            self.emit(f"slt {left}, {left}, {right}")
+            self.emit(f"xori {left}, {left}, 1")
+        elif op == "==":
+            self.emit(f"xor {left}, {left}, {right}")
+            self.emit(f"sltiu {left}, {left}, 1")
+        elif op == "!=":
+            self.emit(f"xor {left}, {left}, {right}")
+            self.emit(f"sltu {left}, $zero, {left}")
+        else:
+            raise CodegenError(f"unsupported operator {op!r}", node.line)
+        self.free(right, "int")
+        return left, "int"
+
+    def _float_binary(self, node: ast.Binary, left: str,
+                      right: str) -> tuple[str, str]:
+        op = node.op
+        if op in _FLOAT_BINOPS:
+            self.emit(f"{_FLOAT_BINOPS[op]} {left}, {left}, {right}")
+            self.free(right, "float")
+            return left, "float"
+        compares = {"<": ("c.lt.d", False, False),
+                    "<=": ("c.le.d", False, False),
+                    ">": ("c.lt.d", True, False),
+                    ">=": ("c.le.d", True, False),
+                    "==": ("c.eq.d", False, False),
+                    "!=": ("c.eq.d", False, True)}
+        if op not in compares:
+            raise CodegenError(f"unsupported float operator {op!r}",
+                               node.line)
+        mnemonic, swap, invert = compares[op]
+        a, b = (right, left) if swap else (left, right)
+        self.emit(f"{mnemonic} {a}, {b}")
+        result = self.temp_int(node.line)
+        done = self.new_label("fcmp")
+        self.emit(f"li {result}, 1")
+        self.emit(f"{'bc1f' if invert else 'bc1t'} {done}")
+        self.emit(f"li {result}, 0")
+        self.label(done)
+        self.free(left, "float")
+        self.free(right, "float")
+        return result, "int"
+
+    def _short_circuit(self, node: ast.Binary) -> tuple[str, str]:
+        end = self.new_label("sc")
+        left, ltype = self._expression(node.left)
+        if ltype != "int":
+            raise CodegenError("logical operands must be ints", node.line)
+        self.emit(f"sltu {left}, $zero, {left}")  # normalize to 0/1
+        if node.op == "&&":
+            self.emit(f"beq {left}, $zero, {end}")
+        else:
+            self.emit(f"bne {left}, $zero, {end}")
+        right, rtype = self._expression(node.right)
+        if rtype != "int":
+            raise CodegenError("logical operands must be ints", node.line)
+        self.emit(f"sltu {left}, $zero, {right}")
+        self.free(right, "int")
+        self.label(end)
+        return left, "int"
+
+    def _convert(self, reg: str, from_type: str, to_type: str,
+                 line: int) -> str:
+        if from_type == to_type:
+            return reg
+        if from_type == "int" and to_type == "float":
+            result = self.temp_float(line)
+            self.emit(f"cvt.d.w {result}, {reg}")
+            self.free(reg, "int")
+            return result
+        if from_type == "float" and to_type == "int":
+            result = self.temp_int(line)
+            self.emit(f"cvt.w.d {result}, {reg}")
+            self.free(reg, "float")
+            return result
+        raise CodegenError(f"cannot convert {from_type} to {to_type}", line)
+
+    # -------------------------------------------------------------- calls
+
+    def _call(self, node: ast.Call) -> tuple[str | None, str]:
+        name = node.name
+        intrinsic = getattr(self, f"_intrinsic_{name}", None)
+        if intrinsic is not None:
+            return intrinsic(node)
+        if name not in self.functions:
+            raise CodegenError(f"undefined function {name!r}", node.line)
+        info = self.functions[name]
+        if len(node.args) != len(info.param_types):
+            raise CodegenError(
+                f"{name}() takes {len(info.param_types)} arguments, "
+                f"got {len(node.args)}", node.line)
+        # Spill live temporaries (caller-saved registers).
+        saved_int = list(self.in_use_int)
+        saved_float = list(self.in_use_float)
+        for reg in saved_int:
+            off = _OFF_INT_SPILL + 4 * _INT_TEMPS.index(reg)
+            self.emit(f"sw {reg}, {off}($sp)")
+        for reg in saved_float:
+            off = _OFF_FLOAT_SPILL + 8 * _FLOAT_TEMPS.index(reg)
+            self.emit(f"s.d {reg}, {off}($sp)")
+        # Evaluate arguments into the argument registers.
+        int_arg = 0
+        float_arg = 0
+        for arg, ptype in zip(node.args, info.param_types):
+            reg, atype = self._expression(arg)
+            reg = self._convert(reg, atype, ptype, node.line)
+            if ptype == "int":
+                self.emit(f"move $a{int_arg}, {reg}")
+                int_arg += 1
+                self.free(reg, "int")
+            else:
+                self.emit(f"mov.d $f{12 + 2 * float_arg}, {reg}")
+                float_arg += 1
+                self.free(reg, "float")
+        self.emit(f"jal {name}")
+        result: str | None = None
+        result_type = info.return_type
+        if info.return_type == "int":
+            result = self.temp_int(node.line)
+            self.emit(f"move {result}, $v0")
+        elif info.return_type == "float":
+            result = self.temp_float(node.line)
+            self.emit(f"mov.d {result}, $f0")
+        else:
+            result_type = "void"
+        # Restore spilled temporaries.
+        for reg in saved_int:
+            off = _OFF_INT_SPILL + 4 * _INT_TEMPS.index(reg)
+            self.emit(f"lw {reg}, {off}($sp)")
+        for reg in saved_float:
+            off = _OFF_FLOAT_SPILL + 8 * _FLOAT_TEMPS.index(reg)
+            self.emit(f"l.d {reg}, {off}($sp)")
+        return result, result_type
+
+    # --------------------------------------------------------- intrinsics
+
+    def _one_int_arg(self, node: ast.Call) -> str:
+        if len(node.args) != 1:
+            raise CodegenError(f"{node.name}() takes one argument",
+                               node.line)
+        reg, type_name = self._expression(node.args[0])
+        return self._convert(reg, type_name, "int", node.line)
+
+    def _intrinsic_print_int(self, node: ast.Call):
+        reg = self._one_int_arg(node)
+        self.emit(f"move $a0, {reg}")
+        self.emit("li $v0, 1")
+        self.emit("syscall")
+        self.free(reg, "int")
+        return None, "void"
+
+    def _intrinsic_print_char(self, node: ast.Call):
+        reg = self._one_int_arg(node)
+        self.emit(f"move $a0, {reg}")
+        self.emit("li $v0, 11")
+        self.emit("syscall")
+        self.free(reg, "int")
+        return None, "void"
+
+    def _intrinsic_print_str(self, node: ast.Call):
+        if len(node.args) != 1 or not isinstance(node.args[0], ast.StrLit):
+            raise CodegenError("print_str() takes a string literal",
+                               node.line)
+        label = self._string_label(node.args[0].value)
+        self.emit(f"la $a0, {label}")
+        self.emit("li $v0, 4")
+        self.emit("syscall")
+        return None, "void"
+
+    def _intrinsic_exit(self, node: ast.Call):
+        self.emit("li $v0, 10")
+        self.emit("syscall")
+        return None, "void"
+
+    def _intrinsic_int(self, node: ast.Call):
+        reg, type_name = self._expression(node.args[0])
+        return self._convert(reg, type_name, "int", node.line), "int"
+
+    def _intrinsic_float(self, node: ast.Call):
+        reg, type_name = self._expression(node.args[0])
+        return self._convert(reg, type_name, "float", node.line), "float"
+
+    def _intrinsic___lb(self, node: ast.Call):
+        reg = self._one_int_arg(node)
+        self.emit(f"lb {reg}, 0({reg})")
+        return reg, "int"
+
+    def _intrinsic___lbu(self, node: ast.Call):
+        reg = self._one_int_arg(node)
+        self.emit(f"lbu {reg}, 0({reg})")
+        return reg, "int"
+
+    def _intrinsic___lw(self, node: ast.Call):
+        reg = self._one_int_arg(node)
+        self.emit(f"lw {reg}, 0({reg})")
+        return reg, "int"
+
+    def _intrinsic___ld(self, node: ast.Call):
+        addr = self._one_int_arg(node)
+        reg = self.temp_float(node.line)
+        self.emit(f"l.d {reg}, 0({addr})")
+        self.free(addr, "int")
+        return reg, "float"
+
+    def _two_args(self, node: ast.Call, second_type: str):
+        if len(node.args) != 2:
+            raise CodegenError(f"{node.name}() takes two arguments",
+                               node.line)
+        addr, atype = self._expression(node.args[0])
+        addr = self._convert(addr, atype, "int", node.line)
+        value, vtype = self._expression(node.args[1])
+        value = self._convert(value, vtype, second_type, node.line)
+        return addr, value
+
+    def _intrinsic___sb(self, node: ast.Call):
+        addr, value = self._two_args(node, "int")
+        self.emit(f"sb {value}, 0({addr})")
+        self.free(addr, "int")
+        self.free(value, "int")
+        return None, "void"
+
+    def _intrinsic___sw(self, node: ast.Call):
+        addr, value = self._two_args(node, "int")
+        self.emit(f"sw {value}, 0({addr})")
+        self.free(addr, "int")
+        self.free(value, "int")
+        return None, "void"
+
+    def _intrinsic___sd(self, node: ast.Call):
+        addr, value = self._two_args(node, "float")
+        self.emit(f"s.d {value}, 0({addr})")
+        self.free(addr, "int")
+        self.free(value, "float")
+        return None, "void"
+
+    def _intrinsic_alloc(self, node: ast.Call):
+        if "__heap" not in self.globals:
+            from repro.isa.program import HEAP_BASE
+            self.globals["__heap"] = _Global("int", "G___heap", False)
+            self.data_lines.append(f"G___heap: .word {HEAP_BASE}")
+        size = self._one_int_arg(node)
+        result = self.temp_int(node.line)
+        self.emit("lw " + result + ", G___heap")
+        self.emit(f"add {size}, {result}, {size}")
+        self.emit(f"addi {size}, {size}, 7")
+        self.emit(f"srl {size}, {size}, 3")
+        self.emit(f"sll {size}, {size}, 3")
+        self.emit(f"sw {size}, G___heap")
+        self.free(size, "int")
+        return result, "int"
+
+
+def compile_minic(source: str, name: str = "<minc>") -> CompiledUnit:
+    """Compile MinC source to assembly text plus task-entry labels."""
+    unit = parse(source)
+    return _Codegen(unit, name).run()

@@ -1,0 +1,36 @@
+"""Compilation drivers: MinC source to runnable binaries.
+
+``compile_scalar`` produces the baseline binary (no task annotations);
+``compile_and_annotate`` runs the full multiscalar pipeline — compile,
+assemble, and annotate with the ``parallel`` loops as task entries.
+Extra task entry labels can be supplied for manual partitioning hints
+(the paper's espresso and sc required exactly such hints).
+"""
+
+from __future__ import annotations
+
+from repro.compiler import annotate_program
+from repro.isa import Program, assemble
+from repro.minic.codegen import compile_minic
+
+
+def compile_scalar(source: str, name: str = "<minc>") -> Program:
+    """Compile MinC to an unannotated (scalar) binary."""
+    unit = compile_minic(source, name)
+    return assemble(unit.asm, name)
+
+
+def compile_and_annotate(source: str, name: str = "<minc>",
+                         extra_entries: list[str] | None = None,
+                         auto_loops: bool = False) -> Program:
+    """Compile MinC to an annotated multiscalar binary.
+
+    Task entries are the headers of ``parallel`` loops plus any
+    ``extra_entries`` labels (which must exist in the generated
+    assembly; use :func:`repro.minic.compile_minic` to inspect it).
+    """
+    unit = compile_minic(source, name)
+    program = assemble(unit.asm, name)
+    entries = list(unit.task_labels) + list(extra_entries or [])
+    return annotate_program(program, task_entries=entries,
+                            auto_loops=auto_loops)

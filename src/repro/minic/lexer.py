@@ -1,0 +1,74 @@
+"""Tokenizer for MinC."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+KEYWORDS = {
+    "int", "float", "void", "byte", "if", "else", "while", "for", "return",
+    "break", "continue", "parallel",
+}
+
+_TOKEN_RE = re.compile(r"""
+    (?P<ws>\s+)
+  | (?P<comment>//[^\n]*|/\*.*?\*/)
+  | (?P<fnum>\d+\.\d*(?:[eE][+-]?\d+)?|\.\d+(?:[eE][+-]?\d+)?|\d+[eE][+-]?\d+)
+  | (?P<num>0[xX][0-9a-fA-F]+|\d+)
+  | (?P<char>'(?:\\.|[^'\\])')
+  | (?P<string>"(?:\\.|[^"\\])*")
+  | (?P<ident>[A-Za-z_]\w*)
+  | (?P<op><<=?|>>=?|<=|>=|==|!=|&&|\|\||\+=|-=|\*=|/=|[+\-*/%<>=!&|^~(),;{}\[\]])
+""", re.VERBOSE | re.DOTALL)
+
+
+class LexError(Exception):
+    def __init__(self, message: str, line: int) -> None:
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str       # 'num', 'fnum', 'string', 'ident', 'kw', 'op', 'eof'
+    text: str
+    value: object   # parsed value for literals
+    line: int
+
+
+def tokenize(source: str) -> list[Token]:
+    tokens: list[Token] = []
+    pos = 0
+    line = 1
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            raise LexError(f"unexpected character {source[pos]!r}", line)
+        text = match.group(0)
+        kind = match.lastgroup
+        if kind == "ws" or kind == "comment":
+            line += text.count("\n")
+            pos = match.end()
+            continue
+        if kind == "num":
+            token = Token("num", text, int(text, 0), line)
+        elif kind == "fnum":
+            token = Token("fnum", text, float(text), line)
+        elif kind == "char":
+            body = text[1:-1].encode().decode("unicode_escape")
+            token = Token("num", text, ord(body), line)
+        elif kind == "string":
+            body = text[1:-1].encode().decode("unicode_escape")
+            token = Token("string", text, body, line)
+        elif kind == "ident":
+            if text in KEYWORDS:
+                token = Token("kw", text, text, line)
+            else:
+                token = Token("ident", text, text, line)
+        else:
+            token = Token("op", text, text, line)
+        tokens.append(token)
+        line += text.count("\n")
+        pos = match.end()
+    tokens.append(Token("eof", "", None, line))
+    return tokens

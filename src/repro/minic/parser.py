@@ -1,0 +1,341 @@
+"""Recursive-descent parser for MinC."""
+
+from __future__ import annotations
+
+from repro.minic import ast_nodes as ast
+from repro.minic.lexer import Token, tokenize
+
+
+class ParseError(Exception):
+    def __init__(self, message: str, line: int) -> None:
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+# Binary operator precedence (higher binds tighter).
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, "<=": 7, ">": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+_ASSIGN_OPS = {"=", "+=", "-=", "*="}
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # --------------------------------------------------------- utilities
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def check(self, kind: str, text: str | None = None) -> bool:
+        token = self.current
+        return token.kind == kind and (text is None or token.text == text)
+
+    def accept(self, kind: str, text: str | None = None) -> Token | None:
+        if self.check(kind, text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: str | None = None) -> Token:
+        if not self.check(kind, text):
+            want = text or kind
+            raise ParseError(
+                f"expected {want!r}, found {self.current.text!r}",
+                self.current.line)
+        return self.advance()
+
+    # ---------------------------------------------------------- top level
+
+    def parse_unit(self) -> ast.TranslationUnit:
+        unit = ast.TranslationUnit(line=1)
+        while not self.check("eof"):
+            type_token = self.expect("kw")
+            if type_token.text not in ("int", "float", "void", "byte"):
+                raise ParseError(f"expected a type, found "
+                                 f"{type_token.text!r}", type_token.line)
+            # optional pointer stars are accepted and ignored (pointers
+            # are integers in MinC)
+            while self.accept("op", "*"):
+                pass
+            name = self.expect("ident")
+            if self.check("op", "("):
+                unit.functions.append(
+                    self._function(type_token.text, name))
+            else:
+                unit.globals.append(self._global(type_token.text, name))
+        return unit
+
+    def _global(self, type_name: str, name: Token) -> ast.GlobalDecl:
+        if type_name == "void":
+            raise ParseError("void variables are not allowed", name.line)
+        decl = ast.GlobalDecl(line=name.line, type=type_name,
+                              name=name.text)
+        if self.accept("op", "["):
+            decl.size = self.expect("num").value
+            self.expect("op", "]")
+        if self.accept("op", "="):
+            if self.accept("op", "{"):
+                values = [self._const_value()]
+                while self.accept("op", ","):
+                    values.append(self._const_value())
+                self.expect("op", "}")
+                decl.init = values
+            else:
+                decl.init = self._const_value()
+        self.expect("op", ";")
+        return decl
+
+    def _const_value(self):
+        negative = bool(self.accept("op", "-"))
+        token = self.current
+        if token.kind == "num":
+            self.advance()
+            return -token.value if negative else token.value
+        if token.kind == "fnum":
+            self.advance()
+            return -token.value if negative else token.value
+        raise ParseError("expected a constant", token.line)
+
+    def _function(self, return_type: str, name: Token) -> ast.Function:
+        function = ast.Function(line=name.line, return_type=return_type,
+                                name=name.text)
+        self.expect("op", "(")
+        if not self.check("op", ")"):
+            while True:
+                ptype = self.expect("kw").text
+                if ptype not in ("int", "float"):
+                    raise ParseError(f"bad parameter type {ptype!r}",
+                                     self.current.line)
+                while self.accept("op", "*"):
+                    pass
+                pname = self.expect("ident").text
+                function.params.append((ptype, pname))
+                if not self.accept("op", ","):
+                    break
+        self.expect("op", ")")
+        if self.accept("op", ";"):
+            function.body = None   # forward declaration (prototype)
+        else:
+            function.body = self._block()
+        return function
+
+    # --------------------------------------------------------- statements
+
+    def _block(self) -> list[ast.Node]:
+        self.expect("op", "{")
+        statements: list[ast.Node] = []
+        while not self.check("op", "}"):
+            statements.append(self._statement())
+        self.expect("op", "}")
+        return statements
+
+    def _statement(self) -> ast.Node:
+        token = self.current
+        if token.kind == "kw":
+            if token.text in ("int", "float"):
+                return self._local_decl()
+            if token.text == "if":
+                return self._if()
+            if token.text in ("while", "for", "parallel"):
+                return self._loop()
+            if token.text == "return":
+                self.advance()
+                value = None
+                if not self.check("op", ";"):
+                    value = self._expression()
+                self.expect("op", ";")
+                return ast.Return(line=token.line, value=value)
+        if token.kind == "kw" and token.text == "break":
+            self.advance()
+            self.expect("op", ";")
+            return ast.Break(line=token.line)
+        if token.kind == "kw" and token.text == "continue":
+            self.advance()
+            self.expect("op", ";")
+            return ast.Continue(line=token.line)
+        if token.kind == "op" and token.text == "{":
+            # Anonymous block: flatten into an if(1) for simplicity.
+            body = self._block()
+            return ast.If(line=token.line, cond=ast.IntLit(token.line, 1),
+                          then=body)
+        statement = self._simple_statement()
+        self.expect("op", ";")
+        return statement
+
+    def _local_decl(self) -> ast.Node:
+        type_token = self.advance()
+        while self.accept("op", "*"):
+            pass
+        name = self.expect("ident")
+        decl = ast.VarDecl(line=name.line, type=type_token.text,
+                           name=name.text)
+        if self.accept("op", "["):
+            decl.size = self.expect("num").value
+            self.expect("op", "]")
+        elif self.accept("op", "="):
+            decl.init = self._expression()
+        self.expect("op", ";")
+        return decl
+
+    def _if(self) -> ast.If:
+        token = self.advance()
+        self.expect("op", "(")
+        cond = self._expression()
+        self.expect("op", ")")
+        then = self._block() if self.check("op", "{") else [self._statement()]
+        otherwise: list[ast.Node] = []
+        if self.accept("kw", "else"):
+            if self.check("kw", "if"):
+                otherwise = [self._if()]
+            elif self.check("op", "{"):
+                otherwise = self._block()
+            else:
+                otherwise = [self._statement()]
+        return ast.If(line=token.line, cond=cond, then=then,
+                      otherwise=otherwise)
+
+    def _loop(self) -> ast.Node:
+        parallel = bool(self.accept("kw", "parallel"))
+        token = self.current
+        if self.accept("kw", "while"):
+            self.expect("op", "(")
+            cond = self._expression()
+            self.expect("op", ")")
+            body = self._block() if self.check("op", "{") \
+                else [self._statement()]
+            return ast.While(line=token.line, cond=cond, body=body,
+                             parallel=parallel)
+        if self.accept("kw", "for"):
+            self.expect("op", "(")
+            init = None
+            if not self.check("op", ";"):
+                if self.check("kw", "int") or self.check("kw", "float"):
+                    init = self._local_decl_inline()
+                else:
+                    init = self._simple_statement()
+            self.expect("op", ";")
+            cond = None if self.check("op", ";") else self._expression()
+            self.expect("op", ";")
+            step = None if self.check("op", ")") \
+                else self._simple_statement()
+            self.expect("op", ")")
+            body = self._block() if self.check("op", "{") \
+                else [self._statement()]
+            return ast.For(line=token.line, init=init, cond=cond, step=step,
+                           body=body, parallel=parallel)
+        raise ParseError("'parallel' must precede a while or for loop",
+                         token.line)
+
+    def _local_decl_inline(self) -> ast.VarDecl:
+        type_token = self.advance()
+        name = self.expect("ident")
+        decl = ast.VarDecl(line=name.line, type=type_token.text,
+                           name=name.text)
+        if self.accept("op", "="):
+            decl.init = self._expression()
+        return decl
+
+    def _simple_statement(self) -> ast.Node:
+        expr = self._expression()
+        for op in _ASSIGN_OPS:
+            if self.check("op", op):
+                if not isinstance(expr, (ast.Var, ast.Index)):
+                    raise ParseError("assignment target must be a "
+                                     "variable or element",
+                                     self.current.line)
+                self.advance()
+                value = self._expression()
+                return ast.Assign(line=expr.line, target=expr, op=op,
+                                  value=value)
+        return ast.ExprStmt(line=expr.line, expr=expr)
+
+    # -------------------------------------------------------- expressions
+
+    def _expression(self, min_precedence: int = 1) -> ast.Node:
+        left = self._unary()
+        while True:
+            token = self.current
+            if token.kind != "op":
+                break
+            precedence = _PRECEDENCE.get(token.text)
+            if precedence is None or precedence < min_precedence:
+                break
+            self.advance()
+            right = self._expression(precedence + 1)
+            left = ast.Binary(line=token.line, op=token.text, left=left,
+                              right=right)
+        return left
+
+    def _unary(self) -> ast.Node:
+        token = self.current
+        if token.kind == "op" and token.text in ("-", "!", "~"):
+            self.advance()
+            return ast.Unary(line=token.line, op=token.text,
+                             operand=self._unary())
+        return self._postfix()
+
+    def _postfix(self) -> ast.Node:
+        expr = self._primary()
+        while True:
+            if self.accept("op", "["):
+                index = self._expression()
+                self.expect("op", "]")
+                expr = ast.Index(line=expr.line, base=expr, index=index)
+            else:
+                break
+        return expr
+
+    def _primary(self) -> ast.Node:
+        token = self.advance()
+        if token.kind == "num":
+            return ast.IntLit(line=token.line, value=token.value)
+        if token.kind == "fnum":
+            return ast.FloatLit(line=token.line, value=token.value)
+        if token.kind == "string":
+            return ast.StrLit(line=token.line, value=token.value)
+        if token.kind == "kw" and token.text in ("int", "float"):
+            # Conversion intrinsic: int(e) / float(e).
+            self.expect("op", "(")
+            arg = self._expression()
+            self.expect("op", ")")
+            return ast.Call(line=token.line, name=token.text, args=[arg])
+        if token.kind == "ident":
+            if self.check("op", "("):
+                self.advance()
+                args: list[ast.Node] = []
+                if not self.check("op", ")"):
+                    while True:
+                        args.append(self._expression())
+                        if not self.accept("op", ","):
+                            break
+                self.expect("op", ")")
+                return ast.Call(line=token.line, name=token.text, args=args)
+            return ast.Var(line=token.line, name=token.text)
+        if token.kind == "op" and token.text == "(":
+            expr = self._expression()
+            self.expect("op", ")")
+            return expr
+        raise ParseError(f"unexpected token {token.text!r}", token.line)
+
+
+def parse(source: str) -> ast.TranslationUnit:
+    """Parse MinC source into an AST."""
+    return _Parser(tokenize(source)).parse_unit()

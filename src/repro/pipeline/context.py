@@ -1,0 +1,108 @@
+"""The interface between a unit pipeline and its surrounding machine.
+
+The pipeline engine is identical for the scalar baseline and for each
+multiscalar processing unit; everything that differs — where register
+values live, how memory is reached, what the multiscalar tag bits mean —
+is behind :class:`PipelineContext`.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+
+from repro.isa.instruction import Instruction
+
+
+class StallReason(enum.Enum):
+    """Why a unit performed no computation in a cycle (paper Section 3)."""
+
+    NONE = enum.auto()           # it did issue work
+    INTER_TASK = enum.auto()     # waiting on a value from an earlier task
+    INTRA_TASK = enum.auto()     # waiting on a value produced in-task
+    WAIT_RETIRE = enum.auto()    # task complete, waiting to become head
+    FETCH = enum.auto()          # nothing decoded yet (icache miss, flush)
+    SYSCALL = enum.auto()        # syscall held until non-speculative
+
+
+class PipelineContext(abc.ABC):
+    """Machine-side services for one :class:`UnitPipeline`."""
+
+    # ----------------------------------------------------------- fetch
+
+    @abc.abstractmethod
+    def fetch_group(self, addr: int, cycle: int) -> int:
+        """Start an icache fetch for the group at ``addr``.
+
+        Returns the cycle the instructions become available to decode.
+        """
+
+    @abc.abstractmethod
+    def instr_at(self, addr: int) -> Instruction | None:
+        """Decoded instruction at ``addr`` (None outside the text)."""
+
+    # -------------------------------------------------------- registers
+
+    @abc.abstractmethod
+    def reg_ready(self, reg: int) -> bool:
+        """False while ``reg`` awaits a value from a predecessor task."""
+
+    @abc.abstractmethod
+    def read_reg(self, reg: int):
+        """Architectural value of ``reg`` (only called when ready)."""
+
+    @abc.abstractmethod
+    def write_reg(self, reg: int, value) -> None:
+        """Commit a register result."""
+
+    # ----------------------------------------------------------- memory
+
+    @abc.abstractmethod
+    def mem_load(self, instr: Instruction, addr: int, cycle: int):
+        """Perform a load; returns ``(value, done_cycle)``."""
+
+    def mem_store_prepare(self, instr: Instruction, addr: int) -> None:
+        """Called when a store issues (address known).
+
+        A multiscalar context reserves ARB space here so that the commit
+        -time store can never fail; raises MemRetry when the ARB bank is
+        full and the store must retry issue later.
+        """
+
+    @abc.abstractmethod
+    def mem_store(self, instr: Instruction, addr: int, value,
+                  cycle: int) -> None:
+        """Perform a store (called at commit time)."""
+
+    # ------------------------------------------- multiscalar annotations
+
+    def on_forward(self, reg: int, value) -> None:
+        """A committed instruction had its forward bit set."""
+
+    def on_release(self, regs: tuple[int, ...]) -> None:
+        """A release instruction committed."""
+
+    def on_stop(self, instr: Instruction, next_pc: int) -> None:
+        """The task's stop condition was satisfied at commit."""
+
+    def task_stopped(self) -> bool:
+        """True once the task has committed its stop instruction."""
+        return False
+
+    # ------------------------------------------------------------ system
+
+    def can_commit_syscall(self) -> bool:
+        """True when a syscall may commit (non-speculative context)."""
+        return True
+
+    @abc.abstractmethod
+    def on_syscall(self) -> None:
+        """Execute a syscall's architectural effect."""
+
+    @abc.abstractmethod
+    def on_halt(self) -> None:
+        """A HALT instruction committed."""
+
+    def suppress_annotations(self) -> bool:
+        """True when tag bits are ignored (scalar mode, suppressed calls)."""
+        return False

@@ -1,0 +1,501 @@
+"""The 5-stage processing-unit pipeline (IF/ID/EX/MEM/WB).
+
+One instance of :class:`UnitPipeline` models one of the paper's
+processing units: in-order or out-of-order issue at 1- or 2-way width,
+out-of-order completion on the pipelined functional units of Table 1,
+and in-order commit. In-order commit gives clean semantics for the
+multiscalar tag bits — forwards, releases, stop conditions, stores, and
+syscalls all take effect in program order.
+
+Intra-task control flow uses predict-not-taken for conditional branches
+(taken branches flush younger work and redirect), immediate redirection
+at decode for direct jumps and calls, and a fetch stall for indirect
+jumps. A decoded stop bit stops fetch at the task boundary, as the
+hardware's tag-bit-aware instruction cache would (Section 2.2).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.config import UnitConfig
+from repro.isa import semantics
+from repro.isa.executor import next_pc as arch_next_pc
+from repro.isa.instruction import Instruction
+from repro.isa.memory_image import u32
+from repro.isa.opcodes import FUClass, Kind, Op, StopKind
+from repro.pipeline.context import PipelineContext, StallReason
+from repro.pipeline.functional_units import FUPool
+
+
+class MemRetry(Exception):
+    """Raised by a context when a memory op cannot issue this cycle
+    (e.g. the ARB bank is full under the stall policy); the pipeline
+    retries on a later cycle."""
+
+
+@dataclass
+class _InFlight:
+    """One instruction in the ROB (dispatch through commit)."""
+
+    instr: Instruction
+    pc: int
+    idx: int                     # dispatch order, monotonically increasing
+    issuable_at: int
+    producers: dict[int, "_InFlight | None"] = field(default_factory=dict)
+    issued: bool = False
+    done_cycle: int = 0
+    result: object = None        # destination value (ALU/load/link)
+    ea: int = 0                  # effective address of a memory op
+    store_value: object = None
+    taken: bool = False
+    next_pc: int = 0
+    resolved: bool = True        # False for in-flight control instructions
+    stalled_fetch: bool = False  # this instruction stopped the fetcher
+
+    def completed(self, cycle: int) -> bool:
+        return self.issued and cycle >= self.done_cycle
+
+
+@dataclass
+class PipelineStats:
+    fetched: int = 0
+    dispatched: int = 0
+    issued: int = 0
+    committed: int = 0
+    flushed: int = 0
+    taken_branch_flushes: int = 0
+    loads: int = 0
+    stores: int = 0
+
+
+class UnitPipeline:
+    """One processing unit."""
+
+    def __init__(self, config: UnitConfig, ctx: PipelineContext,
+                 fu_pool: FUPool | None = None) -> None:
+        self.config = config
+        self.ctx = ctx
+        self.fus = fu_pool if fu_pool is not None else FUPool(config)
+        self.stats = PipelineStats()
+        self.reset(pc=None)
+
+    # ----------------------------------------------------------- control
+
+    def reset(self, pc: int | None) -> None:
+        """Restart the pipeline at ``pc`` (None leaves fetch stopped)."""
+        self.pc = pc
+        self.rob: list[_InFlight] = []
+        self.fetch_buffer: deque[tuple[Instruction, int]] = deque()
+        self.fetch_pending_until: int | None = None
+        self.fetch_pending_pc: int | None = None
+        self.last_writer: dict[int, _InFlight] = {}
+        self.unresolved: list[_InFlight] = []
+        self.pending_stores = 0
+        self._dispatch_idx = 0
+        self.stop_committed = False
+        self.fus.reset()
+        self._last_stall = StallReason.FETCH
+
+    def busy(self) -> bool:
+        """True while any instruction is in flight or fetch is active."""
+        return bool(self.rob or self.fetch_buffer
+                    or self.pc is not None
+                    or self.fetch_pending_until is not None)
+
+    def drained(self) -> bool:
+        """True once every dispatched instruction has committed."""
+        return not self.rob
+
+    # ------------------------------------------------------------- step
+
+    def step(self, cycle: int) -> tuple[int, StallReason]:
+        """Advance one cycle; returns (instructions issued, stall reason)."""
+        self._commit(cycle)
+        self._resolve_branches(cycle)
+        issued = self._issue(cycle)
+        self._dispatch(cycle)
+        self._fetch(cycle)
+        if issued:
+            reason = StallReason.NONE
+        else:
+            reason = self._classify_stall(cycle)
+        self._last_stall = reason
+        return issued, reason
+
+    # ------------------------------------------------------------ commit
+
+    def _commit(self, cycle: int) -> None:
+        ctx = self.ctx
+        while self.rob:
+            rec = self.rob[0]
+            if not rec.completed(cycle) or not rec.resolved:
+                break
+            instr = rec.instr
+            kind = instr.kind
+            if kind in (Kind.SYSCALL, Kind.HALT) \
+                    and not ctx.can_commit_syscall():
+                break
+            self.rob.pop(0)
+            self.stats.committed += 1
+            # Retire the register result.
+            dsts = instr.dst_regs()
+            if dsts and rec.result is not None:
+                ctx.write_reg(dsts[0], rec.result)
+            for dst in dsts:
+                if self.last_writer.get(dst) is rec:
+                    del self.last_writer[dst]
+            if kind is Kind.STORE:
+                ctx.mem_store(instr, rec.ea, rec.store_value, cycle)
+                self.pending_stores -= 1
+                self.stats.stores += 1
+            elif kind is Kind.SYSCALL:
+                ctx.on_syscall()
+            elif kind is Kind.HALT:
+                ctx.on_halt()
+                # Nothing younger may commit (it would be text fetched
+                # past the end of the program).
+                self._flush_younger(rec.idx)
+                self._stop_fetch()
+                break
+            suppressed = ctx.suppress_annotations()
+            if not suppressed:
+                if instr.forward and dsts:
+                    ctx.on_forward(dsts[0], rec.result)
+                if kind is Kind.RELEASE:
+                    ctx.on_release(instr.regs)
+                if self._stop_satisfied(rec):
+                    self.stop_committed = True
+                    ctx.on_stop(instr, rec.next_pc)
+                    # Anything younger belongs to the next task and is
+                    # being executed by a successor unit.
+                    self._flush_younger(rec.idx)
+                    self.pc = None
+                    break
+
+    @staticmethod
+    def _stop_satisfied(rec: _InFlight) -> bool:
+        stop = rec.instr.stop
+        if stop is StopKind.NONE:
+            return False
+        if stop is StopKind.ALWAYS:
+            return True
+        if stop is StopKind.TAKEN:
+            return rec.taken
+        return not rec.taken
+
+    # -------------------------------------------------------- resolution
+
+    def _resolve_branches(self, cycle: int) -> None:
+        while True:
+            candidate = None
+            for rec in self.unresolved:
+                if rec.issued and cycle >= rec.done_cycle:
+                    candidate = rec
+                    break
+            if candidate is None:
+                return
+            self.unresolved.remove(candidate)
+            candidate.resolved = True
+            self._apply_resolution(candidate, cycle)
+
+    def _apply_resolution(self, rec: _InFlight, cycle: int) -> None:
+        instr = rec.instr
+        kind = instr.kind
+        stop = instr.stop if not self.ctx.suppress_annotations() \
+            else StopKind.NONE
+        if kind is Kind.BRANCH:
+            ends_task = (stop is StopKind.ALWAYS
+                         or (stop is StopKind.TAKEN and rec.taken)
+                         or (stop is StopKind.NOT_TAKEN and not rec.taken))
+            if ends_task:
+                # Commit will report the stop; fetch stays stopped.
+                self._flush_younger(rec.idx)
+                self.pc = None
+            elif rec.taken:
+                # Predict-not-taken mispredicted: flush and redirect.
+                self.stats.taken_branch_flushes += 1
+                self._flush_younger(rec.idx)
+                self.pc = rec.next_pc
+            elif rec.stalled_fetch:
+                # stop_nottaken branch that was taken after all: the task
+                # continues at the target.
+                self._flush_younger(rec.idx)
+                self.pc = rec.next_pc
+        elif kind in (Kind.JUMP_REG, Kind.CALL) and instr.op in (
+                Op.JR, Op.JALR):
+            if stop is StopKind.ALWAYS:
+                self._flush_younger(rec.idx)
+                self.pc = None
+            else:
+                self._flush_younger(rec.idx)
+                self.pc = rec.next_pc
+
+    # ------------------------------------------------------------- issue
+
+    def _issue(self, cycle: int) -> int:
+        issued = 0
+        width = self.config.issue_width
+        if self.config.out_of_order:
+            for rec in self.rob:
+                if issued >= width:
+                    break
+                if rec.issued:
+                    continue
+                if self._try_issue(rec, cycle):
+                    issued += 1
+        else:
+            for rec in self.rob:
+                if rec.issued:
+                    continue
+                if issued >= width:
+                    break
+                if self._try_issue(rec, cycle):
+                    issued += 1
+                else:
+                    break  # in-order: a stalled instruction blocks younger
+        self.stats.issued += issued
+        return issued
+
+    def _sources_ready(self, rec: _InFlight, cycle: int) -> bool:
+        for reg, producer in rec.producers.items():
+            if producer is None:
+                if not self.ctx.reg_ready(reg):
+                    return False
+            elif not producer.completed(cycle):
+                return False
+        return True
+
+    def _gather_sources(self, rec: _InFlight) -> dict[int, object]:
+        values: dict[int, object] = {}
+        for reg, producer in rec.producers.items():
+            if producer is None:
+                values[reg] = self.ctx.read_reg(reg)
+            else:
+                values[reg] = producer.result
+        return values
+
+    def _older_unresolved_branch(self, rec: _InFlight) -> bool:
+        return any(b.idx < rec.idx for b in self.unresolved)
+
+    def _older_uncommitted_store(self, rec: _InFlight) -> bool:
+        if not self.pending_stores:
+            return False
+        for other in self.rob:
+            if other.idx >= rec.idx:
+                return False
+            if other.instr.kind is Kind.STORE:
+                return True
+        return False
+
+    def _try_issue(self, rec: _InFlight, cycle: int) -> bool:
+        if cycle < rec.issuable_at:
+            return False
+        if not self._sources_ready(rec, cycle):
+            return False
+        instr = rec.instr
+        kind = instr.kind
+        spec = instr.spec
+        if kind is Kind.LOAD and (self._older_unresolved_branch(rec)
+                                  or self._older_uncommitted_store(rec)):
+            return False
+        if not self.fus.can_accept(spec.fu, cycle):
+            return False
+        srcs = self._gather_sources(rec)
+        latency = self.fus.latency(spec.latency)
+        done = cycle + latency
+        if kind is Kind.ALU:
+            if instr.op is not Op.NOP and instr.dst_regs():
+                rec.result = semantics.evaluate_alu(instr, srcs)
+        elif kind is Kind.LOAD:
+            rec.ea = semantics.effective_addr(instr, srcs)
+            try:
+                # Address generation takes the EX cycle; the cache access
+                # begins the cycle after.
+                value, done = self.ctx.mem_load(instr, rec.ea, cycle + 1)
+            except MemRetry:
+                return False
+            rec.result = value
+            self.stats.loads += 1
+        elif kind is Kind.STORE:
+            rec.ea = semantics.effective_addr(instr, srcs)
+            try:
+                self.ctx.mem_store_prepare(instr, rec.ea)
+            except MemRetry:
+                return False
+            value_reg = instr.ft if instr.ft is not None else instr.rt
+            rec.store_value = srcs[value_reg]
+        elif kind is Kind.BRANCH:
+            rec.taken = semantics.branch_taken(instr, srcs)
+            rec.next_pc = instr.target if rec.taken else rec.pc + 4
+        elif kind in (Kind.JUMP, Kind.CALL, Kind.JUMP_REG):
+            rec.next_pc = arch_next_pc(instr, srcs, rec.pc)
+            if kind is Kind.CALL:
+                rec.result = u32(rec.pc + 4)  # link value for $ra
+        # SYSCALL / HALT / RELEASE carry no EX-stage result.
+        self.fus.accept(spec.fu, cycle)
+        rec.issued = True
+        rec.done_cycle = done
+        return True
+
+    # ---------------------------------------------------------- dispatch
+
+    def _dispatch(self, cycle: int) -> None:
+        width = self.config.issue_width
+        dispatched = 0
+        while (dispatched < width and self.fetch_buffer
+               and len(self.rob) < self.config.window_size):
+            instr, pc = self.fetch_buffer.popleft()
+            rec = _InFlight(instr=instr, pc=pc, idx=self._dispatch_idx,
+                            issuable_at=cycle + 1)
+            rec.next_pc = pc + 4  # control instructions overwrite at issue
+            self._dispatch_idx += 1
+            if instr.op is Op.RELEASE:
+                # A release does not wait for its registers: the commit
+                # handler forwards the current local value, and defers
+                # any register still awaiting a predecessor (the ring
+                # re-forwards it on arrival). Blocking issue here would
+                # serialize tasks on values they merely pass through.
+                sources: tuple[int, ...] = ()
+            else:
+                sources = instr.src_regs()
+            for reg in sources:
+                rec.producers[reg] = self.last_writer.get(reg)
+            for dst in instr.dst_regs():
+                self.last_writer[dst] = rec
+            if instr.kind is Kind.STORE:
+                self.pending_stores += 1
+            self.rob.append(rec)
+            self.stats.dispatched += 1
+            dispatched += 1
+            if self._dispatch_control(rec):
+                break
+
+    def _dispatch_control(self, rec: _InFlight) -> bool:
+        """Handle fetch redirection at decode; True if dispatch must stop."""
+        instr = rec.instr
+        kind = instr.kind
+        suppressed = self.ctx.suppress_annotations()
+        stop = instr.stop if not suppressed else StopKind.NONE
+        if kind is Kind.BRANCH:
+            rec.resolved = False
+            self.unresolved.append(rec)
+            if stop in (StopKind.ALWAYS, StopKind.NOT_TAKEN):
+                # Predicted task end: do not fetch beyond the boundary.
+                rec.stalled_fetch = True
+                self._stop_fetch()
+                return True
+            return False
+        if kind is Kind.JUMP:
+            if stop is StopKind.ALWAYS:
+                rec.stalled_fetch = True
+                self._stop_fetch()
+            else:
+                self._redirect_fetch(instr.target)
+            return True
+        if kind is Kind.CALL and instr.op is Op.JAL:
+            if stop is StopKind.ALWAYS:
+                rec.stalled_fetch = True
+                self._stop_fetch()
+            else:
+                self._redirect_fetch(instr.target)
+            return True
+        if kind in (Kind.JUMP_REG, Kind.CALL):  # jr / jalr
+            rec.resolved = False
+            self.unresolved.append(rec)
+            rec.stalled_fetch = True
+            self._stop_fetch()
+            return True
+        if stop is StopKind.ALWAYS:
+            rec.stalled_fetch = True
+            self._stop_fetch()
+            return True
+        return False
+
+    # ------------------------------------------------------------- fetch
+
+    def _fetch(self, cycle: int) -> None:
+        if self.fetch_pending_until is not None:
+            if cycle < self.fetch_pending_until:
+                return
+            self._deliver_fetch_group()
+        if self.pc is None:
+            return
+        if len(self.fetch_buffer) >= self.config.fetch_queue:
+            return
+        group = self.pc & ~15
+        self.fetch_pending_pc = self.pc
+        self.fetch_pending_until = self.ctx.fetch_group(group, cycle)
+
+    def _deliver_fetch_group(self) -> None:
+        start = self.fetch_pending_pc
+        self.fetch_pending_until = None
+        self.fetch_pending_pc = None
+        if start is None or self.pc is None or start != self.pc:
+            return  # redirected while the fetch was in flight
+        group_end = (start & ~15) + 16
+        pc = start
+        while pc < group_end:
+            instr = self.ctx.instr_at(pc)
+            if instr is None:
+                self.pc = None
+                return
+            self.fetch_buffer.append((instr, pc))
+            self.stats.fetched += 1
+            pc += 4
+        self.pc = pc
+
+    def _redirect_fetch(self, target: int) -> None:
+        self.pc = target
+        self.fetch_buffer.clear()
+        self.fetch_pending_until = None
+        self.fetch_pending_pc = None
+
+    def _stop_fetch(self) -> None:
+        self.pc = None
+        self.fetch_buffer.clear()
+        self.fetch_pending_until = None
+        self.fetch_pending_pc = None
+
+    # ------------------------------------------------------------- flush
+
+    def _flush_younger(self, idx: int) -> None:
+        """Discard every dispatched instruction younger than ``idx``."""
+        keep = [r for r in self.rob if r.idx <= idx]
+        dropped = len(self.rob) - len(keep)
+        if dropped:
+            self.stats.flushed += dropped
+        self.rob = keep
+        self.unresolved = [r for r in self.unresolved if r.idx <= idx]
+        self.pending_stores = sum(
+            1 for r in self.rob if r.instr.kind is Kind.STORE)
+        self.last_writer = {}
+        for rec in self.rob:
+            for dst in rec.instr.dst_regs():
+                self.last_writer[dst] = rec
+        self.fetch_buffer.clear()
+        self.fetch_pending_until = None
+        self.fetch_pending_pc = None
+
+    # ------------------------------------------------------------- stats
+
+    def _classify_stall(self, cycle: int) -> StallReason:
+        for rec in self.rob:
+            if rec.issued:
+                continue
+            for reg, producer in rec.producers.items():
+                if producer is None and not self.ctx.reg_ready(reg):
+                    return StallReason.INTER_TASK
+            return StallReason.INTRA_TASK
+        if self.rob:
+            head = self.rob[0]
+            if head.instr.kind is Kind.SYSCALL and head.completed(cycle) \
+                    and not self.ctx.can_commit_syscall():
+                return StallReason.SYSCALL
+            return StallReason.INTRA_TASK
+        if self.stop_committed or (self.pc is None
+                                   and self.fetch_pending_until is None
+                                   and not self.fetch_buffer):
+            return StallReason.WAIT_RETIRE
+        return StallReason.FETCH

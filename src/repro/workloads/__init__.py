@@ -1,0 +1,43 @@
+"""Workload kernels standing in for the paper's benchmarks.
+
+Each module defines a :class:`~repro.workloads.base.WorkloadSpec` whose
+MinC source reproduces the *structure* the paper documents for the
+corresponding benchmark (Section 5.3): the loop shapes, the dependence
+pattern that helps or hurts multiscalar execution, and the manual task
+partitioning the authors describe. Inputs are deterministic and scaled
+so a pure-Python cycle simulator completes each configuration in
+seconds; DESIGN.md §2 records the substitution rationale.
+"""
+
+from repro.workloads.base import WorkloadSpec
+from repro.workloads import (
+    cmp_util,
+    compress,
+    eqntott,
+    espresso,
+    example,
+    gcclike,
+    sc,
+    tomcatv,
+    wc,
+    xlisp,
+)
+
+#: All workloads in the paper's Table 2/3/4 row order.
+WORKLOADS: dict[str, WorkloadSpec] = {
+    spec.name: spec
+    for spec in (
+        compress.SPEC,
+        eqntott.SPEC,
+        espresso.SPEC,
+        gcclike.SPEC,
+        sc.SPEC,
+        xlisp.SPEC,
+        tomcatv.SPEC,
+        cmp_util.SPEC,
+        wc.SPEC,
+        example.SPEC,
+    )
+}
+
+__all__ = ["WORKLOADS", "WorkloadSpec"]

@@ -1,0 +1,67 @@
+"""Common machinery for workload definitions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+from repro.isa import Program
+from repro.minic import compile_and_annotate, compile_scalar
+
+
+def lcg(seed: int):
+    """Deterministic 31-bit linear congruential generator."""
+    state = seed & 0x7FFFFFFF
+    while True:
+        state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+        yield state
+
+
+def lcg_ints(seed: int, count: int, modulus: int) -> list[int]:
+    gen = lcg(seed)
+    return [next(gen) % modulus for _ in range(count)]
+
+
+def render_int_array(name: str, values: list[int]) -> str:
+    """Render a MinC global int array with initializers."""
+    body = ", ".join(str(v) for v in values)
+    return f"int {name}[{len(values)}] = {{{body}}};"
+
+
+def render_float_array(name: str, values: list[float]) -> str:
+    body = ", ".join(repr(round(v, 6)) for v in values)
+    return f"float {name}[{len(values)}] = {{{body}}};"
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One benchmark kernel: source, partitioning, expected output."""
+
+    name: str
+    paper_benchmark: str
+    description: str
+    source: str
+    expected_output: str
+    extra_entries: tuple[str, ...] = ()
+    #: What the paper says about this benchmark's multiscalar behaviour
+    #: (drives the expectations recorded in EXPERIMENTS.md).
+    paper_notes: str = ""
+
+    def scalar_program(self) -> Program:
+        return _compile_scalar_cached(self.source, self.name)
+
+    def multiscalar_program(self) -> Program:
+        return _compile_multiscalar_cached(self.source, self.name,
+                                           self.extra_entries)
+
+
+@lru_cache(maxsize=64)
+def _compile_scalar_cached(source: str, name: str) -> Program:
+    return compile_scalar(source, name)
+
+
+@lru_cache(maxsize=64)
+def _compile_multiscalar_cached(source: str, name: str,
+                                extra_entries: tuple[str, ...]) -> Program:
+    return compile_and_annotate(source, name,
+                                extra_entries=list(extra_entries))

@@ -1,0 +1,108 @@
+"""The paper's running example (Figure 3): linked-list symbol search.
+
+Each task is one complete search of the list with a particular symbol;
+a matched symbol's node is processed (its count incremented, via a
+suppressed function call), and unmatched symbols are appended to the
+tail. After warm-up, additions become rare, so the searches of
+different symbols are almost always independent — the case the paper
+uses to argue that a multiscalar processor extracts parallelism no
+superscalar or VLIW could (Section 5.3: "we attain excellent
+speedups").
+
+Paper input: 16 tokens, each appearing 450 times. Scaled here to 12
+symbols appearing 12 times each (144 searches).
+"""
+
+from repro.workloads.base import WorkloadSpec, lcg, render_int_array
+
+NUM_SYMBOLS = 12
+REPEATS = 12
+
+
+def _make_buffer() -> list[int]:
+    symbols = [100 + 7 * k for k in range(NUM_SYMBOLS)]
+    buffer: list[int] = []
+    gen = lcg(0xE7A)
+    pool = [s for s in symbols for _ in range(REPEATS)]
+    # Deterministic shuffle.
+    for i in range(len(pool) - 1, 0, -1):
+        j = next(gen) % (i + 1)
+        pool[i], pool[j] = pool[j], pool[i]
+    buffer.extend(pool)
+    return buffer
+
+
+_BUFFER = _make_buffer()
+
+
+def _expected() -> str:
+    listhd: list[list[int]] = []   # nodes as [symbol, count]
+    for symbol in _BUFFER:
+        for node in listhd:
+            if node[0] == symbol:
+                node[1] += 1
+                break
+        else:
+            listhd.append([symbol, 1])
+    length = len(listhd)
+    total = sum(node[1] for node in listhd)
+    weighted = sum(node[0] * node[1] for node in listhd)
+    return f"{length} {total} {weighted}"
+
+
+_SOURCE = f"""
+// Figure 3 of the paper: symbol search over a linked list.
+{render_int_array("buffer", _BUFFER)}
+int listhd = 0;
+
+void process(int node) {{
+    node[2] = node[2] + 1;
+}}
+
+void addlist(int symbol) {{
+    int node = alloc(12);
+    node[0] = symbol;
+    node[1] = 0;
+    node[2] = 1;
+    if (listhd == 0) {{ listhd = node; return; }}
+    int p = listhd;
+    while (p[1] != 0) {{ p = p[1]; }}
+    p[1] = node;
+}}
+
+void main() {{
+    int indx = 0;
+    parallel while (indx < {len(_BUFFER)}) {{
+        int symbol = buffer[indx];
+        indx += 1;                      // early induction update (§3.2.2)
+        int list = listhd;
+        while (list != 0) {{
+            if (symbol == list[0]) {{ process(list); break; }}
+            list = list[1];
+        }}
+        if (list == 0) {{ addlist(symbol); }}
+    }}
+    // Checksum: list length, total count, weighted sum.
+    int length = 0; int total = 0; int weighted = 0;
+    int p = listhd;
+    while (p != 0) {{
+        length += 1;
+        total += p[2];
+        weighted += p[0] * p[2];
+        p = p[1];
+    }}
+    print_int(length); print_char(' ');
+    print_int(total); print_char(' ');
+    print_int(weighted);
+}}
+"""
+
+SPEC = WorkloadSpec(
+    name="example",
+    paper_benchmark="Example (Figure 3)",
+    description="Linked-list symbol search; one task per search",
+    source=_SOURCE,
+    expected_output=_expected(),
+    paper_notes=("Iterations mostly independent dynamically; paper reports "
+                 "2.4-4.9x speedups and 99.9% task prediction accuracy."),
+)

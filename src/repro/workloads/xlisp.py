@@ -1,0 +1,116 @@
+"""xlisp stand-in: recursive tree evaluation with shared heap state.
+
+Section 5.3 groups xlisp with gcc: squash-bound, near-sequential
+execution, and the paper is "less confident" that exploitable
+parallelism even exists. We model a tiny expression interpreter:
+each task evaluates one expression tree by recursive descent (the
+recursive, stack-renaming behaviour of the ARB is exercised by the
+suppressed calls), while every evaluation bumps a shared allocation
+counter — the global-scalar update pattern that causes memory-order
+squashes. Expect ~1x.
+"""
+
+from repro.workloads.base import WorkloadSpec, lcg
+
+NUM_TREES = 24
+MAX_DEPTH = 4
+
+_gen = lcg(0x715B)
+
+
+def _build_tree(depth: int, store: list[tuple[int, int, int, int]]) -> int:
+    """Build a tree into `store`; returns the node index (1-based)."""
+    r = next(_gen)
+    if depth >= MAX_DEPTH or r % 4 == 0:
+        store.append((0, 0, 0, r % 100))        # leaf: tag 0, value
+        return len(store)
+    op = 1 + r % 3                               # 1=add, 2=sub, 3=max
+    left = _build_tree(depth + 1, store)
+    right = _build_tree(depth + 1, store)
+    store.append((op, left, right, 0))
+    return len(store)
+
+
+_NODES: list[tuple[int, int, int, int]] = []
+_ROOTS = [_build_tree(0, _NODES) for _ in range(NUM_TREES)]
+
+
+def _eval(node: int) -> tuple[int, int]:
+    tag, left, right, value = _NODES[node - 1]
+    if tag == 0:
+        return value, 1
+    lv, lc = _eval(left)
+    rv, rc = _eval(right)
+    if tag == 1:
+        out = lv + rv
+    elif tag == 2:
+        out = lv - rv
+    else:
+        out = lv if lv > rv else rv
+    return out, lc + rc + 1
+
+
+def _expected() -> str:
+    total = 0
+    allocs = 0
+    for root in _ROOTS:
+        value, visited = _eval(root)
+        total += value
+        allocs += visited
+    return f"{total} {allocs}"
+
+
+def _flatten() -> tuple[str, str]:
+    tags, lefts, rights, values = zip(*_NODES)
+    fields = []
+    for name, column in (("tags", tags), ("lefts", lefts),
+                         ("rights", rights), ("values", values)):
+        body = ", ".join(str(v) for v in column)
+        fields.append(f"int {name}[{len(_NODES)}] = {{{body}}};")
+    roots = ", ".join(str(r) for r in _ROOTS)
+    fields.append(f"int roots[{NUM_TREES}] = {{{roots}}};")
+    return "\n".join(fields), str(len(_NODES))
+
+
+_ARRAYS, _ = _flatten()
+
+_SOURCE = f"""
+// xlisp-like: recursive expression evaluation with a shared counter.
+{_ARRAYS}
+int results[{NUM_TREES}];
+int allocs = 0;
+
+int eval(int node) {{
+    allocs += 1;                      // shared heap counter (squash source)
+    int tag = tags[node - 1];
+    if (tag == 0) {{ return values[node - 1]; }}
+    int lv = eval(lefts[node - 1]);
+    int rv = eval(rights[node - 1]);
+    if (tag == 1) {{ return lv + rv; }}
+    if (tag == 2) {{ return lv - rv; }}
+    if (lv > rv) {{ return lv; }}
+    return rv;
+}}
+
+void main() {{
+    int t = 0;
+    parallel while (t < {NUM_TREES}) {{
+        int k = t;
+        t += 1;
+        results[k] = eval(roots[k]);
+    }}
+    int total = 0;
+    for (int k = 0; k < {NUM_TREES}; k += 1) {{ total += results[k]; }}
+    print_int(total); print_char(' '); print_int(allocs);
+}}
+"""
+
+SPEC = WorkloadSpec(
+    name="xlisp",
+    paper_benchmark="xlisp (SPECint92)",
+    description="Recursive tree interpreter with a shared heap counter",
+    source=_SOURCE,
+    expected_output=_expected(),
+    paper_notes=("Squash-bound near-sequential execution; paper reports "
+                 "0.85-1.01x (often a slowdown)."),
+)

@@ -1,0 +1,183 @@
+"""Unit tests for the Address Resolution Buffer."""
+
+import pytest
+
+from repro.arb import ARBFullError, AddressResolutionBuffer
+from repro.isa.memory_image import SparseMemory
+
+
+def make_arb(entries_per_bank=256, num_banks=4):
+    mem = SparseMemory()
+    arb = AddressResolutionBuffer(mem, num_banks=num_banks, block_bits=6,
+                                  entries_per_bank=entries_per_bank)
+    return mem, arb
+
+
+def test_load_reads_committed_memory():
+    mem, arb = make_arb()
+    mem.write_word(0x100, 0xDEADBEEF)
+    raw = arb.load(seq=1, addr=0x100, width=4)
+    assert int.from_bytes(raw, "little") == 0xDEADBEEF
+
+
+def test_load_forwards_own_store():
+    mem, arb = make_arb()
+    arb.store(seq=1, addr=0x100, data=(42).to_bytes(4, "little"))
+    raw = arb.load(seq=1, addr=0x100, width=4)
+    assert int.from_bytes(raw, "little") == 42
+    assert mem.read_word(0x100) == 0  # memory untouched until commit
+
+
+def test_load_forwards_nearest_predecessor_store():
+    mem, arb = make_arb()
+    arb.store(seq=1, addr=0x100, data=(10).to_bytes(4, "little"))
+    arb.store(seq=3, addr=0x100, data=(30).to_bytes(4, "little"))
+    raw = arb.load(seq=4, addr=0x100, width=4)
+    assert int.from_bytes(raw, "little") == 30
+    raw = arb.load(seq=2, addr=0x100, width=4)
+    assert int.from_bytes(raw, "little") == 10
+
+
+def test_memory_order_violation_detected():
+    mem, arb = make_arb()
+    # Successor (seq 5) loads first, then predecessor (seq 2) stores.
+    arb.load(seq=5, addr=0x200, width=4)
+    violator = arb.store(seq=2, addr=0x200, data=(7).to_bytes(4, "little"))
+    assert violator == 5
+    assert arb.stats.violations == 1
+
+
+def test_no_violation_when_load_already_saw_newer_store():
+    mem, arb = make_arb()
+    arb.store(seq=4, addr=0x200, data=(9).to_bytes(4, "little"))
+    arb.load(seq=5, addr=0x200, width=4)   # reads seq 4's value
+    violator = arb.store(seq=2, addr=0x200, data=(7).to_bytes(4, "little"))
+    assert violator is None
+
+
+def test_no_violation_for_own_or_predecessor_load():
+    mem, arb = make_arb()
+    arb.load(seq=3, addr=0x300, width=4)
+    assert arb.store(seq=3, addr=0x300,
+                     data=(1).to_bytes(4, "little")) is None
+    assert arb.store(seq=4, addr=0x300,
+                     data=(2).to_bytes(4, "little")) is None
+
+
+def test_byte_granularity_no_false_conflict():
+    mem, arb = make_arb()
+    arb.load(seq=5, addr=0x400, width=1)      # byte 0 only
+    violator = arb.store(seq=2, addr=0x401, data=b"\x07")  # byte 1
+    assert violator is None
+    violator = arb.store(seq=2, addr=0x400, data=b"\x07")  # byte 0
+    assert violator == 5
+
+
+def test_earliest_violator_reported():
+    mem, arb = make_arb()
+    arb.load(seq=7, addr=0x500, width=4)
+    arb.load(seq=5, addr=0x500, width=4)
+    violator = arb.store(seq=2, addr=0x500, data=(1).to_bytes(4, "little"))
+    assert violator == 5
+
+
+def test_commit_drains_stores_in_task_order():
+    mem, arb = make_arb()
+    arb.store(seq=1, addr=0x100, data=(10).to_bytes(4, "little"))
+    arb.store(seq=2, addr=0x100, data=(20).to_bytes(4, "little"))
+    arb.commit_task(1)
+    assert mem.read_word(0x100) == 10
+    arb.commit_task(2)
+    assert mem.read_word(0x100) == 20
+    assert arb.is_empty()
+
+
+def test_squash_discards_stores():
+    mem, arb = make_arb()
+    arb.store(seq=2, addr=0x100, data=(99).to_bytes(4, "little"))
+    arb.squash_task(2)
+    assert arb.is_empty()
+    raw = arb.load(seq=3, addr=0x100, width=4)
+    assert int.from_bytes(raw, "little") == 0
+
+
+def test_squash_then_no_stale_violation():
+    mem, arb = make_arb()
+    arb.load(seq=5, addr=0x200, width=4)
+    arb.squash_task(5)
+    assert arb.store(seq=2, addr=0x200,
+                     data=(7).to_bytes(4, "little")) is None
+
+
+def test_partial_byte_store_merges_with_memory():
+    mem, arb = make_arb()
+    mem.write_word(0x100, 0xAABBCCDD)
+    arb.store(seq=1, addr=0x101, data=b"\x11")   # byte 1 only
+    raw = arb.load(seq=2, addr=0x100, width=4)
+    assert int.from_bytes(raw, "little") == 0xAABB11DD
+    arb.commit_task(1)
+    assert mem.read_word(0x100) == 0xAABB11DD
+
+
+def test_double_word_store_spans_words():
+    mem, arb = make_arb()
+    data = bytes(range(8))
+    arb.store(seq=1, addr=0x100, data=data)
+    raw = arb.load(seq=2, addr=0x100, width=8)
+    assert raw == data
+    assert arb.entry_count() == 2
+
+
+def test_capacity_limit_raises_for_speculative_ops():
+    mem, arb = make_arb(entries_per_bank=2, num_banks=1)
+    arb.store(seq=2, addr=0x000, data=b"\x01")
+    arb.store(seq=2, addr=0x100, data=b"\x01")
+    with pytest.raises(ARBFullError):
+        arb.store(seq=2, addr=0x200, data=b"\x01")
+    with pytest.raises(ARBFullError):
+        arb.load(seq=2, addr=0x300, width=4)
+    assert arb.stats.full_events == 2
+
+
+def test_head_bypasses_full_arb():
+    mem, arb = make_arb(entries_per_bank=1, num_banks=1)
+    arb.store(seq=2, addr=0x000, data=b"\x01")
+    # Head store writes through; head load reads committed memory.
+    assert arb.store(seq=1, addr=0x200, data=(5).to_bytes(4, "little"),
+                     is_head=True) is None
+    assert mem.read_word(0x200) == 5
+    raw = arb.load(seq=1, addr=0x200, width=4, is_head=True)
+    assert int.from_bytes(raw, "little") == 5
+
+
+def test_head_write_through_still_detects_violation():
+    mem, arb = make_arb()
+    arb.load(seq=5, addr=0x200, width=4)
+    violator = arb.store(seq=1, addr=0x200,
+                         data=(5).to_bytes(4, "little"), is_head=True)
+    assert violator == 5
+
+
+def test_capacity_frees_on_commit():
+    mem, arb = make_arb(entries_per_bank=1, num_banks=1)
+    arb.store(seq=2, addr=0x000, data=b"\x01")
+    arb.commit_task(2)
+    arb.store(seq=3, addr=0x100, data=b"\x02")  # no error: space freed
+    assert arb.entry_count() == 1
+
+
+def test_restore_by_same_predecessor_violates():
+    # T2 read T1's first store; T1 stores again -> T2 is stale.
+    mem, arb = make_arb()
+    arb.store(seq=1, addr=0x600, data=(10).to_bytes(4, "little"))
+    arb.load(seq=2, addr=0x600, width=4)
+    violator = arb.store(seq=1, addr=0x600, data=(20).to_bytes(4, "little"))
+    assert violator == 2
+
+
+def test_own_restore_does_not_violate_self():
+    mem, arb = make_arb()
+    arb.store(seq=3, addr=0x700, data=(1).to_bytes(4, "little"))
+    arb.load(seq=3, addr=0x700, width=4)
+    assert arb.store(seq=3, addr=0x700,
+                     data=(2).to_bytes(4, "little")) is None

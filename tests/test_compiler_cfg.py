@@ -1,0 +1,135 @@
+"""Unit tests for CFG construction, summaries, and liveness."""
+
+from repro.compiler import build_cfg, LivenessAnalysis
+from repro.isa import assemble
+from repro.isa.registers import RA
+
+LOOP_WITH_CALL = """
+main:   li $s0, 0
+        li $s1, 10
+loop:   move $a0, $s0
+        jal helper
+        add $s0, $s0, $v0
+        addi $s1, $s1, -1
+        bne $s1, $zero, loop
+        halt
+helper: add $v0, $a0, $a0
+        jr $ra
+"""
+
+
+def test_blocks_and_edges():
+    program = assemble("""
+main:   li $t0, 1
+        beq $t0, $zero, skip
+        addi $t0, $t0, 1
+skip:   halt
+    """)
+    cfg = build_cfg(program)
+    starts = sorted(cfg.blocks)
+    assert len(starts) == 3
+    entry = cfg.blocks[program.entry]
+    assert sorted(entry.successors) == sorted(
+        [program.labels["skip"], program.entry + 8])
+
+
+def test_call_is_straightline_edge():
+    program = assemble(LOOP_WITH_CALL)
+    cfg = build_cfg(program)
+    jal_block = next(b for b in cfg.blocks.values()
+                     if b.last.op.value == "jal")
+    assert jal_block.successors == [jal_block.last.addr + 4]
+
+
+def test_function_summary_def_use():
+    program = assemble(LOOP_WITH_CALL)
+    cfg = build_cfg(program)
+    helper = cfg.summaries[program.labels["helper"]]
+    assert 2 in helper.may_def       # $v0
+    assert 4 in helper.may_use       # $a0
+    assert 8 not in helper.may_def   # $t0 untouched
+
+
+def test_recursive_function_summary_converges():
+    program = assemble("""
+main:   li $a0, 5
+        jal fact
+        halt
+fact:   addi $sp, $sp, -8
+        sw $ra, 0($sp)
+        sw $a0, 4($sp)
+        blez $a0, base
+        addi $a0, $a0, -1
+        jal fact
+        lw $a0, 4($sp)
+        mult $v0, $v0, $a0
+        j out
+base:   li $v0, 1
+out:    lw $ra, 0($sp)
+        addi $sp, $sp, 8
+        jr $ra
+    """)
+    cfg = build_cfg(program)
+    fact = cfg.summaries[program.labels["fact"]]
+    assert 2 in fact.may_def    # $v0
+    assert RA in fact.may_def   # recursion clobbers $ra
+    assert 4 in fact.may_use
+
+
+def test_call_defs_fold_into_instr_defs():
+    program = assemble(LOOP_WITH_CALL)
+    cfg = build_cfg(program)
+    jal = next(i for i in program.instructions if i.op.value == "jal")
+    defs = cfg.instr_defs(jal)
+    assert 2 in defs and RA in defs
+
+
+def test_loop_headers():
+    program = assemble(LOOP_WITH_CALL)
+    cfg = build_cfg(program)
+    headers = cfg.loop_headers(program.entry)
+    assert headers == {program.labels["loop"]}
+
+
+def test_nested_loop_headers():
+    program = assemble("""
+main:   li $t0, 0
+outer:  li $t1, 0
+inner:  addi $t1, $t1, 1
+        blt $t1, 3, inner
+        addi $t0, $t0, 1
+        blt $t0, 3, outer
+        halt
+    """)
+    cfg = build_cfg(program)
+    headers = cfg.loop_headers(program.entry)
+    assert headers == {program.labels["outer"], program.labels["inner"]}
+
+
+def test_liveness_dead_register_excluded():
+    program = assemble("""
+main:   li $t0, 5
+        li $t1, 7
+        add $t2, $t0, $t1
+loop:   addi $t2, $t2, -1
+        bne $t2, $zero, loop
+        move $a0, $t2
+        li $v0, 1
+        syscall
+        halt
+    """)
+    cfg = build_cfg(program)
+    live = LivenessAnalysis(cfg, program.entry)
+    loop = program.labels["loop"]
+    assert 10 in live.live_at_block_entry(loop)   # $t2 live
+    assert 8 not in live.live_at_block_entry(loop)  # $t0 dead in loop
+
+
+def test_liveness_through_call_summary():
+    program = assemble(LOOP_WITH_CALL)
+    cfg = build_cfg(program)
+    live = LivenessAnalysis(cfg, program.entry)
+    loop = program.labels["loop"]
+    live_at_loop = live.live_at_block_entry(loop)
+    assert 16 in live_at_loop   # $s0 (accumulator)
+    assert 17 in live_at_loop   # $s1 (counter)

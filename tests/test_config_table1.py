@@ -1,0 +1,69 @@
+"""The default machine configuration must be the paper's Section 5.1."""
+
+from dataclasses import FrozenInstanceError
+
+import pytest
+
+from repro.config import (
+    MachineConfig,
+    TABLE1_LATENCIES,
+    multiscalar_config,
+    scalar_config,
+)
+
+
+def test_table1_latencies_match_paper():
+    assert TABLE1_LATENCIES == {
+        "int_alu": 1, "int_mul": 4, "int_div": 12,
+        "sp_add": 2, "sp_mul": 4, "sp_div": 12,
+        "dp_add": 2, "dp_mul": 5, "dp_div": 18,
+        "mem_store": 1, "mem_load": 2, "branch": 1,
+    }
+
+
+def test_section_5_1_memory_parameters():
+    config = MachineConfig()
+    memory = config.memory
+    assert memory.icache_size == 32 * 1024
+    assert memory.icache_block == 64
+    assert memory.dcache_bank_size == 8 * 1024
+    assert memory.dcache_hit_multiscalar == 2
+    assert memory.dcache_hit_scalar == 1
+    assert memory.bus_first == 10
+    assert memory.arb_entries_per_bank == 256
+    # "twice as many interleaved data banks" as units.
+    assert multiscalar_config(4).num_banks == 8
+    assert multiscalar_config(8).num_banks == 16
+
+
+def test_section_5_1_predictor_parameters():
+    predictor = MachineConfig().predictor
+    assert predictor.history_entries == 64
+    assert predictor.history_depth == 6
+    assert predictor.pattern_entries == 4096
+    assert predictor.num_targets == 4
+    assert predictor.ras_entries == 64
+    assert predictor.descriptor_cache == 1024
+
+
+def test_fu_inventory_tracks_issue_width():
+    one_way = MachineConfig().unit
+    assert one_way.fu_counts() == {
+        "SIMPLE_INT": 1, "COMPLEX_INT": 1, "FP": 1, "BRANCH": 1, "MEM": 1}
+    two_way = multiscalar_config(4, issue_width=2).unit
+    assert two_way.fu_counts()["SIMPLE_INT"] == 2
+
+
+def test_config_builders():
+    assert scalar_config().num_units == 1
+    assert scalar_config(2, True).unit.issue_width == 2
+    assert scalar_config(2, True).unit.out_of_order is True
+    config = multiscalar_config(8, 2, True)
+    assert (config.num_units, config.unit.issue_width,
+            config.unit.out_of_order) == (8, 2, True)
+
+
+def test_config_is_immutable():
+    config = MachineConfig()
+    with pytest.raises(FrozenInstanceError):
+        config.num_units = 3

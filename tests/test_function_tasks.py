@@ -1,0 +1,113 @@
+"""Function-level task partitioning (paper Section 3.2.3).
+
+"Since a function may have many call sites, we provide differing views
+on how a function should be executed. From one call site we may want
+the function to be executed as a collection of tasks. Whereas, from
+another call site we may want the entire function to be executed as
+part of a single task."
+
+Listing a function's entry among the task entries turns calls to it
+into task boundaries: the caller's task ends at the ``jal`` (a
+call-type target that pushes the return point on the sequencer's
+return-address stack), the function body runs as its own task(s), and
+its ``jr`` is a return-type exit predicted through the RAS.
+"""
+
+import pytest
+
+from repro.compiler import annotate_program
+from repro.config import multiscalar_config
+from repro.core.processor import MultiscalarProcessor
+from repro.isa import FunctionalCPU, assemble
+from repro.isa.program import TargetKind
+
+SOURCE = """
+main:   li $s0, 0
+        li $s1, 0
+loop:   move $a0, $s1
+        jal work
+        add $s0, $s0, $v0
+        addi $s1, $s1, 1
+        blt $s1, 20, loop
+        move $a0, $s0
+        li $v0, 1
+        syscall
+        halt
+work:   li $v0, 0
+        li $t0, 0
+wloop:  add $v0, $v0, $a0
+        addi $t0, $t0, 1
+        blt $t0, 3, wloop
+        addi $v0, $v0, 5
+        jr $ra
+"""
+
+EXPECTED = str(sum(3 * i + 5 for i in range(20)))
+
+
+def build(entries):
+    return annotate_program(assemble(SOURCE), task_entries=entries)
+
+
+def test_call_exit_descriptor_shape():
+    program = build(["loop", "work"])
+    loop_task = program.tasks[program.labels["loop"]]
+    call_targets = [t for t in loop_task.targets if t.ret_addr]
+    assert len(call_targets) == 1
+    target = call_targets[0]
+    assert target.addr == program.labels["work"]
+    # The return point is itself a task (added by entry closure).
+    assert target.ret_addr in program.tasks
+    # $ra and $a0 flow into the callee's tasks: both in the create mask.
+    assert 31 in loop_task.create_mask
+    assert 4 in loop_task.create_mask
+
+
+def test_function_task_has_return_target():
+    program = build(["loop", "work"])
+    work_task = program.tasks[program.labels["work"]]
+    assert any(t.kind is TargetKind.RETURN for t in work_task.targets)
+
+
+def test_suppressed_view_unchanged():
+    # Without listing `work`, the call stays inside the caller's task.
+    program = build(["loop"])
+    loop_task = program.tasks[program.labels["loop"]]
+    assert all(not t.ret_addr for t in loop_task.targets)
+    assert program.labels["work"] not in program.tasks
+
+
+@pytest.mark.parametrize("entries", [
+    ["loop", "work"],            # whole function = one task
+    ["loop", "work", "wloop"],   # function = a collection of tasks
+])
+@pytest.mark.parametrize("units", [2, 4, 8])
+def test_function_tasks_execute_correctly(entries, units):
+    program = build(entries)
+    reference = FunctionalCPU(program)
+    reference.run()
+    assert reference.output == EXPECTED
+    processor = MultiscalarProcessor(program, multiscalar_config(units))
+    result = processor.run()
+    assert result.output == EXPECTED
+    # The RAS was actually exercised.
+    assert processor.predictor.stats.ras_pushes > 0
+    assert processor.predictor.stats.ras_pops > 0
+
+
+def test_ras_prediction_learns_call_return_pattern():
+    program = build(["loop", "work"])
+    processor = MultiscalarProcessor(program, multiscalar_config(4))
+    result = processor.run()
+    assert result.output == EXPECTED
+    # call -> function -> return -> loop: regular enough for the PAs +
+    # RAS combination to predict most transitions.
+    assert result.prediction_accuracy > 0.8
+
+
+def test_function_tasks_vs_suppressed_same_result():
+    suppressed = build(["loop"])
+    partitioned = build(["loop", "work", "wloop"])
+    r1 = MultiscalarProcessor(suppressed, multiscalar_config(4)).run()
+    r2 = MultiscalarProcessor(partitioned, multiscalar_config(4)).run()
+    assert r1.output == r2.output == EXPECTED

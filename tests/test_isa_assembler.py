@@ -1,0 +1,187 @@
+"""Unit tests for the assembler: syntax, labels, directives, tags."""
+
+import pytest
+
+from repro.isa import (
+    AssemblerError,
+    Op,
+    StopKind,
+    TargetKind,
+    assemble,
+)
+from repro.isa.program import DATA_BASE, TEXT_BASE
+from repro.isa.registers import fp_reg
+
+
+def test_simple_program_addresses_and_labels():
+    program = assemble("""
+        .text
+main:   li $t0, 5
+loop:   addi $t0, $t0, -1
+        bne $t0, $zero, loop
+        halt
+    """)
+    assert program.labels["main"] == TEXT_BASE
+    assert program.labels["loop"] == TEXT_BASE + 4
+    assert program.entry == TEXT_BASE
+    assert [i.op for i in program.instructions] == [
+        Op.LI, Op.ADDI, Op.BNE, Op.HALT]
+
+
+def test_branch_target_resolution():
+    program = assemble("""
+main:   beq $a0, $a1, out
+        nop
+out:    halt
+    """)
+    assert program.instructions[0].target == TEXT_BASE + 8
+
+
+def test_label_on_same_line_as_instruction():
+    program = assemble("main: halt")
+    assert program.labels["main"] == TEXT_BASE
+    assert program.instructions[0].op == Op.HALT
+
+
+def test_register_aliases():
+    program = assemble("main: add $8, $t0, $s8")
+    instr = program.instructions[0]
+    assert instr.rd == 8
+    assert instr.rs == 8
+    assert instr.rt == 30
+
+
+def test_fp_registers_and_fcc():
+    program = assemble("""
+main:   add.d $f2, $f4, $f6
+        c.lt.d $f2, $f4
+        bc1t main
+        halt
+    """)
+    add = program.instructions[0]
+    assert add.fd == fp_reg(2)
+    assert add.fs == fp_reg(4)
+    cmp = program.instructions[1]
+    assert cmp.dst_regs() == (64,)
+    br = program.instructions[2]
+    assert br.src_regs() == (64,)
+
+
+def test_memop_forms():
+    program = assemble("""
+        .data
+glob:   .word 42
+        .text
+main:   lw $t0, 8($sp)
+        lw $t1, glob
+        lw $t2, glob+4($t3)
+        sw $t0, -4($sp)
+        halt
+    """)
+    lw0, lw1, lw2, sw0 = program.instructions[:4]
+    assert (lw0.imm, lw0.rs) == (8, 29)
+    assert lw1.imm == DATA_BASE
+    assert lw1.rs == 0
+    assert lw2.imm == DATA_BASE + 4
+    assert lw2.rs == 11
+    assert sw0.imm == -4 and sw0.rt == 8
+
+
+def test_data_directives():
+    program = assemble("""
+        .data
+words:  .word 1, 2, 0x10
+bytes:  .byte 'A', 10
+text:   .asciiz "hi\\n"
+        .align 2
+aligned: .word 7
+        .text
+main:   halt
+    """)
+    mem = program.data
+    base = program.labels["words"]
+    assert mem.read_word(base) == 1
+    assert mem.read_word(base + 8) == 0x10
+    assert mem.read_byte(program.labels["bytes"]) == ord("A")
+    assert mem.read_cstring(program.labels["text"]) == "hi\n"
+    assert program.labels["aligned"] % 4 == 0
+
+
+def test_word_with_label_reference():
+    program = assemble("""
+        .data
+ptr:    .word target
+target: .word 99
+        .text
+main:   halt
+    """)
+    assert program.data.read_word(program.labels["ptr"]) == \
+        program.labels["target"]
+
+
+def test_annotation_tags():
+    program = assemble("""
+main:   addi $t0, $t0, 1 !fwd
+        bne $t0, $zero, main !stop_taken
+        release $t0, $f2
+        halt !stop
+    """)
+    assert program.instructions[0].forward is True
+    assert program.instructions[1].stop is StopKind.TAKEN
+    rel = program.instructions[2]
+    assert rel.op is Op.RELEASE
+    assert rel.regs == (8, fp_reg(2))
+    assert program.instructions[3].stop is StopKind.ALWAYS
+
+
+def test_task_directive():
+    program = assemble("""
+        .task loop targets=loop,done creates=$t0
+        .task done targets=halt
+        .text
+main:   li $t0, 3
+loop:   addi $t0, $t0, -1 !fwd
+        bne $t0, $zero, loop !stop
+done:   halt !stop
+    """)
+    loop_addr = program.labels["loop"]
+    descriptor = program.tasks[loop_addr]
+    assert descriptor.create_mask == frozenset({8})
+    assert descriptor.mask_is_explicit
+    assert descriptor.targets[0].kind is TargetKind.ADDR
+    done = program.tasks[program.labels["done"]]
+    assert done.targets[0].kind is TargetKind.HALT
+    assert not done.mask_is_explicit
+
+
+def test_errors():
+    with pytest.raises(AssemblerError):
+        assemble("main: frobnicate $t0")
+    with pytest.raises(AssemblerError):
+        assemble("main: beq $t0, $t1, nowhere")
+    with pytest.raises(AssemblerError):
+        assemble("main: add $t0, $t1")
+    with pytest.raises(AssemblerError):
+        assemble("main: halt\nmain: halt")
+    with pytest.raises(AssemblerError):
+        assemble(".data\nx: .word 1\n.text\n .word 2\nmain: halt\n"
+                 if False else "main: add $t0, $t9, $nosuch")
+
+
+def test_entry_directive():
+    program = assemble("""
+        .entry start
+other:  nop
+start:  halt
+    """)
+    assert program.entry == program.labels["start"]
+
+
+def test_comments_and_blank_lines():
+    program = assemble("""
+    # full line comment
+
+main:   li $v0, 10   # trailing comment
+        syscall
+    """)
+    assert [i.op for i in program.instructions] == [Op.LI, Op.SYSCALL]

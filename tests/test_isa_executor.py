@@ -1,0 +1,258 @@
+"""Unit tests for the functional executor (architectural semantics)."""
+
+import pytest
+
+from repro.isa import ExecutionError, FunctionalCPU, assemble
+from repro.isa.executor import run_program
+from repro.isa.memory_image import u32
+from repro.isa.registers import fp_reg
+
+
+def run(src, **kwargs):
+    return run_program(assemble(src), **kwargs)
+
+
+def test_arithmetic_basics():
+    cpu = run("""
+main:   li $t0, 7
+        li $t1, 5
+        add $t2, $t0, $t1
+        sub $t3, $t0, $t1
+        mult $t4, $t0, $t1
+        div $t5, $t0, $t1
+        rem $t6, $t0, $t1
+        halt
+    """)
+    assert cpu.reg(10) == 12
+    assert cpu.reg(11) == 2
+    assert cpu.reg(12) == 35
+    assert cpu.reg(13) == 1
+    assert cpu.reg(14) == 2
+
+
+def test_signed_arithmetic_wraps():
+    cpu = run("""
+main:   li $t0, -1
+        li $t1, 1
+        add $t2, $t0, $t1
+        slt $t3, $t0, $t1
+        sltu $t4, $t0, $t1
+        sra $t5, $t0, 4
+        srl $t6, $t0, 28
+        halt
+    """)
+    assert cpu.reg(10) == 0
+    assert cpu.reg(11) == 1          # -1 < 1 signed
+    assert cpu.reg(12) == 0          # 0xffffffff < 1 unsigned is false
+    assert cpu.reg(13) == u32(-1)    # arithmetic shift keeps sign
+    assert cpu.reg(14) == 0xF
+
+
+def test_signed_division_truncates_toward_zero():
+    cpu = run("""
+main:   li $t0, -7
+        li $t1, 2
+        div $t2, $t0, $t1
+        rem $t3, $t0, $t1
+        halt
+    """)
+    assert cpu.reg(10) == u32(-3)
+    assert cpu.reg(11) == u32(-1)
+
+
+def test_division_by_zero_is_defined_not_fatal():
+    cpu = run("""
+main:   li $t0, 9
+        div $t1, $t0, $zero
+        rem $t2, $t0, $zero
+        halt
+    """)
+    assert cpu.reg(9) == 0
+    assert cpu.reg(10) == 9
+
+
+def test_zero_register_is_hardwired():
+    cpu = run("""
+main:   li $zero, 55
+        move $t0, $zero
+        halt
+    """)
+    assert cpu.reg(8) == 0
+
+
+def test_logic_and_lui():
+    cpu = run("""
+main:   lui $t0, 0x1234
+        ori $t0, $t0, 0x5678
+        not $t1, $t0
+        andi $t2, $t0, 0xFF
+        halt
+    """)
+    assert cpu.reg(8) == 0x12345678
+    assert cpu.reg(9) == u32(~0x12345678)
+    assert cpu.reg(10) == 0x78
+
+
+def test_memory_word_and_byte_ops():
+    cpu = run("""
+        .data
+buf:    .space 16
+        .text
+main:   la $t0, buf
+        li $t1, -2
+        sw $t1, 0($t0)
+        lw $t2, 0($t0)
+        sb $t1, 8($t0)
+        lb $t3, 8($t0)
+        lbu $t4, 8($t0)
+        halt
+    """)
+    assert cpu.reg(10) == u32(-2)
+    assert cpu.reg(11) == u32(-2)   # sign-extended byte
+    assert cpu.reg(12) == 0xFE      # zero-extended byte
+
+
+def test_loop_and_branches():
+    cpu = run("""
+main:   li $t0, 0
+        li $t1, 10
+loop:   addi $t0, $t0, 1
+        blt $t0, $t1, loop
+        halt
+    """)
+    assert cpu.reg(8) == 10
+    assert cpu.instruction_count == 2 + 2 * 10 + 1
+
+
+def test_function_call_and_return():
+    cpu = run("""
+main:   li $a0, 20
+        jal double
+        move $s0, $v0
+        jal double_indirect
+        move $s1, $v0
+        halt
+double: add $v0, $a0, $a0
+        jr $ra
+double_indirect:
+        addi $sp, $sp, -4
+        sw $ra, 0($sp)
+        jal double
+        lw $ra, 0($sp)
+        addi $sp, $sp, 4
+        jr $ra
+    """)
+    assert cpu.reg(16) == 40
+    assert cpu.reg(17) == 40
+
+
+def test_jalr():
+    cpu = run("""
+main:   la $t0, callee
+        jalr $t0
+        halt
+callee: li $s0, 77
+        jr $ra
+    """)
+    assert cpu.reg(16) == 77
+
+
+def test_floating_point():
+    cpu = run("""
+        .data
+vals:   .double 1.5, 2.25
+out:    .space 8
+        .text
+main:   la $t0, vals
+        l.d $f0, 0($t0)
+        l.d $f2, 8($t0)
+        add.d $f4, $f0, $f2
+        mul.d $f6, $f0, $f2
+        s.d $f4, out
+        c.lt.d $f0, $f2
+        bc1t was_less
+        li $s0, 0
+        halt
+was_less:
+        li $s0, 1
+        halt
+    """)
+    assert cpu.reg(fp_reg(4)) == pytest.approx(3.75)
+    assert cpu.reg(fp_reg(6)) == pytest.approx(3.375)
+    assert cpu.reg(16) == 1
+    assert cpu.state.memory.read_double(
+        cpu.program.labels["out"]) == pytest.approx(3.75)
+
+
+def test_int_float_conversion():
+    cpu = run("""
+main:   li $t0, -3
+        cvt.d.w $f0, $t0
+        add.d $f0, $f0, $f0
+        cvt.w.d $t1, $f0
+        halt
+    """)
+    assert cpu.reg(fp_reg(0)) == pytest.approx(-6.0)
+    assert cpu.reg(9) == u32(-6)
+
+
+def test_single_precision_memory():
+    cpu = run("""
+        .data
+v:      .float 0.5
+        .text
+main:   l.s $f0, v
+        add.s $f1, $f0, $f0
+        s.s $f1, v
+        halt
+    """)
+    assert cpu.state.memory.read_float(cpu.program.labels["v"]) == 1.0
+
+
+def test_syscalls_print_and_exit():
+    cpu = run("""
+        .data
+msg:    .asciiz "n="
+        .text
+main:   li $v0, 4
+        la $a0, msg
+        syscall
+        li $v0, 1
+        li $a0, -42
+        syscall
+        li $v0, 11
+        li $a0, 10
+        syscall
+        li $v0, 10
+        syscall
+    """)
+    assert cpu.output == "n=-42\n"
+    assert cpu.state.halted
+
+
+def test_release_is_architectural_noop():
+    cpu = run("""
+main:   li $t0, 3
+        release $t0
+        halt
+    """)
+    assert cpu.reg(8) == 3
+    assert cpu.instruction_count == 3
+
+
+def test_runaway_execution_raises():
+    with pytest.raises(ExecutionError):
+        run("main: j main", max_instructions=1000)
+
+
+def test_pc_outside_text_raises():
+    cpu = FunctionalCPU(assemble("main: nop"))
+    with pytest.raises(ExecutionError):
+        cpu.run(max_instructions=10)
+
+
+def test_trace_log():
+    cpu = FunctionalCPU(assemble("main: li $t0, 1\n halt"), trace=True)
+    cpu.run()
+    assert len(cpu.trace_log) == 2
+    assert cpu.trace_log[0][0] == cpu.program.entry

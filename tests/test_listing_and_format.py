@@ -1,0 +1,73 @@
+"""Instruction formatting, program listings, and descriptor rendering."""
+
+from repro.isa import assemble
+from repro.isa.instruction import format_instruction
+from repro.isa.opcodes import Op
+from repro.isa.registers import parse_reg, reg_name
+
+SOURCE = """
+        .data
+value:  .word 5
+        .text
+        .task loop targets=loop,out creates=$t0,$f2
+main:   li $t0, 3
+loop:   addi $t0, $t0, -1 !fwd
+        l.d $f2, value
+        add.d $f2, $f2, $f2
+        s.d $f2, value
+        c.lt.d $f2, $f2
+        bc1t loop
+        release $t0, $f2
+        bne $t0, $zero, loop !stop_taken
+out:    jal helper
+        jr $ra
+helper: lw $t1, 0($t0)
+        sw $t1, 4($t0)
+        jalr $t0
+        halt !stop
+"""
+
+
+def test_every_instruction_formats():
+    program = assemble(SOURCE)
+    for instr in program.instructions:
+        text = format_instruction(instr)
+        assert instr.op.value in text
+
+
+def test_format_shows_annotations():
+    program = assemble(SOURCE)
+    by_op = {i.op: format_instruction(i) for i in program.instructions}
+    assert "!fwd" in by_op[Op.ADDI]
+    assert "!stop_taken" in by_op[Op.BNE]
+    assert "!stop" in by_op[Op.HALT]
+    assert "$t0, $f2" in by_op[Op.RELEASE]
+
+
+def test_listing_contains_labels_and_tasks():
+    program = assemble(SOURCE)
+    listing = program.listing()
+    assert "main:" in listing and "loop:" in listing
+    assert "# task loop:" in listing
+    assert "creates={$t0, $f2}" in listing
+
+
+def test_reg_name_round_trip():
+    for index in list(range(32)) + [32, 45, 63, 64]:
+        assert parse_reg(reg_name(index)) == index
+
+
+def test_memop_formats():
+    program = assemble(SOURCE)
+    lw = next(i for i in program.instructions if i.op is Op.LW)
+    assert format_instruction(lw) == "lw $t1, 0($t0)"
+    sd = next(i for i in program.instructions if i.op is Op.S_D)
+    assert "s.d $f2," in format_instruction(sd)
+
+
+def test_descriptor_describe():
+    program = assemble(SOURCE)
+    descriptor = program.tasks[program.labels["loop"]]
+    text = descriptor.describe()
+    assert "task loop" in text
+    assert "$t0" in text and "$f2" in text

@@ -1,0 +1,103 @@
+"""Unit tests for the bus, caches, and banked data cache timing models."""
+
+from repro.config import MemoryConfig
+from repro.memory import (
+    BankedDataCache,
+    DirectMappedCache,
+    InstructionCache,
+    ScalarDataCache,
+    SplitTransactionBus,
+)
+
+
+def test_bus_latency_first_four_words():
+    bus = SplitTransactionBus()
+    assert bus.transfer_latency(4) == 10
+    assert bus.transfer_latency(16) == 13  # the paper's 10+3 block fill
+    assert bus.transfer_latency(1) == 10
+
+
+def test_bus_contention_serializes_beats():
+    bus = SplitTransactionBus()
+    done1 = bus.request(0, 16)       # occupies beats 0..3
+    done2 = bus.request(0, 16)       # must start at beat 4
+    assert done1 == 13
+    assert done2 == 4 + 13
+    assert bus.stats.wait_cycles == 4
+
+
+def test_bus_idle_gap_no_contention():
+    bus = SplitTransactionBus()
+    bus.request(0, 4)
+    done = bus.request(50, 4)
+    assert done == 60
+
+
+def test_direct_mapped_cache_hit_miss():
+    cache = DirectMappedCache(size=256, block_size=64)
+    assert cache.touch(0) is False     # cold miss
+    assert cache.touch(4) is True      # same block
+    assert cache.touch(63) is True
+    assert cache.touch(64) is False    # next block
+    # 256/64 = 4 sets; address 0 and 1024 conflict (1024/64 = 16, 16%4=0).
+    assert cache.touch(1024) is False
+    assert cache.touch(0) is False     # evicted by the conflict
+    assert cache.stats.accesses == 6
+    assert cache.stats.misses == 4
+
+
+def test_icache_hit_and_miss_timing():
+    config = MemoryConfig()
+    bus = SplitTransactionBus(config.bus_first, config.bus_per_extra)
+    icache = InstructionCache(config, bus)
+    miss_done = icache.fetch(0x1000, cycle=5)
+    assert miss_done == 5 + 13 + 1     # 10+3 block fill + 1-cycle hit time
+    hit_done = icache.fetch(0x1004, cycle=miss_done)
+    assert hit_done == miss_done + 1
+
+
+def test_banked_dcache_bank_selection_and_conflicts():
+    config = MemoryConfig()
+    bus = SplitTransactionBus(config.bus_first, config.bus_per_extra)
+    dcache = BankedDataCache(config, bus, num_banks=8)
+    assert dcache.bank_of(0) == 0
+    assert dcache.bank_of(64) == 1
+    assert dcache.bank_of(8 * 64) == 0
+    # Two same-cycle accesses to one bank serialize on the bank port.
+    first = dcache.access(0, cycle=0, is_store=False)
+    dcache.access(0, cycle=first, is_store=False)  # warm the block
+    t1 = dcache.access(0, cycle=100, is_store=False)
+    t2 = dcache.access(4, cycle=100, is_store=False)
+    assert t1 == 102                   # 2-cycle multiscalar hit
+    assert t2 == 103                   # waited one cycle for the port
+    # Different banks do not conflict.
+    t3 = dcache.access(64, cycle=200, is_store=False)
+    t4 = dcache.access(128, cycle=200, is_store=False)
+    assert abs(t3 - t4) <= 13          # independent (both may miss)
+
+
+def test_banked_dcache_miss_goes_to_bus():
+    config = MemoryConfig()
+    bus = SplitTransactionBus(config.bus_first, config.bus_per_extra)
+    dcache = BankedDataCache(config, bus, num_banks=2)
+    done = dcache.access(0x2000, cycle=0, is_store=False)
+    assert done == 13 + 2              # block fill + hit time
+    assert dcache.stats.misses == 1
+
+
+def test_scalar_dcache_one_cycle_hit():
+    config = MemoryConfig()
+    bus = SplitTransactionBus(config.bus_first, config.bus_per_extra)
+    dcache = ScalarDataCache(config, bus)
+    dcache.access(0, cycle=0, is_store=False)
+    assert dcache.access(4, cycle=50, is_store=True) == 51
+
+
+def test_shared_bus_couples_icache_and_dcache():
+    config = MemoryConfig()
+    bus = SplitTransactionBus(config.bus_first, config.bus_per_extra)
+    icache = InstructionCache(config, bus)
+    dcache = BankedDataCache(config, bus, num_banks=2)
+    icache.fetch(0x1000, cycle=0)          # bus beats 0..3
+    done = dcache.access(0x9000, cycle=0, is_store=False)
+    assert done == 4 + 13 + 2              # waited for the icache fill

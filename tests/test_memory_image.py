@@ -1,0 +1,73 @@
+"""SparseMemory edge cases: page boundaries, wrapping, copies."""
+
+from repro.isa.memory_image import PAGE_SIZE, SparseMemory, s32, u32
+
+
+def test_word_across_page_boundary():
+    memory = SparseMemory()
+    addr = PAGE_SIZE - 2
+    memory.write_word(addr, 0xAABBCCDD)
+    assert memory.read_word(addr) == 0xAABBCCDD
+    assert memory.read_byte(addr) == 0xDD
+    assert memory.read_byte(addr + 3) == 0xAA
+
+
+def test_double_across_page_boundary():
+    memory = SparseMemory()
+    addr = PAGE_SIZE - 4
+    memory.write_double(addr, 3.14159)
+    assert memory.read_double(addr) == 3.14159
+
+
+def test_address_wraps_at_32_bits():
+    memory = SparseMemory()
+    memory.write_byte(0x1_0000_0010, 7)   # 33-bit address
+    assert memory.read_byte(0x10) == 7
+
+
+def test_untouched_memory_reads_zero():
+    memory = SparseMemory()
+    assert memory.read_word(0xDEAD0000) == 0
+    assert memory.read_double(0xDEAD0000) == 0.0
+
+
+def test_copy_is_independent():
+    memory = SparseMemory()
+    memory.write_word(0x100, 1)
+    clone = memory.copy()
+    clone.write_word(0x100, 2)
+    assert memory.read_word(0x100) == 1
+    assert clone.read_word(0x100) == 2
+
+
+def test_cstring_termination_and_limit():
+    memory = SparseMemory()
+    memory.write_bytes(0x200, b"hello\x00world")
+    assert memory.read_cstring(0x200) == "hello"
+    memory.write_bytes(0x300, b"x" * 32)
+    assert memory.read_cstring(0x300, limit=8) == "x" * 8
+
+
+def test_s32_u32_helpers():
+    assert s32(0xFFFFFFFF) == -1
+    assert s32(0x7FFFFFFF) == 0x7FFFFFFF
+    assert s32(0x80000000) == -0x80000000
+    assert u32(-1) == 0xFFFFFFFF
+    assert u32(2**32 + 5) == 5
+
+
+def test_float_single_precision_rounding():
+    memory = SparseMemory()
+    memory.write_float(0x400, 0.1)
+    # Stored as IEEE single: read-back differs from the double 0.1.
+    read = memory.read_float(0x400)
+    assert abs(read - 0.1) < 1e-7
+    assert read != 0.1
+
+
+def test_touched_pages_accounting():
+    memory = SparseMemory()
+    assert memory.touched_pages() == 0
+    memory.write_byte(0, 1)
+    memory.write_byte(PAGE_SIZE * 5, 1)
+    assert memory.touched_pages() == 2

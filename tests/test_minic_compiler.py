@@ -1,0 +1,343 @@
+"""MinC compiler tests: each program's functional output must match the
+Python-computed expectation, and multiscalar execution must agree."""
+
+import pytest
+
+from repro.config import multiscalar_config
+from repro.core.processor import MultiscalarProcessor
+from repro.isa import FunctionalCPU
+from repro.minic import (
+    ParseError,
+    CodegenError,
+    compile_and_annotate,
+    compile_scalar,
+)
+
+
+def run_functional(source):
+    cpu = FunctionalCPU(compile_scalar(source))
+    cpu.run()
+    return cpu.output
+
+
+def test_arithmetic_and_print():
+    out = run_functional("""
+        void main() {
+            int a = 7; int b = 3;
+            print_int(a + b * 2 - 1);
+            print_char('\\n');
+            print_int(a / b); print_char(' ');
+            print_int(a % b); print_char(' ');
+            print_int(-a);
+        }
+    """)
+    assert out == "12\n2 1 -7"
+
+
+def test_comparisons_and_logic():
+    out = run_functional("""
+        void main() {
+            print_int(3 < 5); print_int(5 < 3);
+            print_int(3 <= 3); print_int(4 >= 5);
+            print_int(2 == 2); print_int(2 != 2);
+            print_int(1 && 0); print_int(1 && 2);
+            print_int(0 || 0); print_int(0 || 7);
+            print_int(!0); print_int(!9);
+        }
+    """)
+    assert out == "101010010110"
+
+
+def test_bitwise_and_shifts():
+    out = run_functional("""
+        void main() {
+            print_int(12 & 10); print_char(' ');
+            print_int(12 | 3); print_char(' ');
+            print_int(12 ^ 10); print_char(' ');
+            print_int(1 << 5); print_char(' ');
+            print_int(-16 >> 2); print_char(' ');
+            print_int(~0);
+        }
+    """)
+    assert out == "8 15 6 32 -4 -1"
+
+
+def test_control_flow():
+    out = run_functional("""
+        void main() {
+            int total = 0;
+            for (int i = 0; i < 10; i = i + 1) {
+                if (i % 2 == 0) { total += i; }
+                else { total -= 1; }
+            }
+            int j = 0;
+            while (j < 100) {
+                j += 7;
+                if (j > 50) { break; }
+            }
+            print_int(total); print_char(' '); print_int(j);
+        }
+    """)
+    assert out == "15 56"
+
+
+def test_continue():
+    out = run_functional("""
+        void main() {
+            int s = 0;
+            for (int i = 0; i < 10; i += 1) {
+                if (i % 3 != 0) { continue; }
+                s += i;
+            }
+            print_int(s);
+        }
+    """)
+    assert out == "18"
+
+
+def test_functions_and_recursion():
+    out = run_functional("""
+        int fib(int n) {
+            if (n < 2) { return n; }
+            return fib(n - 1) + fib(n - 2);
+        }
+        void main() { print_int(fib(12)); }
+    """)
+    assert out == "144"
+
+
+def test_globals_and_arrays():
+    out = run_functional("""
+        int counter = 5;
+        int table[8];
+        void main() {
+            for (int i = 0; i < 8; i += 1) { table[i] = i * i; }
+            int s = 0;
+            for (int i = 0; i < 8; i += 1) { s += table[i]; }
+            counter += s;
+            print_int(counter);
+        }
+    """)
+    assert out == "145"
+
+
+def test_global_initializers():
+    out = run_functional("""
+        int values[5] = {10, 20, 30};
+        void main() {
+            print_int(values[0] + values[1] + values[2] + values[4]);
+        }
+    """)
+    assert out == "60"
+
+
+def test_local_arrays():
+    out = run_functional("""
+        void main() {
+            int buf[16];
+            for (int i = 0; i < 16; i += 1) { buf[i] = i + 1; }
+            int s = 0;
+            for (int i = 0; i < 16; i += 1) { s += buf[i]; }
+            print_int(s);
+        }
+    """)
+    assert out == "136"
+
+
+def test_floats():
+    out = run_functional("""
+        float scale = 2.5;
+        void main() {
+            float x = 1.5;
+            float y = x * scale + 0.25;
+            print_int(int(y * 100.0));
+            print_char(' ');
+            print_int(y > x);
+            print_int(x == 1.5);
+            print_int(x != x);
+            print_int(float(3) < 3.5);
+        }
+    """)
+    assert out == "400 1101"
+
+
+def test_float_arrays_and_conversion():
+    out = run_functional("""
+        float grid[4];
+        void main() {
+            for (int i = 0; i < 4; i += 1) { grid[i] = float(i) + 0.5; }
+            float s = 0.0;
+            for (int i = 0; i < 4; i += 1) { s = s + grid[i]; }
+            print_int(int(s * 10.0));
+        }
+    """)
+    assert out == "80"
+
+
+def test_pointer_intrinsics_and_alloc():
+    out = run_functional("""
+        void main() {
+            int p = alloc(64);
+            __sw(p, 42);
+            __sb(p + 4, 200);
+            print_int(__lw(p)); print_char(' ');
+            print_int(__lbu(p + 4)); print_char(' ');
+            print_int(__lb(p + 4)); print_char(' ');
+            int q = alloc(8);
+            print_int(q - p);
+        }
+    """)
+    assert out == "42 200 -56 64"
+
+
+def test_pointer_indexing():
+    out = run_functional("""
+        void main() {
+            int p = alloc(40);
+            for (int i = 0; i < 10; i += 1) { p[i] = i * 3; }
+            print_int(p[4] + p[9]);
+        }
+    """)
+    assert out == "39"
+
+
+def test_string_output():
+    out = run_functional("""
+        void main() { print_str("hello, "); print_str("world\\n"); }
+    """)
+    assert out == "hello, world\n"
+
+
+def test_call_spills_temporaries():
+    out = run_functional("""
+        int inc(int x) { return x + 1; }
+        void main() {
+            print_int(1 + inc(2) + 3 * inc(4) + inc(inc(5)));
+        }
+    """)
+    assert out == "26"
+
+
+def test_float_function():
+    out = run_functional("""
+        float avg(float a, float b) { return (a + b) / 2.0; }
+        void main() { print_int(int(avg(3.0, 4.0) * 100.0)); }
+    """)
+    assert out == "350"
+
+
+def test_parse_errors():
+    with pytest.raises(ParseError):
+        compile_scalar("void main() { int x = ; }")
+    with pytest.raises(ParseError):
+        compile_scalar("void main() { parallel print_int(1); }")
+
+
+def test_codegen_errors():
+    with pytest.raises(CodegenError):
+        compile_scalar("void main() { print_int(nope); }")
+    with pytest.raises(CodegenError):
+        compile_scalar("void f() {} void f() {} void main() {}")
+    with pytest.raises(CodegenError):
+        compile_scalar("void main() { undefined_fn(3); }")
+
+
+PARALLEL_SUM = """
+int data[64];
+void main() {
+    for (int i = 0; i < 64; i += 1) { data[i] = i * 2 + 1; }
+    int total = 0;
+    int j = 0;
+    parallel while (j < 64) {
+        int jj = j;
+        j += 1;
+        total += data[jj];
+    }
+    print_int(total);
+}
+"""
+
+
+def test_parallel_loop_records_task_label():
+    from repro.minic import compile_minic
+    unit = compile_minic(PARALLEL_SUM)
+    assert len(unit.task_labels) == 1
+
+
+@pytest.mark.parametrize("units", [1, 4, 8])
+def test_parallel_loop_multiscalar_matches(units):
+    expected = str(sum(i * 2 + 1 for i in range(64)))
+    assert run_functional(PARALLEL_SUM) == expected
+    program = compile_and_annotate(PARALLEL_SUM)
+    processor = MultiscalarProcessor(program, multiscalar_config(units))
+    assert processor.run().output == expected
+
+
+def test_parallel_speedup_on_independent_work():
+    source = """
+    int out[48];
+    void main() {
+        int i = 0;
+        parallel while (i < 48) {
+            int k = i;
+            i += 1;
+            int acc = 0;
+            for (int j = 0; j <= k; j += 1) { acc += j * j; }
+            out[k] = acc;
+        }
+        int s = 0;
+        for (int k = 0; k < 48; k += 1) { s += out[k]; }
+        print_int(s);
+    }
+    """
+    program = compile_and_annotate(source)
+    single = MultiscalarProcessor(program, multiscalar_config(1)).run()
+    eight = MultiscalarProcessor(program, multiscalar_config(8)).run()
+    assert single.output == eight.output
+    assert eight.cycles < single.cycles * 0.6
+
+
+def test_parallel_for_loop():
+    source = """
+    int out[20];
+    void main() {
+        parallel for (int i = 0; i < 20; i += 1) {
+            out[i] = i * 7;
+        }
+        int s = 0;
+        for (int k = 0; k < 20; k += 1) { s += out[k]; }
+        print_int(s);
+    }
+    """
+    expected = str(sum(i * 7 for i in range(20)))
+    assert run_functional(source) == expected
+    program = compile_and_annotate(source)
+    result = MultiscalarProcessor(program, multiscalar_config(4)).run()
+    assert result.output == expected
+
+
+def test_nested_parallel_loops_both_partitioned():
+    source = """
+    int grid[24];
+    void main() {
+        int r = 0;
+        parallel while (r < 4) {
+            int row = r;
+            r += 1;
+            for (int c = 0; c < 6; c += 1) {
+                grid[row * 6 + c] = row + c;
+            }
+        }
+        int s = 0;
+        parallel for (int k = 0; k < 24; k += 1) {
+            s += grid[k];
+        }
+        print_int(s);
+    }
+    """
+    expected = str(sum(r + c for r in range(4) for c in range(6)))
+    assert run_functional(source) == expected
+    program = compile_and_annotate(source)
+    assert len(program.tasks) >= 3
+    result = MultiscalarProcessor(program, multiscalar_config(8)).run()
+    assert result.output == expected

@@ -1,0 +1,223 @@
+"""MinC edge cases: lexer details, operator precedence, scoping rules,
+intrinsic misuse, and limits."""
+
+import pytest
+
+from repro.isa import FunctionalCPU
+from repro.minic import (
+    CodegenError,
+    LexError,
+    ParseError,
+    compile_scalar,
+    tokenize,
+)
+
+
+def run(source):
+    cpu = FunctionalCPU(compile_scalar(source))
+    cpu.run()
+    return cpu.output
+
+
+# ---------------------------------------------------------------- lexer
+
+def test_comments_both_styles():
+    out = run("""
+        // line comment
+        /* block
+           comment */
+        void main() { print_int(1); /* inline */ print_int(2); }
+    """)
+    assert out == "12"
+
+
+def test_char_literals():
+    out = run(r"""
+        void main() {
+            print_int('A'); print_char(' ');
+            print_int('\n'); print_char(' ');
+            print_int('\\');
+        }
+    """)
+    assert out == "65 10 92"
+
+
+def test_hex_literals():
+    assert run("void main() { print_int(0xFF + 0x10); }") == "271"
+
+
+def test_float_literal_forms():
+    out = run("""
+        void main() {
+            print_int(int(1.5 * 2.0)); print_char(' ');
+            print_int(int(.5 * 4.0)); print_char(' ');
+            print_int(int(1e2));
+        }
+    """)
+    assert out == "3 2 100"
+
+
+def test_lex_error():
+    with pytest.raises(LexError):
+        tokenize("void main() { int x = @; }")
+
+
+# --------------------------------------------------------------- parser
+
+def test_precedence():
+    out = run("""
+        void main() {
+            print_int(2 + 3 * 4); print_char(' ');
+            print_int((2 + 3) * 4); print_char(' ');
+            print_int(1 | 2 & 3); print_char(' ');
+            print_int(1 << 2 + 1); print_char(' ');
+            print_int(10 - 4 - 3);
+        }
+    """)
+    # & binds tighter than |; + tighter than <<; - left-assoc.
+    assert out == "14 20 3 8 3"
+
+
+def test_dangling_else():
+    out = run("""
+        void main() {
+            int x = 1;
+            if (x) if (x > 5) print_int(1); else print_int(2);
+        }
+    """)
+    assert out == "2"
+
+
+def test_else_if_chain():
+    out = run("""
+        void main() {
+            for (int v = 0; v < 4; v += 1) {
+                if (v == 0) { print_char('a'); }
+                else if (v == 1) { print_char('b'); }
+                else if (v == 2) { print_char('c'); }
+                else { print_char('z'); }
+            }
+        }
+    """)
+    assert out == "abcz"
+
+
+def test_unary_chains():
+    assert run("void main() { print_int(- -5); print_int(!!7); }") == "51"
+
+
+def test_missing_semicolon_reports_line():
+    with pytest.raises(ParseError) as err:
+        compile_scalar("void main() {\n int x = 3\n print_int(x); }")
+    assert "line 3" in str(err.value)
+
+
+# -------------------------------------------------------------- codegen
+
+def test_byte_global_requires_array():
+    with pytest.raises(CodegenError, match="byte"):
+        compile_scalar("byte b = 3; void main() {}")
+
+
+def test_float_modulo_rejected():
+    with pytest.raises(CodegenError):
+        compile_scalar("void main() { float x = 1.5 % 2.0; }")
+
+
+def test_assignment_to_literal_rejected():
+    with pytest.raises(ParseError):
+        compile_scalar("void main() { 3 = 4; }")
+
+
+def test_break_outside_loop():
+    with pytest.raises(CodegenError):
+        compile_scalar("void main() { break; }")
+
+
+def test_wrong_arity_call():
+    with pytest.raises(CodegenError, match="argument"):
+        compile_scalar("""
+            int f(int a, int b) { return a + b; }
+            void main() { print_int(f(1)); }
+        """)
+
+
+def test_no_main():
+    with pytest.raises(CodegenError, match="main"):
+        compile_scalar("int f() { return 1; }")
+
+
+def test_deep_expression_spills_gracefully():
+    # Deeply right-nested expression exhausts temporaries -> clear error.
+    expr = "1" + " + (2" * 12 + ")" * 12
+    with pytest.raises(CodegenError, match="temporar"):
+        compile_scalar(f"void main() {{ print_int({expr}); }}")
+
+
+def test_left_nested_expression_ok():
+    expr = "(" * 0 + " + ".join(str(i) for i in range(30))
+    assert run(f"void main() {{ print_int({expr}); }}") == \
+        str(sum(range(30)))
+
+
+def test_negative_division_semantics():
+    # C-style truncation toward zero.
+    out = run("""
+        void main() {
+            print_int(-7 / 2); print_char(' ');
+            print_int(-7 % 2); print_char(' ');
+            print_int(7 / -2); print_char(' ');
+            print_int(7 % -2);
+        }
+    """)
+    assert out == "-3 -1 -3 1"
+
+
+def test_int_float_mixing():
+    out = run("""
+        void main() {
+            float f = 2 + 0.5;          // int promoted
+            int i = int(f * 2.0);
+            print_int(i);
+            print_int(1 < 1.5);         // mixed compare
+        }
+    """)
+    assert out == "51"
+
+
+def test_global_shadowed_by_local():
+    out = run("""
+        int x = 100;
+        void main() {
+            int x = 5;
+            print_int(x);
+        }
+    """)
+    assert out == "5"
+
+
+def test_recursion_depth():
+    out = run("""
+        int depth(int n) {
+            if (n == 0) { return 0; }
+            return 1 + depth(n - 1);
+        }
+        void main() { print_int(depth(50)); }
+    """)
+    assert out == "50"
+
+
+def test_mutual_recursion():
+    out = run("""
+        int is_odd(int n);
+        int is_even(int n) {
+            if (n == 0) { return 1; }
+            return is_odd(n - 1);
+        }
+        int is_odd(int n) {
+            if (n == 0) { return 0; }
+            return is_even(n - 1);
+        }
+        void main() { print_int(is_even(10)); print_int(is_odd(10)); }
+    """)
+    assert out == "10"

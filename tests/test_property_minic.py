@@ -1,0 +1,129 @@
+"""Property-based fuzzing of the whole toolchain via random MinC.
+
+Random structured programs — nested ifs and bounded loops, arithmetic
+on a small variable pool, array traffic, global-scalar conflicts, and a
+``parallel`` region — must produce identical output on the functional
+executor, the scalar pipeline, and the multiscalar processor.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.config import multiscalar_config, scalar_config
+from repro.core.processor import MultiscalarProcessor
+from repro.core.scalar import ScalarProcessor
+from repro.isa import FunctionalCPU
+from repro.minic import compile_and_annotate, compile_scalar
+
+VARS = ["a", "b", "c", "d"]
+_var = st.sampled_from(VARS)
+_binop = st.sampled_from(["+", "-", "*", "/", "%", "&", "|", "^",
+                          "<", ">", "==", "!="])
+
+
+@st.composite
+def expression(draw, depth=0):
+    kind = draw(st.integers(0, 3 if depth < 2 else 1))
+    if kind == 0:
+        return str(draw(st.integers(-50, 50)))
+    if kind == 1:
+        return draw(_var)
+    if kind == 2:
+        left = draw(expression(depth + 1))
+        right = draw(expression(depth + 1))
+        return f"({left} {draw(_binop)} {right})"
+    index = draw(st.integers(0, 15))
+    return f"buf[{index}]"
+
+
+@st.composite
+def statement(draw, depth=0):
+    kind = draw(st.integers(0, 5 if depth < 2 else 2))
+    if kind == 0:
+        return [f"{draw(_var)} = {draw(expression())};"]
+    if kind == 1:
+        return [f"buf[{draw(st.integers(0, 15))}] = {draw(expression())};"]
+    if kind == 2:
+        return [f"shared += {draw(expression())};"]
+    if kind == 3:
+        cond = draw(expression())
+        then = draw(block(depth + 1))
+        other = draw(block(depth + 1))
+        return ([f"if ({cond}) {{"] + then + ["} else {"] + other + ["}"])
+    if kind == 4:
+        var = draw(_var)
+        trips = draw(st.integers(1, 4))
+        body = draw(block(depth + 1))
+        return ([f"for (int it{depth} = 0; it{depth} < {trips}; "
+                 f"it{depth} += 1) {{"] + body + ["}"])
+    # while with a bounded counter
+    body = draw(block(depth + 1))
+    return ([f"int w{depth} = 0;",
+             f"while (w{depth} < {draw(st.integers(1, 3))}) {{",
+             f"w{depth} += 1;"] + body + ["}"])
+
+
+@st.composite
+def block(draw, depth=0):
+    out = []
+    for _ in range(draw(st.integers(1, 3))):
+        out.extend(draw(statement(depth)))
+    return out
+
+
+@st.composite
+def program(draw):
+    body = draw(block(1))
+    iters = draw(st.integers(2, 8))
+    lines = [
+        "int buf[16];",
+        "int shared = 0;",
+        "void main() {",
+        "int a = 1; int b = 2; int c = 3; int d = 4;",
+        "int i = 0;",
+        f"parallel while (i < {iters}) {{",
+        "int k = i;",
+        "i += 1;",
+        "a = k;",
+    ] + body + [
+        "}",
+        "print_int(a); print_char(' ');",
+        "print_int(b); print_char(' ');",
+        "print_int(c); print_char(' ');",
+        "print_int(d); print_char(' ');",
+        "print_int(shared); print_char(' ');",
+        "int t = 0;",
+        "for (int k = 0; k < 16; k += 1) { t += buf[k]; }",
+        "print_int(t);",
+        "}",
+    ]
+    return "\n".join(lines)
+
+
+@settings(max_examples=25, deadline=None)
+@given(program(), st.sampled_from([2, 4, 8]))
+def test_random_minc_equivalence(source, units):
+    reference = FunctionalCPU(compile_scalar(source))
+    reference.run(max_instructions=2_000_000)
+
+    scalar = ScalarProcessor(compile_scalar(source), scalar_config())
+    assert scalar.run(max_cycles=5_000_000).output == reference.output
+
+    annotated = compile_and_annotate(source)
+    check = FunctionalCPU(annotated)
+    check.run(max_instructions=2_000_000)
+    assert check.output == reference.output
+
+    multi = MultiscalarProcessor(annotated, multiscalar_config(units))
+    result = multi.run(max_cycles=5_000_000)
+    assert result.output == reference.output
+
+
+@settings(max_examples=15, deadline=None)
+@given(program())
+def test_random_minc_ooo_two_way(source):
+    reference = FunctionalCPU(compile_scalar(source))
+    reference.run(max_instructions=2_000_000)
+    annotated = compile_and_annotate(source)
+    multi = MultiscalarProcessor(
+        annotated, multiscalar_config(4, issue_width=2, out_of_order=True))
+    assert multi.run(max_cycles=5_000_000).output == reference.output

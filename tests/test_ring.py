@@ -1,0 +1,67 @@
+"""Unit tests for the register-forwarding ring."""
+
+from repro.core.ring import ForwardingRing
+
+
+def test_hop_latency():
+    ring = ForwardingRing(num_units=4, hop_latency=1, width=1)
+    ring.send(cycle=10, from_unit=0, origin_unit=0, sender_seq=1,
+              reg=5, value=42)
+    assert ring.arrivals(10) == []
+    arrivals = ring.arrivals(11)
+    assert len(arrivals) == 1
+    dest, message = arrivals[0]
+    assert dest == 1
+    assert message.reg == 5 and message.value == 42
+
+
+def test_configurable_hop_latency():
+    ring = ForwardingRing(num_units=4, hop_latency=3, width=1)
+    ring.send(0, 0, 0, 1, 5, 1)
+    assert ring.arrivals(2) == []
+    assert len(ring.arrivals(3)) == 1
+
+
+def test_bandwidth_limits_sends_per_cycle():
+    ring = ForwardingRing(num_units=2, hop_latency=1, width=1)
+    ring.send(0, 0, 0, 1, 5, 1)
+    ring.send(0, 0, 0, 1, 6, 2)   # second value in the same cycle waits
+    first = ring.arrivals(1)
+    assert len(first) == 1 and first[0][1].reg == 5
+    second = ring.arrivals(2)
+    assert len(second) == 1 and second[0][1].reg == 6
+    assert ring.stats.bandwidth_delay_cycles == 1
+
+
+def test_wider_ring_carries_more():
+    ring = ForwardingRing(num_units=2, hop_latency=1, width=2)
+    ring.send(0, 0, 0, 1, 5, 1)
+    ring.send(0, 0, 0, 1, 6, 2)
+    assert len(ring.arrivals(1)) == 2
+
+
+def test_fifo_order_per_link():
+    ring = ForwardingRing(num_units=2, hop_latency=1, width=2)
+    for i in range(4):
+        ring.send(i, 0, 0, 1, i, i * 10)
+    arrivals = ring.arrivals(100)
+    assert [m.reg for _, m in arrivals] == [0, 1, 2, 3]
+
+
+def test_drop_stale_purges_squashed_senders():
+    ring = ForwardingRing(num_units=4, hop_latency=1, width=1)
+    ring.send(0, 0, 0, 7, 5, 1)
+    ring.send(1, 1, 1, 8, 6, 2)
+    ring.drop_stale({7})
+    arrivals = ring.arrivals(100)
+    assert len(arrivals) == 1
+    assert arrivals[0][1].sender_seq == 8
+    assert ring.stats.dropped_stale == 1
+
+
+def test_arrivals_sorted_across_links():
+    ring = ForwardingRing(num_units=4, hop_latency=1, width=1)
+    ring.send(5, 2, 2, 1, 9, "late")
+    ring.send(0, 0, 0, 1, 8, "early")
+    arrivals = ring.arrivals(100)
+    assert [m.value for _, m in arrivals] == ["early", "late"]

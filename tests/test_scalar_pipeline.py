@@ -1,0 +1,237 @@
+"""The scalar pipeline must match the functional executor exactly.
+
+Every program here is run both ways and compared on final registers,
+memory effects (via outputs), and dynamic instruction count; plus some
+timing sanity checks on latencies and hazards.
+"""
+
+import pytest
+
+from repro.config import scalar_config
+from repro.core.scalar import ScalarProcessor
+from repro.isa import FunctionalCPU, assemble
+
+PROGRAMS = {
+    "straightline": """
+main:   li $t0, 3
+        li $t1, 4
+        add $t2, $t0, $t1
+        mult $t3, $t2, $t2
+        halt
+    """,
+    "counted_loop": """
+main:   li $t0, 0
+        li $t1, 50
+loop:   addi $t0, $t0, 1
+        bne $t0, $t1, loop
+        halt
+    """,
+    "nested_loops": """
+main:   li $s0, 0
+        li $t0, 0
+outer:  li $t1, 0
+inner:  add $s0, $s0, $t1
+        addi $t1, $t1, 1
+        blt $t1, 5, inner
+        addi $t0, $t0, 1
+        blt $t0, 8, outer
+        halt
+    """,
+    "memory_loop": """
+        .data
+arr:    .space 400
+        .text
+main:   la $t0, arr
+        li $t1, 0
+        li $t2, 100
+fill:   sw $t1, 0($t0)
+        addi $t0, $t0, 4
+        addi $t1, $t1, 1
+        bne $t1, $t2, fill
+        la $t0, arr
+        li $t1, 0
+        li $s0, 0
+sum:    lw $t3, 0($t0)
+        add $s0, $s0, $t3
+        addi $t0, $t0, 4
+        addi $t1, $t1, 1
+        bne $t1, $t2, sum
+        halt
+    """,
+    "calls": """
+main:   li $s0, 0
+        li $s1, 0
+loop:   move $a0, $s1
+        jal square
+        add $s0, $s0, $v0
+        addi $s1, $s1, 1
+        blt $s1, 10, loop
+        halt
+square: mult $v0, $a0, $a0
+        jr $ra
+    """,
+    "fp_kernel": """
+        .data
+vec:    .double 1.0, 2.0, 3.0, 4.0
+out:    .space 8
+        .text
+main:   la $t0, vec
+        li $t1, 0
+        li $t2, 4
+        cvt.d.w $f0, $zero
+loop:   l.d $f2, 0($t0)
+        mul.d $f4, $f2, $f2
+        add.d $f0, $f0, $f4
+        addi $t0, $t0, 8
+        addi $t1, $t1, 1
+        bne $t1, $t2, loop
+        s.d $f0, out
+        halt
+    """,
+    "syscall_output": """
+        .data
+msg:    .asciiz "sum="
+        .text
+main:   li $s0, 0
+        li $t0, 1
+loop:   add $s0, $s0, $t0
+        addi $t0, $t0, 1
+        ble $t0, 10, loop
+        li $v0, 4
+        la $a0, msg
+        syscall
+        li $v0, 1
+        move $a0, $s0
+        syscall
+        li $v0, 10
+        syscall
+    """,
+    "byte_ops": """
+        .data
+text:   .asciiz "hello world"
+        .text
+main:   la $t0, text
+        li $s0, 0
+count:  lbu $t1, 0($t0)
+        beq $t1, $zero, done
+        addi $s0, $s0, 1
+        addi $t0, $t0, 1
+        j count
+done:   halt
+    """,
+}
+
+CONFIGS = {
+    "inorder_1way": scalar_config(1, False),
+    "inorder_2way": scalar_config(2, False),
+    "ooo_1way": scalar_config(1, True),
+    "ooo_2way": scalar_config(2, True),
+}
+
+
+@pytest.mark.parametrize("config_name", CONFIGS)
+@pytest.mark.parametrize("program_name", PROGRAMS)
+def test_matches_functional_execution(program_name, config_name):
+    program = assemble(PROGRAMS[program_name])
+    reference = FunctionalCPU(program)
+    reference.run()
+    processor = ScalarProcessor(program, CONFIGS[config_name])
+    result = processor.run()
+    assert result.instructions == reference.instruction_count
+    assert result.output == reference.output
+    assert processor.regs == reference.state.regs
+    assert result.ipc <= CONFIGS[config_name].unit.issue_width
+
+
+def test_memory_state_matches():
+    program = assemble(PROGRAMS["memory_loop"])
+    reference = FunctionalCPU(program)
+    reference.run()
+    processor = ScalarProcessor(program)
+    processor.run()
+    base = program.labels["arr"]
+    for i in range(100):
+        assert processor.memory.read_word(base + 4 * i) == \
+            reference.state.memory.read_word(base + 4 * i)
+
+
+def test_dependent_chain_throughput():
+    # 1-way in-order, latency-1 adds in a warm loop: close to 1 IPC.
+    body = "\n".join("add $t0, $t0, $t1" for _ in range(16))
+    program = assemble(f"""
+main:   li $t0, 0
+        li $t1, 1
+        li $s0, 0
+loop:   {body}
+        addi $s0, $s0, 1
+        blt $s0, 100, loop
+        halt
+    """)
+    result = ScalarProcessor(program, scalar_config(1, False)).run()
+    assert result.ipc > 0.7
+
+
+def test_two_way_issue_helps_independent_code():
+    # Two independent chains in a warm loop: 2-way meaningfully faster.
+    body = "\n".join(
+        "add $t0, $t0, $t2\n add $t1, $t1, $t3" for _ in range(16))
+    program = assemble(f"""
+main:   li $t0, 0
+        li $t1, 0
+        li $t2, 1
+        li $t3, 1
+        li $s0, 0
+loop:   {body}
+        addi $s0, $s0, 1
+        blt $s0, 100, loop
+        halt
+    """)
+    slow = ScalarProcessor(program, scalar_config(1, False)).run()
+    fast = ScalarProcessor(program, scalar_config(2, False)).run()
+    assert fast.cycles < slow.cycles * 0.75
+
+
+def test_ooo_hides_long_latency():
+    # A divide blocks an in-order pipeline; OOO can issue around it.
+    source = """
+main:   li $t0, 100
+        li $t1, 7
+        div $t2, $t0, $t1
+        add $t3, $t0, $t1
+        add $t4, $t0, $t1
+        add $t5, $t0, $t1
+        add $t6, $t0, $t1
+        add $s0, $t2, $t3
+        halt
+    """
+    program = assemble(source)
+    inorder = ScalarProcessor(program, scalar_config(1, False)).run()
+    ooo = ScalarProcessor(program, scalar_config(1, True)).run()
+    assert ooo.cycles < inorder.cycles
+
+
+def test_taken_branch_costs_more_than_fallthrough():
+    taken = assemble("""
+main:   li $t0, 200
+loop:   addi $t0, $t0, -1
+        bne $t0, $zero, loop
+        halt
+    """)
+    result = ScalarProcessor(taken, scalar_config(1, False)).run()
+    # Each iteration: 2 instructions + taken-branch refetch bubbles.
+    assert result.cycles > 3 * 200
+
+
+def test_icache_miss_recorded():
+    program = assemble(PROGRAMS["counted_loop"])
+    result = ScalarProcessor(program).run()
+    assert result.icache_misses >= 1
+    assert result.dcache_misses == 0
+
+
+def test_stall_accounting_sums():
+    program = assemble(PROGRAMS["memory_loop"])
+    processor = ScalarProcessor(program)
+    result = processor.run()
+    stalled = sum(result.stall_cycles.values())
+    assert 0 < stalled < result.cycles

@@ -1,0 +1,117 @@
+"""Property tests of the architectural semantics against Python
+reference implementations (32-bit wrapping, signed division, shifts)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import semantics
+from repro.isa.instruction import Instruction
+from repro.isa.memory_image import s32, u32
+from repro.isa.opcodes import Op
+
+u32s = st.integers(0, 0xFFFF_FFFF)
+
+
+def alu(op, a, b, rd=2, rs=3, rt=4):
+    instr = Instruction(op, rd=rd, rs=rs, rt=rt)
+    return semantics.evaluate_alu(instr, {rs: a, rt: b})
+
+
+@settings(max_examples=200)
+@given(u32s, u32s)
+def test_add_sub_wraparound(a, b):
+    assert alu(Op.ADDU, a, b) == (a + b) % 2**32
+    assert alu(Op.SUBU, a, b) == (a - b) % 2**32
+
+
+@settings(max_examples=200)
+@given(u32s, u32s)
+def test_mult_matches_signed_product(a, b):
+    assert alu(Op.MULT, a, b) == (s32(a) * s32(b)) % 2**32
+    assert alu(Op.MULTU, a, b) == (a * b) % 2**32
+
+
+@settings(max_examples=200)
+@given(u32s, u32s)
+def test_signed_division_invariants(a, b):
+    q = alu(Op.DIV, a, b)
+    r = alu(Op.REM, a, b)
+    if b == 0:
+        assert q == 0 and r == a
+    else:
+        # C semantics: a == q*b + r with |r| < |b| and sign(r)==sign(a).
+        assert u32(s32(q) * s32(b) + s32(r)) == a
+        assert abs(s32(r)) < abs(s32(b))
+        assert s32(r) == 0 or (s32(r) < 0) == (s32(a) < 0)
+
+
+def test_int_min_divided_by_minus_one_wraps():
+    # -2^31 / -1 overflows 32 bits: it must wrap, not crash.
+    assert alu(Op.DIV, 0x8000_0000, u32(-1)) == 0x8000_0000
+
+
+@settings(max_examples=200)
+@given(u32s, st.integers(0, 31))
+def test_shift_semantics(a, sh):
+    instr = Instruction(Op.SLL, rd=2, rs=3, imm=sh)
+    assert semantics.evaluate_alu(instr, {3: a}) == (a << sh) % 2**32
+    instr = Instruction(Op.SRL, rd=2, rs=3, imm=sh)
+    assert semantics.evaluate_alu(instr, {3: a}) == a >> sh
+    instr = Instruction(Op.SRA, rd=2, rs=3, imm=sh)
+    assert semantics.evaluate_alu(instr, {3: a}) == u32(s32(a) >> sh)
+
+
+@settings(max_examples=200)
+@given(u32s, u32s)
+def test_variable_shifts_mask_amount(a, b):
+    assert alu(Op.SLLV, a, b) == (a << (b & 31)) % 2**32
+    assert alu(Op.SRLV, a, b) == a >> (b & 31)
+
+
+@settings(max_examples=200)
+@given(u32s, u32s)
+def test_comparisons(a, b):
+    assert alu(Op.SLT, a, b) == int(s32(a) < s32(b))
+    assert alu(Op.SLTU, a, b) == int(a < b)
+
+
+@settings(max_examples=100)
+@given(st.floats(allow_nan=False, allow_infinity=False,
+                 min_value=-1e12, max_value=1e12))
+def test_float_int_conversion_roundtrip(x):
+    to_int = Instruction(Op.CVT_W_D, rd=2, fs=34)
+    value = semantics.evaluate_alu(to_int, {34: x})
+    if abs(x) < 2**31 - 1:
+        assert s32(value) == int(x)   # truncation toward zero
+
+
+def test_conversion_of_nonfinite_is_defined():
+    to_int = Instruction(Op.CVT_W_D, rd=2, fs=34)
+    assert semantics.evaluate_alu(to_int, {34: float("inf")}) == 0
+    assert semantics.evaluate_alu(to_int, {34: float("nan")}) == 0
+
+
+@settings(max_examples=100)
+@given(st.integers(0, 0xFF))
+def test_byte_load_sign_extension(byte):
+    from repro.isa.memory_image import SparseMemory
+    memory = SparseMemory()
+    memory.write_byte(0x100, byte)
+    signed = semantics.do_load(Op.LB, memory, 0x100)
+    unsigned = semantics.do_load(Op.LBU, memory, 0x100)
+    assert unsigned == byte
+    expected = byte - 0x100 if byte >= 0x80 else byte
+    assert s32(signed) == expected
+
+
+@settings(max_examples=100)
+@given(u32s)
+def test_store_bytes_load_roundtrip(value):
+    raw = semantics.store_bytes(Op.SW, value)
+    assert semantics.load_from_bytes(Op.LW, raw) == value
+
+
+@settings(max_examples=100)
+@given(st.floats(allow_nan=False, min_value=-1e300, max_value=1e300))
+def test_double_store_load_roundtrip(x):
+    raw = semantics.store_bytes(Op.S_D, x)
+    assert semantics.load_from_bytes(Op.L_D, raw) == x

@@ -1,0 +1,59 @@
+"""Unit tests for the cycle-accounting taxonomy."""
+
+from repro.core.stats import CycleDistribution, TaskCycleRecord
+from repro.pipeline.context import StallReason
+
+
+def make_record(busy=3, inter=2, retire=1):
+    record = TaskCycleRecord()
+    for _ in range(busy):
+        record.note(1, StallReason.NONE)
+    for _ in range(inter):
+        record.note(0, StallReason.INTER_TASK)
+    for _ in range(retire):
+        record.note(0, StallReason.WAIT_RETIRE)
+    return record
+
+
+def test_retired_task_counts_as_useful():
+    dist = CycleDistribution()
+    dist.fold_retired(make_record())
+    assert dist.useful == 3
+    assert dist.non_useful == 0
+    assert dist.no_comp_inter_task == 2
+    assert dist.no_comp_wait_retire == 1
+
+
+def test_squashed_task_counts_as_non_useful():
+    dist = CycleDistribution()
+    dist.fold_squashed(make_record())
+    assert dist.useful == 0
+    assert dist.non_useful == 3
+    assert dist.no_comp_inter_task == 2
+
+
+def test_fetch_folds_into_intra_task():
+    record = TaskCycleRecord()
+    record.note(0, StallReason.FETCH)
+    record.note(0, StallReason.INTRA_TASK)
+    dist = CycleDistribution()
+    dist.fold_retired(record)
+    assert dist.no_comp_intra_task == 2
+
+
+def test_total_and_fractions():
+    dist = CycleDistribution()
+    dist.fold_retired(make_record())
+    dist.idle += 4
+    assert dist.total() == 10
+    fractions = dist.fractions()
+    assert abs(sum(fractions.values()) - 1.0) < 1e-9
+    assert fractions["useful"] == 0.3
+
+
+def test_as_dict_keys_are_stable():
+    dist = CycleDistribution()
+    assert set(dist.as_dict()) == {
+        "useful", "non_useful", "no_comp_inter_task",
+        "no_comp_intra_task", "no_comp_wait_retire", "no_comp_syscall",
+        "idle"}

@@ -1,0 +1,77 @@
+"""Every workload must produce its Python-computed expected output on
+the functional simulator, the scalar pipeline, and the multiscalar
+processor (the project's central correctness property)."""
+
+import pytest
+
+from repro.config import multiscalar_config, scalar_config
+from repro.core.processor import MultiscalarProcessor
+from repro.core.scalar import ScalarProcessor
+from repro.isa import FunctionalCPU
+from repro.workloads import WORKLOADS
+
+NAMES = sorted(WORKLOADS)
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_functional_scalar_binary(name):
+    spec = WORKLOADS[name]
+    cpu = FunctionalCPU(spec.scalar_program())
+    cpu.run()
+    assert cpu.output == spec.expected_output
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_functional_multiscalar_binary(name):
+    # The annotated binary is architecturally equivalent to the scalar one.
+    spec = WORKLOADS[name]
+    cpu = FunctionalCPU(spec.multiscalar_program())
+    cpu.run()
+    assert cpu.output == spec.expected_output
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_scalar_pipeline(name):
+    spec = WORKLOADS[name]
+    result = ScalarProcessor(spec.scalar_program(), scalar_config()).run()
+    assert result.output == spec.expected_output
+
+
+@pytest.mark.parametrize("name", NAMES)
+@pytest.mark.parametrize("units", [4, 8])
+def test_multiscalar(name, units):
+    spec = WORKLOADS[name]
+    processor = MultiscalarProcessor(spec.multiscalar_program(),
+                                     multiscalar_config(units))
+    result = processor.run()
+    assert result.output == spec.expected_output
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_multiscalar_2way_ooo(name):
+    spec = WORKLOADS[name]
+    processor = MultiscalarProcessor(
+        spec.multiscalar_program(),
+        multiscalar_config(4, issue_width=2, out_of_order=True))
+    result = processor.run()
+    assert result.output == spec.expected_output
+
+
+def test_parallel_workloads_speed_up():
+    # The workloads the paper reports large speedups for must speed up
+    # here too.
+    for name in ("tomcatv", "cmp", "wc", "eqntott", "example"):
+        spec = WORKLOADS[name]
+        program = spec.multiscalar_program()
+        one = MultiscalarProcessor(program, multiscalar_config(1)).run()
+        eight = MultiscalarProcessor(program, multiscalar_config(8)).run()
+        assert eight.cycles < one.cycles, name
+
+
+def test_squash_bound_workloads_have_memory_squashes():
+    for name in ("gcc", "xlisp"):
+        spec = WORKLOADS[name]
+        processor = MultiscalarProcessor(spec.multiscalar_program(),
+                                         multiscalar_config(8))
+        result = processor.run()
+        assert result.squashes_memory > 0, name
