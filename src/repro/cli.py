@@ -7,7 +7,9 @@ Subcommands:
 * ``compile FILE``   — compile MinC to assembly text;
 * ``disasm FILE``    — print the annotated listing and task descriptors;
 * ``workloads``      — list or run the paper's benchmark stand-ins;
-* ``tables N``       — regenerate a table of the paper's evaluation.
+* ``tables N``       — regenerate a table of the paper's evaluation;
+* ``fuzz``           — differential fuzzing: run seeded random programs
+  on every backend and diff the results (exit 1 on divergence).
 
 Examples::
 
@@ -15,6 +17,7 @@ Examples::
     python -m repro run kernel.s --entries loop --issue 2 --ooo
     python -m repro workloads --run cmp --units 4
     python -m repro tables 2
+    python -m repro fuzz --seed 7 --budget 200
 """
 
 from __future__ import annotations
@@ -161,6 +164,48 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.difftest import FuzzCampaign, inject_opcode_bug
+    from repro.difftest.generator import generator_for
+    from repro.isa.opcodes import Op
+
+    try:
+        for language in args.languages:
+            generator_for(language)
+        campaign = FuzzCampaign(
+            seed=args.seed, budget=args.budget,
+            languages=tuple(args.languages),
+            units=tuple(args.units), widths=tuple(args.widths),
+            orders=(False, True) if args.ooo == "both"
+            else (args.ooo == "ooo",),
+            max_shrink_checks=args.max_shrink_checks,
+            progress=lambda message: print(f"fuzz: {message}",
+                                           file=sys.stderr))
+        if args.self_test and args.self_test.upper() not in Op.__members__:
+            raise ValueError(
+                f"unknown opcode {args.self_test!r} for --self-test")
+    except ValueError as error:
+        print(f"repro fuzz: error: {error}", file=sys.stderr)
+        return 2
+    if args.self_test:
+        # Plant a semantics bug in the multiscalar backend only and
+        # demand the campaign catches it — a check that the oracle
+        # itself still has teeth.
+        with inject_opcode_bug(Op[args.self_test.upper()]):
+            result = campaign.run()
+        print(result.render())
+        if result.ok:
+            print("fuzz: self-test FAILED -- injected "
+                  f"{args.self_test} bug went undetected", file=sys.stderr)
+            return 1
+        print(f"fuzz: self-test ok -- injected {args.self_test} bug "
+              "was caught and shrunk", file=sys.stderr)
+        return 0
+    result = campaign.run()
+    print(result.render())
+    return 0 if result.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -218,6 +263,32 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--quick", action="store_true",
                         help="three representative workloads only")
     report.set_defaults(fn=cmd_report)
+
+    fuzz = sub.add_parser(
+        "fuzz", help="differential fuzzing across all backends")
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="campaign seed (same seed, same programs)")
+    fuzz.add_argument("--budget", type=int, default=100,
+                      help="number of generated programs to run")
+    fuzz.add_argument("--languages", type=lambda s: s.split(","),
+                      default=["asm", "minic"],
+                      help="program generators to use (asm,minic)")
+    fuzz.add_argument("--units", type=lambda s: [int(u) for u in
+                                                 s.split(",")],
+                      default=[1, 2, 4, 8],
+                      help="multiscalar unit counts to cover")
+    fuzz.add_argument("--widths", type=lambda s: [int(w) for w in
+                                                  s.split(",")],
+                      default=[1, 2], help="issue widths to cover")
+    fuzz.add_argument("--ooo", choices=("io", "ooo", "both"),
+                      default="both", help="issue orders to cover")
+    fuzz.add_argument("--max-shrink-checks", type=int, default=400,
+                      help="delta-debugging budget per divergence")
+    fuzz.add_argument("--self-test", metavar="OP", default=None,
+                      help="inject a semantics bug for this opcode into "
+                           "the multiscalar backend and require the "
+                           "campaign to catch it (e.g. --self-test xor)")
+    fuzz.set_defaults(fn=cmd_fuzz)
     return parser
 
 

@@ -13,7 +13,10 @@ existing ``.task`` directives, or the loop-header heuristic), this pass
    forward bit — after suppressed calls that define live registers, and
    at control-flow points where a register's update phase is over (the
    paper's release of ``$8, $17`` at the inner-loop exit);
-6. emits the task descriptors and rebuilds the binary (addresses shift
+6. prunes hand-written release operands that the task may still write
+   later (a premature release lets the successor consume a stale value
+   and race the redefinition — releases must name dead registers);
+7. emits the task descriptors and rebuilds the binary (addresses shift
    because of inserted releases; every control target is remapped).
 
 Correctness never depends on steps 4-5: a register in the create mask
@@ -67,10 +70,12 @@ def annotate_program(program: Program,
         Also make every natural-loop header a task entry (one task per
         loop iteration — the paper's canonical partitioning).
     """
-    cfg = build_cfg(program)
     entries: set[int] = set(program.tasks)
     for label in task_entries or []:
         entries.add(program.label_addr(label))
+    # Entry labels need not be branch targets; hand them to the CFG
+    # builder so blocks split at every requested entry.
+    cfg = build_cfg(program, extra_leaders=entries)
     if auto_loops:
         entries |= cfg.loop_headers(program.entry)
     entries = close_entries(cfg, entries, program.entry)
@@ -93,8 +98,9 @@ def annotate_program(program: Program,
                          insertions)
 
     descriptors = _plan_descriptors(program, regions)
+    release_rewrites = _prune_stale_releases(cfg, regions)
     return _rebuild(program, forward_sites, stop_sites, insertions,
-                    descriptors)
+                    descriptors, release_rewrites)
 
 
 # ----------------------------------------------------------- stop bits
@@ -176,6 +182,57 @@ def _plan_forwarding(cfg: ControlFlowGraph, region: TaskRegion,
                 for p in cfg.blocks[addr].predecessors)
             if entered_from_writing:
                 insertions.setdefault(addr, set()).add(reg)
+
+
+def _prune_stale_releases(
+        cfg: ControlFlowGraph,
+        regions: dict[int, TaskRegion]) -> dict[int, tuple[int, ...]]:
+    """Drop release operands the task may still write afterwards.
+
+    A release asserts "this is the register's final value in this
+    task"; the successor stops waiting and reads it immediately. If
+    some later instruction of the same task redefines the register, the
+    successor races the redefinition and can consume a stale value — so
+    a hand-written (or generated) release of a not-actually-dead
+    register is pruned down to its provably-dead operands. Returns
+    ``{release addr: remaining regs}`` for the releases that change.
+    """
+    entries = set(regions)
+    unsafe_by_addr: dict[int, set[int]] = {}
+    release_regs: dict[int, tuple[int, ...]] = {}
+    for region in regions.values():
+        for baddr in sorted(region.blocks):
+            block = cfg.blocks[baddr]
+            # Blocks reachable from here without leaving the task (an
+            # edge into any task entry starts another task instance).
+            reachable: set[int] = set()
+            stack = [s for s in block.successors
+                     if s in region.blocks and s not in entries]
+            while stack:
+                addr = stack.pop()
+                if addr in reachable or addr not in region.blocks:
+                    continue
+                reachable.add(addr)
+                stack.extend(s for s in cfg.blocks[addr].successors
+                             if s in region.blocks and s not in entries)
+            defined_later: set[int] = set()
+            for addr in reachable:
+                for instr in cfg.blocks[addr].instructions:
+                    defined_later |= cfg.instr_defs(instr)
+            # Walk the block backwards so "defined after" accumulates.
+            pending: list[tuple[Instruction, set[int]]] = []
+            for instr in reversed(block.instructions):
+                if instr.op is Op.RELEASE:
+                    unsafe = set(instr.regs) & defined_later
+                    if unsafe:
+                        pending.append((instr, unsafe))
+                defined_later = defined_later | cfg.instr_defs(instr)
+            for instr, unsafe in pending:
+                release_regs[instr.addr] = instr.regs
+                unsafe_by_addr.setdefault(instr.addr, set()).update(unsafe)
+    return {addr: tuple(r for r in release_regs[addr]
+                        if r not in unsafe)
+            for addr, unsafe in unsafe_by_addr.items()}
 
 
 def strip_annotations(program: Program) -> Program:
@@ -293,7 +350,10 @@ def _plan_descriptors(program: Program,
 def _rebuild(program: Program, forward_sites: set[int],
              stop_sites: dict[int, StopKind],
              insertions: dict[int, set[int]],
-             descriptors: list[TaskDescriptor]) -> Program:
+             descriptors: list[TaskDescriptor],
+             release_rewrites: dict[int, tuple[int, ...]] | None = None
+             ) -> Program:
+    release_rewrites = release_rewrites or {}
     old_text_end = program.text_end
     new_instrs: list[Instruction] = []
     old_to_new: dict[int, int] = {}
@@ -310,6 +370,8 @@ def _rebuild(program: Program, forward_sites: set[int],
             instr,
             forward=instr.forward or instr.addr in forward_sites,
             stop=stop_sites.get(instr.addr, instr.stop))
+        if instr.addr in release_rewrites:
+            clone = replace(clone, regs=release_rewrites[instr.addr])
         clone.addr = TEXT_BASE + 4 * len(new_instrs)
         new_instrs.append(clone)
 

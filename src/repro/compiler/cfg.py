@@ -9,6 +9,7 @@ instruction.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass, field
 
 from repro.isa.instruction import Instruction
@@ -58,8 +59,10 @@ CALLEE_SAVED = frozenset(
 class ControlFlowGraph:
     """Blocks, edges, and function summaries for one program."""
 
-    def __init__(self, program: Program) -> None:
+    def __init__(self, program: Program,
+                 extra_leaders: Iterable[int] = ()) -> None:
         self.program = program
+        self.extra_leaders = frozenset(extra_leaders)
         self.blocks: dict[int, BasicBlock] = {}
         self.call_targets: set[int] = set()
         self.summaries: dict[int, FunctionSummary] = {}
@@ -88,6 +91,9 @@ class ControlFlowGraph:
                 leaders.add(instr.addr + 4)
         leaders |= self.call_targets
         leaders |= set(program.tasks)
+        # Explicit task-entry labels may sit in the middle of
+        # straight-line code; split blocks there too.
+        leaders |= self.extra_leaders
         end = program.text_end
         ordered = sorted(addr for addr in leaders if addr < end)
         for i, start in enumerate(ordered):
@@ -281,6 +287,7 @@ class ControlFlowGraph:
         return order
 
 
-def build_cfg(program: Program) -> ControlFlowGraph:
+def build_cfg(program: Program,
+              extra_leaders: Iterable[int] = ()) -> ControlFlowGraph:
     """Build the control-flow graph and function summaries."""
-    return ControlFlowGraph(program)
+    return ControlFlowGraph(program, extra_leaders)

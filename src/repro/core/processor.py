@@ -206,6 +206,9 @@ class _UnitContext(PipelineContext):
     def on_halt(self) -> None:
         self.p.halted = True
 
+    def machine_halted(self) -> bool:
+        return self.p.halted
+
 
 class MultiscalarProcessor:
     """Cycle-level simulator of a multiscalar processor."""

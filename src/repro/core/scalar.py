@@ -83,6 +83,9 @@ class _ScalarContext(PipelineContext):
     def on_halt(self) -> None:
         self.p.halted = True
 
+    def machine_halted(self) -> bool:
+        return self.p.halted
+
 
 class ScalarProcessor:
     """Runs a program on one pipelined processing unit."""

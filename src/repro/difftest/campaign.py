@@ -1,0 +1,163 @@
+"""The fuzzing loop behind ``python -m repro fuzz``.
+
+A campaign is a deterministic function of its seed: program ``i`` is
+generated from ``seed * 1_000_003 + i``, alternating between the
+assembly and MinC generators, and runs on the scalar baseline plus a
+rotating window over the full multiscalar configuration grid (1/2/4/8
+units × 1/2-way × in-order/out-of-order), so a whole campaign covers
+the grid even though each program runs on a handful of backends.
+
+On the first divergence the campaign stops, delta-debugs the program
+down to a near-minimal reproducer (re-checking candidates only on the
+backends that actually diverged, which keeps shrinking fast), and
+reports it. Re-running the same seed reproduces the whole sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.difftest.generator import GeneratedProgram, generator_for
+from repro.difftest.oracle import (
+    BackendSpec,
+    DiffReport,
+    ProgramInvalid,
+    check_program,
+    full_grid,
+)
+from repro.difftest.shrink import ShrinkResult, shrink
+
+#: Large prime stride between per-program seeds, so campaigns with
+#: nearby base seeds do not replay each other's programs.
+SEED_STRIDE = 1_000_003
+
+#: How many multiscalar configurations accompany the scalar baseline on
+#: each individual program.
+WINDOW = 3
+
+
+@dataclass
+class CampaignResult:
+    seed: int
+    programs_run: int = 0
+    programs_skipped: int = 0     # invalid generations (rare)
+    by_language: dict[str, int] = field(default_factory=dict)
+    backends_used: set[str] = field(default_factory=set)
+    report: DiffReport | None = None          # first divergence, if any
+    shrunk: ShrinkResult | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.report is None
+
+    def render(self) -> str:
+        mix = ", ".join(f"{n} {lang}"
+                        for lang, n in sorted(self.by_language.items()))
+        lines = [f"fuzz: {self.programs_run} programs ({mix}) "
+                 f"across {len(self.backends_used)} backend configs, "
+                 f"seed {self.seed}"]
+        if self.programs_skipped:
+            lines.append(f"fuzz: skipped {self.programs_skipped} "
+                         "invalid generations")
+        if self.ok:
+            lines.append("fuzz: no divergences")
+            return "\n".join(lines)
+        lines.append("fuzz: DIVERGENCE")
+        lines.extend(f"  {d}" for d in self.report.divergences)
+        if self.shrunk is not None:
+            program = self.shrunk.program
+            lines.append(
+                f"fuzz: shrunk to {program.body_size()} body "
+                f"instructions in {self.shrunk.checks} checks "
+                f"(-{self.shrunk.removed_chunks} chunks, "
+                f"-{self.shrunk.removed_iterations} iterations)")
+            lines.append("---- reproducer "
+                         f"({program.language}, seed {program.seed}) ----")
+            lines.append(program.source())
+            lines.append("---- end reproducer ----")
+        return "\n".join(lines)
+
+
+class FuzzCampaign:
+    """A seeded, budgeted differential-fuzzing run."""
+
+    def __init__(self, seed: int, budget: int,
+                 languages: tuple[str, ...] = ("asm", "minic"),
+                 units: tuple[int, ...] = (1, 2, 4, 8),
+                 widths: tuple[int, ...] = (1, 2),
+                 orders: tuple[bool, ...] = (False, True),
+                 max_shrink_checks: int = 400,
+                 max_cycles: int | None = None,
+                 progress=None) -> None:
+        if budget < 1:
+            raise ValueError("fuzz budget must be at least 1")
+        self.seed = seed
+        self.budget = budget
+        self.languages = tuple(languages)
+        self.ms_grid = full_grid(units, widths, orders)
+        self.scalar_baseline = BackendSpec("scalar", 1, 1, False)
+        self.max_shrink_checks = max_shrink_checks
+        self.max_cycles = max_cycles
+        self.progress = progress or (lambda message: None)
+
+    # ------------------------------------------------------------- parts
+
+    def grid_for(self, index: int) -> tuple[BackendSpec, ...]:
+        """Scalar baseline + a rotating window of multiscalar configs."""
+        window = [self.ms_grid[(index * WINDOW + k) % len(self.ms_grid)]
+                  for k in range(min(WINDOW, len(self.ms_grid)))]
+        return (self.scalar_baseline, *dict.fromkeys(window))
+
+    def generate(self, index: int) -> GeneratedProgram:
+        language = self.languages[index % len(self.languages)]
+        return generator_for(language).generate(
+            self.seed * SEED_STRIDE + index)
+
+    def _check(self, program: GeneratedProgram,
+               grid: tuple[BackendSpec, ...]) -> DiffReport:
+        kwargs = {}
+        if self.max_cycles is not None:
+            kwargs["max_cycles"] = self.max_cycles
+        return check_program(program, grid=grid, **kwargs)
+
+    # --------------------------------------------------------------- run
+
+    def run(self) -> CampaignResult:
+        result = CampaignResult(seed=self.seed)
+        index = 0
+        while result.programs_run < self.budget:
+            program = self.generate(index)
+            grid = self.grid_for(index)
+            index += 1
+            try:
+                report = self._check(program, grid)
+            except ProgramInvalid:
+                result.programs_skipped += 1
+                continue
+            result.programs_run += 1
+            result.by_language[program.language] = \
+                result.by_language.get(program.language, 0) + 1
+            result.backends_used.update(report.backends_run)
+            if result.programs_run % 25 == 0:
+                self.progress(f"{result.programs_run}/{self.budget} "
+                              "programs, no divergences")
+            if not report.ok:
+                result.report = report
+                result.shrunk = self._shrink(program, report, grid)
+                break
+        return result
+
+    def _shrink(self, program: GeneratedProgram, report: DiffReport,
+                grid: tuple[BackendSpec, ...]) -> ShrinkResult:
+        # Re-check candidates only on the backends that diverged; the
+        # full grid would multiply every ddmin probe's cost.
+        guilty = {d.backend for d in report.divergences}
+        focus = tuple(s for s in grid if s.label in guilty) or grid
+
+        def still_diverges(candidate: GeneratedProgram) -> bool:
+            return not self._check(candidate, focus).ok
+
+        self.progress(f"divergence on {', '.join(sorted(guilty))}; "
+                      "shrinking")
+        return shrink(program, still_diverges,
+                      max_checks=self.max_shrink_checks)

@@ -1,0 +1,355 @@
+"""Seeded random program generators for differential testing.
+
+Two generators, both deterministic functions of an integer seed:
+
+* :class:`AsmProgramGenerator` emits raw assembly shaped like the
+  paper's loop workloads: a task-annotated loop whose body mixes ALU
+  traffic, word and sub-word loads/stores with aliasing pressure on a
+  shared array, global-scalar read-modify-writes (the paper's
+  memory-order squash source), forward-skipping branches, explicit
+  ``release`` hints, and optional mid-loop task splits that force
+  register forwarding around the ring every iteration.
+* :class:`MinicProgramGenerator` emits MinC sources with a ``parallel
+  while`` loop over global-scalar conflicts and array traffic, driving
+  the whole compiler pipeline (lexer, parser, codegen, annotation) in
+  front of the processors.
+
+Programs are represented as a :class:`GeneratedProgram`: a fixed
+prelude/postlude plus a tuple of independently removable body chunks,
+which is exactly the structure the delta-debugging shrinker needs —
+dropping any subset of chunks still yields a valid, terminating
+program. The loop trip count is kept symbolic (an ``@ITER@`` marker)
+so the shrinker can reduce it too.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+
+#: Registers the generated body is allowed to read and write. ``$t8``
+#: (scaled array index) and ``$t9`` (trip counter) are read-only in the
+#: body so termination is structural, not probabilistic.
+BODY_REGS = ("$t0", "$t1", "$t2", "$t3", "$s0", "$s1", "$s2", "$s3")
+
+_ALU3 = ("add", "sub", "and", "or", "xor", "nor", "slt", "sltu",
+         "mult", "div", "rem")
+_ALUI = ("addi", "andi", "ori", "xori", "slti")
+_SHIFT = ("sll", "srl", "sra")
+_BRANCH2 = ("beq", "bne", "blt", "bge", "bltu", "bgeu")
+
+ITER_MARK = "@ITER@"
+
+
+@dataclass(frozen=True)
+class GeneratedProgram:
+    """One generated program, structured for shrinking.
+
+    ``body`` is a tuple of chunks; each chunk is a self-contained
+    source fragment (possibly several lines) that can be removed
+    without invalidating the rest of the program. ``prelude`` and
+    ``postlude`` are fixed scaffolding; any line may contain
+    :data:`ITER_MARK`, replaced by ``iterations`` at render time.
+    """
+
+    language: str                 # "asm" or "minic"
+    seed: int
+    iterations: int
+    prelude: tuple[str, ...]
+    body: tuple[str, ...]
+    postlude: tuple[str, ...]
+
+    def source(self) -> str:
+        lines = list(self.prelude) + list(self.body) + list(self.postlude)
+        return "\n".join(lines).replace(ITER_MARK, str(self.iterations))
+
+    def with_body(self, body: tuple[str, ...]) -> "GeneratedProgram":
+        return replace(self, body=tuple(body))
+
+    def with_iterations(self, iterations: int) -> "GeneratedProgram":
+        return replace(self, iterations=iterations)
+
+    def task_entries(self) -> list[str]:
+        """Task-entry labels for the annotation pass (asm programs).
+
+        Mid-loop split labels live in removable body chunks, so the
+        entry list is recomputed from whatever chunks survive.
+        """
+        entries = ["loop"]
+        for chunk in self.body:
+            for line in chunk.splitlines():
+                line = line.strip()
+                if line.startswith("mid") and line.endswith(":"):
+                    entries.append(line[:-1])
+        return entries
+
+    def body_size(self) -> int:
+        """Number of instructions (asm) or statements (minic) in the body."""
+        count = 0
+        for chunk in self.body:
+            for line in chunk.splitlines():
+                line = line.strip()
+                if not line or line.endswith(":"):
+                    continue
+                if self.language == "minic":
+                    count += line.count(";") or 1
+                else:
+                    count += 1
+        return count
+
+    def describe(self) -> str:
+        return (f"{self.language} seed={self.seed} "
+                f"iterations={self.iterations} "
+                f"body={self.body_size()} "
+                f"chunks={len(self.body)}")
+
+
+# ===================================================== assembly generator
+
+class AsmProgramGenerator:
+    """Deterministic random assembly programs (one per seed)."""
+
+    language = "asm"
+
+    def generate(self, seed: int) -> GeneratedProgram:
+        rng = random.Random(seed)
+        iterations = rng.randint(2, 12)
+        num_chunks = rng.randint(2, 8)
+        body = []
+        for index in range(num_chunks):
+            body.append(self._chunk(rng, index))
+        if rng.random() < 0.4:
+            # Split the loop body into two tasks: every iteration now
+            # forwards its registers across the ring mid-iteration.
+            split_at = rng.randint(1, len(body))
+            body.insert(split_at, "mid0:")
+        prelude = (
+            "        .data",
+            "glob:   .word 0",
+            "glob2:  .word 0",
+            "arr:    .space 256",
+            "        .text",
+            "main:",
+            *[f"        li {reg}, {rng.randint(-200, 200)}"
+              for reg in BODY_REGS],
+            "        li $t9, 0",
+            "loop:",
+            "        move $t8, $t9",
+            "        addi $t9, $t9, 1",
+            "        sll $t8, $t8, 2",
+            "        andi $t8, $t8, 255",
+        )
+        postlude = (
+            f"        blt $t9, {ITER_MARK}, loop",
+            "done:",
+            *[line
+              for reg in BODY_REGS
+              for line in (f"        move $a0, {reg}",
+                           "        li $v0, 1",
+                           "        syscall",
+                           "        li $a0, 32",
+                           "        li $v0, 11",
+                           "        syscall")],
+            "        lw $a0, glob",
+            "        li $v0, 1",
+            "        syscall",
+            "        li $a0, 32",
+            "        li $v0, 11",
+            "        syscall",
+            "        lw $a0, glob2",
+            "        li $v0, 1",
+            "        syscall",
+            "        halt",
+        )
+        return GeneratedProgram(
+            language="asm", seed=seed, iterations=iterations,
+            prelude=prelude, body=tuple(body), postlude=postlude)
+
+    # ------------------------------------------------------------ chunks
+
+    def _chunk(self, rng: random.Random, index: int) -> str:
+        roll = rng.random()
+        if roll < 0.30:
+            return self._alu(rng)
+        if roll < 0.45:
+            return self._array_traffic(rng)
+        if roll < 0.60:
+            return self._global_rmw(rng)
+        if roll < 0.72:
+            return self._subword_traffic(rng)
+        if roll < 0.88:
+            return self._skip_branch(rng, index)
+        return self._release_hint(rng)
+
+    def _alu(self, rng: random.Random) -> str:
+        form = rng.randrange(3)
+        rd, rs, rt = (rng.choice(BODY_REGS) for _ in range(3))
+        if form == 0:
+            return f"        {rng.choice(_ALU3)} {rd}, {rs}, {rt}"
+        if form == 1:
+            imm = rng.randint(-0x8000, 0x7FFF)
+            return f"        {rng.choice(_ALUI)} {rd}, {rs}, {imm}"
+        return f"        {rng.choice(_SHIFT)} {rd}, {rs}, {rng.randrange(32)}"
+
+    def _array_traffic(self, rng: random.Random) -> str:
+        reg = rng.choice(BODY_REGS)
+        if rng.random() < 0.5:
+            return f"        sw {reg}, arr($t8)"
+        return f"        lw {reg}, arr($t8)"
+
+    def _subword_traffic(self, rng: random.Random) -> str:
+        # Byte traffic on the word-granular array: sub-word aliasing
+        # exercises the ARB's per-byte masks.
+        reg = rng.choice(BODY_REGS)
+        if rng.random() < 0.5:
+            return f"        sb {reg}, arr($t8)"
+        op = rng.choice(("lb", "lbu"))
+        return f"        {op} {reg}, arr($t8)"
+
+    def _global_rmw(self, rng: random.Random) -> str:
+        # The paper's squash source: a loop-carried global-scalar
+        # read-modify-write forces memory-order violations between
+        # concurrently executing iterations.
+        reg = rng.choice(BODY_REGS)
+        cell = rng.choice(("glob", "glob2"))
+        delta = rng.randint(1, 9)
+        return "\n".join((
+            f"        lw {reg}, {cell}",
+            f"        addi {reg}, {reg}, {delta}",
+            f"        sw {reg}, {cell}",
+        ))
+
+    def _skip_branch(self, rng: random.Random, index: int) -> str:
+        label = f"skip{index}"
+        rs, rt = rng.choice(BODY_REGS), rng.choice(BODY_REGS)
+        op = rng.choice(_BRANCH2)
+        shadow = [self._alu(rng) for _ in range(rng.randint(1, 2))]
+        return "\n".join([f"        {op} {rs}, {rt}, {label}",
+                          *shadow,
+                          f"{label}:"])
+
+    def _release_hint(self, rng: random.Random) -> str:
+        # An explicit early release: architecturally a no-op, but it
+        # drives the ring/annotation interplay (Section 3.2.2).
+        regs = sorted(rng.sample(BODY_REGS, rng.randint(1, 2)))
+        return f"        release {', '.join(regs)}"
+
+
+# ========================================================= MinC generator
+
+class MinicProgramGenerator:
+    """Deterministic random MinC programs (one per seed)."""
+
+    language = "minic"
+
+    ARRAY_LEN = 16
+
+    def generate(self, seed: int) -> GeneratedProgram:
+        rng = random.Random(seed ^ 0x5A5A5A5A)
+        iterations = rng.randint(3, 14)
+        num_chunks = rng.randint(2, 7)
+        body = tuple(self._statement(rng, index)
+                     for index in range(num_chunks))
+        prelude = (
+            f"int g0 = {rng.randint(-50, 50)};",
+            f"int g1 = {rng.randint(-50, 50)};",
+            "int arr[16] = {" + ", ".join(
+                str(rng.randint(-9, 9)) for _ in range(self.ARRAY_LEN))
+            + "};",
+            "",
+            "void main() {",
+            "    int p = 0;",
+            f"    parallel while (p < {ITER_MARK}) {{",
+            "        int pp = p;",
+            "        p += 1;",
+            f"        int a = pp * {rng.randint(1, 5)};",
+            f"        int b = {rng.randint(-20, 20)};",
+        )
+        postlude = (
+            "    }",
+            "    print_int(g0); print_char(' ');",
+            "    print_int(g1); print_char(' ');",
+            "    int k = 0;",
+            "    int sum = 0;",
+            "    while (k < 16) { sum += arr[k]; k += 1; }",
+            "    print_int(sum);",
+            "}",
+        )
+        return GeneratedProgram(
+            language="minic", seed=seed, iterations=iterations,
+            prelude=prelude, body=body, postlude=postlude)
+
+    # -------------------------------------------------------- statements
+
+    def _statement(self, rng: random.Random, index: int) -> str:
+        roll = rng.random()
+        if roll < 0.30:
+            return f"        {self._local_update(rng)}"
+        if roll < 0.55:
+            return f"        {self._global_conflict(rng)}"
+        if roll < 0.75:
+            return f"        {self._array_traffic(rng)}"
+        if roll < 0.90:
+            cond = self._condition(rng)
+            then = self._any_simple(rng)
+            other = self._any_simple(rng)
+            return f"        if ({cond}) {{ {then} }} else {{ {other} }}"
+        # A small bounded inner loop (unique counter per chunk).
+        q = f"q{index}"
+        bound = rng.randint(2, 4)
+        step = self._any_simple(rng)
+        return (f"        int {q} = 0; "
+                f"while ({q} < {bound}) {{ {step} {q} += 1; }}")
+
+    def _local_update(self, rng: random.Random) -> str:
+        dst = rng.choice(("a", "b"))
+        op = rng.choice(("+", "-", "*", "/", "%", "&", "|", "^"))
+        src = rng.choice(("a", "b", "pp", "g0", "g1",
+                          str(rng.randint(1, 30))))
+        return f"{dst} = {dst} {op} {src};"
+
+    def _global_conflict(self, rng: random.Random) -> str:
+        # Loop-carried global-scalar RMW: provokes memory-order squashes
+        # between speculative iterations (Section 5.3's recurrence case).
+        dst = rng.choice(("g0", "g1"))
+        op = rng.choice(("+=", "-=", "*="))
+        src = rng.choice(("a", "b", "pp", str(rng.randint(1, 9))))
+        return f"{dst} {op} {src};"
+
+    def _array_traffic(self, rng: random.Random) -> str:
+        idx = rng.choice((f"pp % {self.ARRAY_LEN}",
+                          f"(pp + {rng.randint(1, 7)}) % {self.ARRAY_LEN}",
+                          f"(a & {self.ARRAY_LEN - 1})"))
+        if rng.random() < 0.5:
+            value = rng.choice(("a", "b", "pp", "g0"))
+            return f"arr[{idx}] = {value};"
+        dst = rng.choice(("a", "b"))
+        return f"{dst} = arr[{idx}];"
+
+    def _condition(self, rng: random.Random) -> str:
+        left = rng.choice(("a", "b", "pp", "g0", "g1"))
+        op = rng.choice(("<", "<=", ">", ">=", "==", "!="))
+        right = rng.choice(("a", "b", "pp", str(rng.randint(-10, 10))))
+        return f"{left} {op} {right}"
+
+    def _any_simple(self, rng: random.Random) -> str:
+        roll = rng.random()
+        if roll < 0.4:
+            return self._local_update(rng)
+        if roll < 0.7:
+            return self._global_conflict(rng)
+        return self._array_traffic(rng)
+
+
+GENERATORS = {
+    "asm": AsmProgramGenerator(),
+    "minic": MinicProgramGenerator(),
+}
+
+
+def generator_for(language: str):
+    try:
+        return GENERATORS[language]
+    except KeyError:
+        raise ValueError(f"unknown fuzz language {language!r}; "
+                         f"expected one of {sorted(GENERATORS)}") from None

@@ -1,0 +1,76 @@
+"""Backend-scoped fault injection for oracle self-validation.
+
+Every simulator in this repository executes instructions through the
+same :mod:`repro.isa.semantics` functions, which is exactly what makes
+differential testing meaningful — and what makes validating the oracle
+awkward: a bug planted in shared semantics changes the reference and
+the machine under test identically, so nothing diverges.
+
+This module provides the seam. The oracle wraps every backend run in
+:func:`use_backend`, and :func:`inject_opcode_bug` installs a wrapper
+around :func:`semantics.evaluate_alu` that corrupts the result of one
+opcode only when the *current* backend matches — e.g. "the multiscalar
+processor computes ``xor`` wrong", with the functional reference left
+intact. Tests use it to assert the fuzzer catches and shrinks a planted
+semantics bug; it must never be active outside a ``with`` block.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.isa import semantics
+from repro.isa.memory_image import u32
+from repro.isa.opcodes import Op
+
+#: Kind label of the backend currently executing ("functional",
+#: "scalar", or "multiscalar"); None outside oracle-controlled runs.
+_current_backend: str | None = None
+
+
+def current_backend() -> str | None:
+    """The backend kind the oracle is currently running, if any."""
+    return _current_backend
+
+
+@contextmanager
+def use_backend(kind: str):
+    """Mark ``kind`` as the backend under execution (oracle internal)."""
+    global _current_backend
+    previous = _current_backend
+    _current_backend = kind
+    try:
+        yield
+    finally:
+        _current_backend = previous
+
+
+@contextmanager
+def inject_opcode_bug(op: Op, backends: frozenset[str] | set[str] =
+                      frozenset({"multiscalar"}), corrupt=None):
+    """Make ``op`` compute a wrong result on the given backends only.
+
+    ``corrupt`` maps the correct result to the wrong one; the default
+    flips the low bit of an integer result (floats pass through, so the
+    default is only meaningful for integer opcodes). The patch applies
+    to every simulator that calls ``semantics.evaluate_alu`` through
+    the module attribute — i.e. all of them — but misbehaves only when
+    :func:`current_backend` is in ``backends``.
+    """
+    if corrupt is None:
+        def corrupt(value):
+            return u32(value ^ 1) if isinstance(value, int) else value
+    real = semantics.evaluate_alu
+    wanted = frozenset(backends)
+
+    def buggy_evaluate_alu(instr, srcs):
+        value = real(instr, srcs)
+        if instr.op is op and _current_backend in wanted:
+            return corrupt(value)
+        return value
+
+    semantics.evaluate_alu = buggy_evaluate_alu
+    try:
+        yield
+    finally:
+        semantics.evaluate_alu = real

@@ -1,0 +1,363 @@
+"""The multi-backend differential oracle.
+
+For one generated program the oracle runs:
+
+* :class:`FunctionalCPU` on the scalar binary — the reference
+  semantics;
+* :class:`FunctionalCPU` on the annotated binary — cross-checked
+  against the scalar reference (the annotation pass must preserve
+  program semantics);
+* :class:`ScalarProcessor` and :class:`MultiscalarProcessor` instances
+  across a configuration grid.
+
+Each timing backend is diffed against the functional run *of the same
+binary*: final program output, the final register file (scalar only —
+a multiscalar machine legitimately drops dead registers that are
+outside every create mask), the final committed-memory delta, and the
+retired dynamic instruction count. Multiscalar runs additionally carry
+machine invariants observed through the processor's event hook:
+
+* cycle accounting is exhaustive (``distribution.total() == units *
+  cycles``);
+* the ARB is empty once the machine halts — no speculative store
+  survives retirement;
+* every assigned task is retired or squashed, exactly once, and tasks
+  retire in sequence order;
+* ring mask consistency: a task that retired through a stop point has
+  forwarded every register in its create mask, and no in-flight ring
+  message names a task the sequencer never created.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler import annotate_program
+from repro.config import multiscalar_config, scalar_config
+from repro.core.processor import MultiscalarProcessor
+from repro.core.scalar import ScalarProcessor
+from repro.difftest.generator import GeneratedProgram
+from repro.difftest.injection import use_backend
+from repro.isa import FunctionalCPU, Program, assemble
+from repro.isa.memory_image import PAGE_SIZE, SparseMemory
+from repro.minic import compile_and_annotate, compile_scalar
+
+DEFAULT_MAX_INSTRUCTIONS = 400_000
+DEFAULT_MAX_CYCLES = 4_000_000
+
+
+class ProgramInvalid(Exception):
+    """The generated program cannot serve as an oracle input (it fails
+    to compile or the *reference* run itself errors out). The fuzzer
+    skips such programs; the shrinker treats them as uninteresting."""
+
+
+@dataclass(frozen=True)
+class BackendSpec:
+    """One timing backend of the oracle grid."""
+
+    kind: str                     # "scalar" or "multiscalar"
+    units: int = 1
+    issue_width: int = 1
+    out_of_order: bool = False
+
+    @property
+    def label(self) -> str:
+        issue = f"{self.issue_width}w-" \
+            + ("ooo" if self.out_of_order else "io")
+        if self.kind == "scalar":
+            return f"scalar:{issue}"
+        return f"ms:{self.units}u-{issue}"
+
+
+def full_grid(units=(1, 2, 4, 8), widths=(1, 2),
+              orders=(False, True)) -> list[BackendSpec]:
+    """Every multiscalar configuration of the paper's evaluation grid."""
+    return [BackendSpec("multiscalar", u, w, o)
+            for u in units for w in widths for o in orders]
+
+
+#: Default per-program grid: the scalar baseline plus three multiscalar
+#: shapes covering few/many units and in-order/out-of-order issue. The
+#: campaign rotates through :func:`full_grid` on top of this.
+DEFAULT_GRID = (
+    BackendSpec("scalar", 1, 1, False),
+    BackendSpec("multiscalar", 2, 1, False),
+    BackendSpec("multiscalar", 4, 1, False),
+    BackendSpec("multiscalar", 8, 2, True),
+)
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """One observed difference between a backend and its reference."""
+
+    backend: str
+    aspect: str                   # output / registers / memory / ...
+    expected: str
+    actual: str
+
+    def __str__(self) -> str:
+        return (f"[{self.backend}] {self.aspect}: "
+                f"expected {self.expected}, got {self.actual}")
+
+
+@dataclass
+class DiffReport:
+    program: GeneratedProgram
+    backends_run: list[str] = field(default_factory=list)
+    divergences: list[Divergence] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    def render(self) -> str:
+        lines = [f"program: {self.program.describe()}",
+                 f"backends: {', '.join(self.backends_run)}"]
+        if self.ok:
+            lines.append("no divergences")
+        else:
+            lines.extend(str(d) for d in self.divergences)
+        return "\n".join(lines)
+
+
+# ======================================================= program loading
+
+def compile_backends(generated: GeneratedProgram) -> tuple[Program, Program]:
+    """(scalar binary, annotated multiscalar binary) for one program."""
+    source = generated.source()
+    try:
+        if generated.language == "asm":
+            scalar = assemble(source)
+            multi = annotate_program(assemble(source),
+                                     task_entries=generated.task_entries())
+        else:
+            scalar = compile_scalar(source)
+            multi = compile_and_annotate(source)
+    except Exception as exc:
+        raise ProgramInvalid(f"compile failed: {exc}") from exc
+    return scalar, multi
+
+
+# ============================================================== outcomes
+
+@dataclass
+class Outcome:
+    """Architectural result of one run, reduced to comparable form."""
+
+    output: str = ""
+    regs: tuple = ()
+    memory: tuple = ()            # sorted (addr, byte) committed delta
+    instructions: int = 0
+    error: str = ""
+    invariant_failures: tuple = ()
+
+
+def memory_delta(initial: SparseMemory,
+                 final: SparseMemory) -> tuple[tuple[int, int], ...]:
+    """Bytes where ``final`` differs from ``initial``, sorted by address."""
+    delta = []
+    pages = set(initial._pages) | set(final._pages)
+    blank = bytes(PAGE_SIZE)
+    for index in sorted(pages):
+        before = initial._pages.get(index) or blank
+        after = final._pages.get(index) or blank
+        if bytes(before) == bytes(after):
+            continue
+        base = index * PAGE_SIZE
+        for offset, (old, new) in enumerate(zip(before, after)):
+            if old != new:
+                delta.append((base + offset, new))
+    return tuple(delta)
+
+
+def run_functional(program: Program,
+                   max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+                   ) -> Outcome:
+    with use_backend("functional"):
+        cpu = FunctionalCPU(program)
+        try:
+            cpu.run(max_instructions=max_instructions)
+        except Exception as exc:
+            return Outcome(error=f"{type(exc).__name__}: {exc}")
+        return Outcome(
+            output=cpu.output,
+            regs=tuple(cpu.state.regs),
+            memory=memory_delta(program.initial_memory(), cpu.state.memory),
+            instructions=cpu.instruction_count)
+
+
+def run_scalar_backend(program: Program, spec: BackendSpec,
+                       max_cycles: int = DEFAULT_MAX_CYCLES) -> Outcome:
+    with use_backend("scalar"):
+        processor = ScalarProcessor(
+            program, scalar_config(spec.issue_width, spec.out_of_order))
+        try:
+            result = processor.run(max_cycles=max_cycles)
+        except Exception as exc:
+            return Outcome(error=f"{type(exc).__name__}: {exc}")
+        return Outcome(
+            output=result.output,
+            regs=tuple(processor.regs),
+            memory=memory_delta(program.initial_memory(), processor.memory),
+            instructions=result.instructions)
+
+
+class _InvariantObserver:
+    """Collects the task life-cycle for post-run invariant checks."""
+
+    def __init__(self) -> None:
+        self.assigned: set[int] = set()
+        self.retired: list[int] = []
+        self.squashed: set[int] = set()
+        self.mask_failures: list[str] = []
+
+    def task_assigned(self, task, cycle: int) -> None:
+        self.assigned.add(task.seq)
+
+    def task_stopped(self, task, cycle: int) -> None:
+        pass
+
+    def task_retired(self, task, cycle: int) -> None:
+        self.retired.append(task.seq)
+        if task.stopped and not task.create_mask <= task.forwarded:
+            missing = sorted(task.create_mask - task.forwarded)
+            self.mask_failures.append(
+                f"task seq {task.seq} retired without forwarding "
+                f"create-mask registers {missing}")
+
+    def task_squashed(self, task, cycle: int) -> None:
+        self.squashed.add(task.seq)
+
+
+def _check_invariants(processor: MultiscalarProcessor, result,
+                      observer: _InvariantObserver) -> tuple:
+    failures = list(observer.mask_failures)
+    dist_total = result.distribution.total()
+    expected_total = processor.num_units * result.cycles
+    if dist_total != expected_total:
+        failures.append(
+            f"cycle accounting not exhaustive: distribution covers "
+            f"{dist_total} unit-cycles, machine ran {expected_total}")
+    if not processor.arb.is_empty():
+        failures.append(
+            f"ARB not empty after halt: {processor.arb.entry_count()} "
+            f"speculative entries survived retirement")
+    accounted = set(observer.retired) | observer.squashed
+    if accounted != observer.assigned:
+        lost = sorted(observer.assigned - accounted)
+        phantom = sorted(accounted - observer.assigned)
+        failures.append(
+            f"task accounting leak: lost={lost} phantom={phantom}")
+    if len(observer.retired) != len(set(observer.retired)):
+        failures.append("a task retired more than once")
+    if observer.retired != sorted(observer.retired):
+        failures.append(
+            f"tasks retired out of sequence order: {observer.retired}")
+    if set(observer.retired) & observer.squashed:
+        both = sorted(set(observer.retired) & observer.squashed)
+        failures.append(f"tasks both retired and squashed: {both}")
+    in_flight = [m for link in processor.ring._links for m in link]
+    ghosts = [m.sender_seq for m in in_flight
+              if m.sender_seq not in observer.assigned]
+    if ghosts:
+        failures.append(
+            f"ring carries messages from never-assigned tasks: {ghosts}")
+    return tuple(failures)
+
+
+def run_multiscalar_backend(program: Program, spec: BackendSpec,
+                            max_cycles: int = DEFAULT_MAX_CYCLES
+                            ) -> Outcome:
+    with use_backend("multiscalar"):
+        processor = MultiscalarProcessor(
+            program, multiscalar_config(spec.units, spec.issue_width,
+                                        spec.out_of_order))
+        observer = _InvariantObserver()
+        processor.observer = observer
+        try:
+            result = processor.run(max_cycles=max_cycles)
+        except Exception as exc:
+            return Outcome(error=f"{type(exc).__name__}: {exc}")
+        return Outcome(
+            output=result.output,
+            regs=tuple(processor.arch_regs),
+            memory=memory_delta(program.initial_memory(), processor.memory),
+            instructions=result.instructions,
+            invariant_failures=_check_invariants(processor, result,
+                                                 observer))
+
+
+# ============================================================ comparison
+
+def _compare(backend: str, reference: Outcome, observed: Outcome,
+             check_regs: bool) -> list[Divergence]:
+    if observed.error:
+        return [Divergence(backend, "error", "clean run", observed.error)]
+    divergences = []
+    if observed.output != reference.output:
+        divergences.append(Divergence(
+            backend, "output", repr(reference.output),
+            repr(observed.output)))
+    if check_regs and observed.regs != reference.regs:
+        diffs = [f"r{i}={obs!r}(want {ref!r})"
+                 for i, (ref, obs) in enumerate(zip(reference.regs,
+                                                    observed.regs))
+                 if ref != obs][:8]
+        divergences.append(Divergence(
+            backend, "registers", "functional register file",
+            ", ".join(diffs)))
+    if observed.memory != reference.memory:
+        want = dict(reference.memory)
+        got = dict(observed.memory)
+        wrong = [f"[{addr:#x}]={got.get(addr, '∅')}"
+                 f"(want {want.get(addr, '∅')})"
+                 for addr in sorted(set(want) | set(got))
+                 if want.get(addr) != got.get(addr)][:8]
+        divergences.append(Divergence(
+            backend, "memory", "functional memory image",
+            ", ".join(wrong)))
+    if observed.instructions != reference.instructions:
+        divergences.append(Divergence(
+            backend, "instructions", str(reference.instructions),
+            str(observed.instructions)))
+    for failure in observed.invariant_failures:
+        divergences.append(Divergence(backend, "invariant", "holds",
+                                      failure))
+    return divergences
+
+
+def check_program(generated: GeneratedProgram,
+                  grid: tuple[BackendSpec, ...] = DEFAULT_GRID,
+                  max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+                  max_cycles: int = DEFAULT_MAX_CYCLES) -> DiffReport:
+    """Run one generated program across the grid and diff everything."""
+    scalar_bin, multi_bin = compile_backends(generated)
+    ref_scalar = run_functional(scalar_bin, max_instructions)
+    if ref_scalar.error:
+        raise ProgramInvalid(f"reference run failed: {ref_scalar.error}")
+    ref_multi = run_functional(multi_bin, max_instructions)
+    if ref_multi.error:
+        raise ProgramInvalid(
+            f"annotated reference run failed: {ref_multi.error}")
+    report = DiffReport(program=generated)
+    # The annotation pass must preserve observable semantics. (Register
+    # files and memory may differ in dead state — release insertion
+    # shifts code addresses, hence $ra values and stack words.)
+    report.backends_run.append("functional:annotated")
+    if ref_multi.output != ref_scalar.output:
+        report.divergences.append(Divergence(
+            "functional:annotated", "output", repr(ref_scalar.output),
+            repr(ref_multi.output)))
+    for spec in grid:
+        report.backends_run.append(spec.label)
+        if spec.kind == "scalar":
+            outcome = run_scalar_backend(scalar_bin, spec, max_cycles)
+            report.divergences.extend(
+                _compare(spec.label, ref_scalar, outcome, check_regs=True))
+        else:
+            outcome = run_multiscalar_backend(multi_bin, spec, max_cycles)
+            report.divergences.extend(
+                _compare(spec.label, ref_multi, outcome, check_regs=False))
+    return report

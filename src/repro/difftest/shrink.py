@@ -1,0 +1,147 @@
+"""Delta-debugging shrinker for diverging programs.
+
+Given a program whose oracle run diverges, the shrinker searches for a
+near-minimal program that *still* diverges, in three phases:
+
+1. **ddmin over body chunks** — Zeller's classic algorithm: try
+   removing chunks of the body at coarse granularity, halving the
+   chunk size whenever no removal reproduces the divergence, until
+   granularity reaches single chunks (every generated chunk is a
+   self-contained fragment, so any subset of them is a valid program);
+2. **trip-count reduction** — binary-search the loop iteration count
+   downward (fewer iterations means fewer concurrent tasks, but a
+   divergence usually survives down to two or three);
+3. **a final one-at-a-time elimination pass** over the survivors.
+
+The interestingness predicate is injected so the same machinery
+shrinks any failure class: an output diff, a register mismatch, an
+invariant violation, or a simulator crash. Candidates that fail to
+compile or whose reference run errors are simply uninteresting.
+Predicate evaluations are memoized and capped by ``max_checks``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.difftest.generator import GeneratedProgram
+
+
+@dataclass
+class ShrinkResult:
+    program: GeneratedProgram
+    checks: int                   # predicate evaluations spent
+    removed_chunks: int
+    removed_iterations: int
+
+
+class _Budget:
+    def __init__(self, predicate, max_checks: int) -> None:
+        self._predicate = predicate
+        self._cache: dict[tuple, bool] = {}
+        self.checks = 0
+        self.max_checks = max_checks
+
+    def exhausted(self) -> bool:
+        return self.checks >= self.max_checks
+
+    def interesting(self, candidate: GeneratedProgram) -> bool:
+        key = (candidate.body, candidate.iterations)
+        if key in self._cache:
+            return self._cache[key]
+        if self.exhausted():
+            return False
+        self.checks += 1
+        try:
+            verdict = bool(self._predicate(candidate))
+        except Exception:
+            verdict = False
+        self._cache[key] = verdict
+        return verdict
+
+
+def _ddmin_chunks(program: GeneratedProgram,
+                  budget: _Budget) -> GeneratedProgram:
+    chunks = list(program.body)
+    granularity = 2
+    while len(chunks) >= 2 and not budget.exhausted():
+        size = max(1, len(chunks) // granularity)
+        reduced = False
+        start = 0
+        while start < len(chunks):
+            candidate_chunks = chunks[:start] + chunks[start + size:]
+            candidate = program.with_body(tuple(candidate_chunks))
+            if candidate_chunks and budget.interesting(candidate):
+                chunks = candidate_chunks
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                # Restart the sweep on the reduced configuration.
+                start = 0
+                size = max(1, len(chunks) // granularity)
+                continue
+            start += size
+        if not reduced:
+            if size <= 1:
+                break
+            granularity = min(granularity * 2, len(chunks))
+    return program.with_body(tuple(chunks))
+
+
+def _reduce_iterations(program: GeneratedProgram,
+                       budget: _Budget) -> GeneratedProgram:
+    low = 2
+    while program.iterations > low and not budget.exhausted():
+        # Try the floor first, then split the difference.
+        for target in (low, (program.iterations + low) // 2,
+                       program.iterations - 1):
+            if target >= program.iterations:
+                continue
+            candidate = program.with_iterations(target)
+            if budget.interesting(candidate):
+                program = candidate
+                break
+        else:
+            break
+    return program
+
+
+def _eliminate_one_by_one(program: GeneratedProgram,
+                          budget: _Budget) -> GeneratedProgram:
+    changed = True
+    while changed and not budget.exhausted():
+        changed = False
+        for index in range(len(program.body)):
+            if len(program.body) <= 1:
+                break
+            body = program.body[:index] + program.body[index + 1:]
+            candidate = program.with_body(body)
+            if budget.interesting(candidate):
+                program = candidate
+                changed = True
+                break
+    return program
+
+
+def shrink(program: GeneratedProgram, predicate,
+           max_checks: int = 400) -> ShrinkResult:
+    """Minimize ``program`` while ``predicate`` stays true.
+
+    ``predicate(candidate) -> bool`` decides interestingness (usually
+    "the oracle still reports a divergence"); exceptions raised by the
+    predicate count as uninteresting. The original program is assumed
+    interesting and is returned unchanged if nothing smaller works.
+    """
+    budget = _Budget(predicate, max_checks)
+    original = program
+    program = _ddmin_chunks(program, budget)
+    program = _reduce_iterations(program, budget)
+    program = _eliminate_one_by_one(program, budget)
+    # Iteration reduction may unlock further chunk removal (and vice
+    # versa); one more cheap round each.
+    program = _reduce_iterations(program, budget)
+    program = _eliminate_one_by_one(program, budget)
+    return ShrinkResult(
+        program=program,
+        checks=budget.checks,
+        removed_chunks=len(original.body) - len(program.body),
+        removed_iterations=original.iterations - program.iterations)

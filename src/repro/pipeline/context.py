@@ -99,6 +99,14 @@ class PipelineContext(abc.ABC):
     def on_syscall(self) -> None:
         """Execute a syscall's architectural effect."""
 
+    def machine_halted(self) -> bool:
+        """True once the machine has halted (e.g. an exit syscall).
+
+        Checked right after a syscall commits: nothing younger may
+        commit once the program has exited, exactly as for HALT.
+        """
+        return False
+
     @abc.abstractmethod
     def on_halt(self) -> None:
         """A HALT instruction committed."""

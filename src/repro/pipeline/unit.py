@@ -152,6 +152,13 @@ class UnitPipeline:
                 self.stats.stores += 1
             elif kind is Kind.SYSCALL:
                 ctx.on_syscall()
+                if ctx.machine_halted():
+                    # An exit syscall: instructions past it were fetched
+                    # down a path the program never takes architecturally,
+                    # so (like HALT) nothing younger may commit.
+                    self._flush_younger(rec.idx)
+                    self._stop_fetch()
+                    break
             elif kind is Kind.HALT:
                 ctx.on_halt()
                 # Nothing younger may commit (it would be text fetched

@@ -226,3 +226,196 @@ def test_idle_units_counted():
     _, result = run(num_units=16)
     dist = result.distribution
     assert dist.total() == 16 * result.cycles
+
+
+# ------------------------------------------------------ squash recovery
+
+GLOBAL_RMW = """
+        .data
+glob:   .word 0
+        .text
+main:
+        li $t9, 0
+loop:
+        addi $t9, $t9, 1
+        lw $t0, glob
+        addi $t0, $t0, 1
+        sw $t0, glob
+        blt $t9, 8, loop
+done:
+        lw $a0, glob
+        li $v0, 1
+        syscall
+        halt
+"""
+
+
+class _Recorder:
+    """Observer that logs the task life-cycle in arrival order."""
+
+    def __init__(self):
+        self.events = []
+
+    def task_assigned(self, task, cycle):
+        self.events.append(("assign", task.seq))
+
+    def task_stopped(self, task, cycle):
+        pass
+
+    def task_retired(self, task, cycle):
+        self.events.append(("retire", task.seq))
+
+    def task_squashed(self, task, cycle):
+        self.events.append(("squash", task.seq))
+
+
+def _rmw_processor(**config_kwargs):
+    from repro.compiler import annotate_program
+
+    program = annotate_program(assemble(GLOBAL_RMW),
+                               task_entries=["loop"])
+    kwargs = dict(num_units=4)
+    kwargs.update(config_kwargs)
+    return MultiscalarProcessor(program, multiscalar_config(**kwargs))
+
+
+def test_memory_squash_takes_suffix_and_recovers():
+    # Every iteration read-modify-writes one global: successor tasks
+    # load it early, a predecessor store then hits the earlier load,
+    # and the violator plus everything younger must be squashed —
+    # never an already-retired (or older) task.
+    processor = _rmw_processor()
+    recorder = _Recorder()
+    processor.observer = recorder
+    result = processor.run()
+    assert result.output == "8"
+    assert result.squashes_memory >= 1
+    retired_so_far = []
+    for kind, seq in recorder.events:
+        if kind == "retire":
+            retired_so_far.append(seq)
+        elif kind == "squash" and retired_so_far:
+            # Suffix property: a squash never reaches a task at or
+            # below one that already retired.
+            assert seq > max(retired_so_far)
+    # Recovery: the sequencer re-walked the squashed suffix, so every
+    # loop iteration still retired exactly once (main + 8 iterations;
+    # the done tail rides in the final iteration's task).
+    assert result.tasks_retired == 9
+
+
+def test_squash_from_discards_suffix_and_restarts_walk():
+    # Drive the machine until several tasks are in flight, then squash
+    # a suffix directly and check the bookkeeping: victims flagged,
+    # units freed, ARB state dropped, walk restarted at the victim.
+    processor = _rmw_processor()
+    while len(processor.active) < 3:
+        processor.step()
+    survivor = processor.active[0]
+    victims = list(processor.active[1:])
+    processor._squash_from(1, victims[0].entry)
+    assert processor.active == [survivor]
+    assert not survivor.squashed
+    for victim in victims:
+        assert victim.squashed
+        assert processor.units[victim.unit_index].task is None
+    assert processor.next_pc == victims[0].entry
+    # The mid-run squash of correct-path tasks must be harmless: the
+    # sequencer re-executes them and the program completes correctly.
+    result = processor.run()
+    assert result.output == "8"
+
+
+# --------------------------------------------------------- ARB overflow
+
+STORE_HEAVY = """
+        .data
+arr:    .space 512
+        .text
+main:
+        li $t9, 0
+loop:
+        sll $t8, $t9, 4
+        addi $t9, $t9, 1
+        sw $t9, arr($t8)
+        addi $t8, $t8, 4
+        sw $t9, arr($t8)
+        addi $t8, $t8, 4
+        sw $t9, arr($t8)
+        addi $t8, $t8, 4
+        sw $t9, arr($t8)
+        blt $t9, 30, loop
+done:
+        lw $a0, arr
+        li $v0, 1
+        syscall
+        halt
+"""
+
+
+def _store_heavy_processor(**config_kwargs):
+    from repro.compiler import annotate_program
+
+    program = annotate_program(assemble(STORE_HEAVY),
+                               task_entries=["loop"])
+    config = multiscalar_config(8)
+    config = replace(config,
+                     memory=replace(config.memory, arb_entries_per_bank=2),
+                     **config_kwargs)
+    return MultiscalarProcessor(program, config)
+
+
+def test_arb_overflow_squashes_youngest_and_recovers():
+    # A store-heavy loop against a 2-entry-per-bank ARB overflows under
+    # the default "squash" policy; the machine must squash the youngest
+    # task to free space and still produce the right answer.
+    processor = _store_heavy_processor()
+    result = processor.run()
+    assert result.squashes_arb >= 1
+    assert result.output == "1"
+    assert processor.arb.is_empty()
+    for offset in range(30):
+        word = processor.memory.read_word(
+            processor.program.labels["arr"] + offset * 16)
+        assert word == offset + 1
+
+
+def test_arb_overflow_never_squashes_a_lone_head():
+    # With only the head active there is nothing to squash for space:
+    # the request must be dropped, not wedge or kill the head.
+    processor = _store_heavy_processor()
+    while not processor.active:
+        processor.step()
+    head = processor.active[0]
+    del processor.active[1:]
+    processor._squash_request = ("arb", head.seq)
+    processor._apply_squash_request(processor.cycle)
+    assert processor.squashes_arb == 0
+    assert processor.active == [head]
+    assert not head.squashed
+
+
+def test_arb_stall_policy_ignores_space_requests():
+    # Under the paper's alternative stall policy the unit simply waits;
+    # request_arb_space must not schedule a squash.
+    processor = _store_heavy_processor(arb_full_policy="stall")
+    while len(processor.active) < 2:
+        processor.step()
+    youngest = processor.active[-1]
+    processor.request_arb_space(youngest)
+    assert processor._squash_request is None
+
+
+def test_violation_squash_keeps_oldest_violator():
+    # Two violation reports in one cycle: the older (smaller seq) wins,
+    # because squashing from the older task subsumes the younger one.
+    processor = _rmw_processor()
+    while len(processor.active) < 3:
+        processor.step()
+    younger = processor.active[2].seq
+    older = processor.active[1].seq
+    processor.request_violation_squash(younger)
+    processor.request_violation_squash(older)
+    assert processor._squash_request == ("memory", older)
+    processor.request_violation_squash(younger)
+    assert processor._squash_request == ("memory", older)

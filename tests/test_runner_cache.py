@@ -1,0 +1,97 @@
+"""Tests for the harness runner's memoization caches.
+
+Tables 3, 4, and the distribution study all go through
+``repro.harness.runner``; its per-process caches must return the very
+same result object on a hit (simulations are expensive) and must never
+let two different machine configurations collide on one key.
+"""
+
+import pytest
+
+from repro.harness import runner
+from repro.harness.runner import (
+    clear_cache,
+    dynamic_count,
+    run_multiscalar,
+    run_scalar,
+)
+
+#: A cheap workload, so cache tests don't dominate the suite's runtime.
+NAME = "cmp"
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+def test_multiscalar_cache_hit_returns_identical_object():
+    first = run_multiscalar(NAME, units=4)
+    second = run_multiscalar(NAME, units=4)
+    assert second is first
+    assert len(runner._multi_cache) == 1
+
+
+def test_scalar_cache_hit_returns_identical_object():
+    first = run_scalar(NAME)
+    assert run_scalar(NAME) is first
+    assert run_scalar(NAME, 1, False) is first   # same key, spelled out
+    assert len(runner._scalar_cache) == 1
+
+
+def test_differing_multiscalar_configs_never_collide():
+    grid = [(units, width, ooo)
+            for units in (2, 4) for width in (1, 2)
+            for ooo in (False, True)]
+    results = {cfg: run_multiscalar(NAME, *cfg) for cfg in grid}
+    assert len(runner._multi_cache) == len(grid)
+    # Every cached entry belongs to exactly one configuration.
+    ids = [id(result) for result in results.values()]
+    assert len(set(ids)) == len(grid)
+    # A repeat sweep serves every configuration from the cache.
+    for cfg, result in results.items():
+        assert run_multiscalar(NAME, *cfg) is result
+    assert len(runner._multi_cache) == len(grid)
+
+
+def test_cache_keys_include_every_config_axis():
+    run_multiscalar(NAME, units=4, issue_width=1, out_of_order=False)
+    run_multiscalar(NAME, units=4, issue_width=2, out_of_order=False)
+    run_multiscalar(NAME, units=4, issue_width=1, out_of_order=True)
+    run_multiscalar(NAME, units=8, issue_width=1, out_of_order=False)
+    keys = set(runner._multi_cache)
+    assert keys == {
+        (NAME, 4, 1, False),
+        (NAME, 4, 2, False),
+        (NAME, 4, 1, True),
+        (NAME, 8, 1, False),
+    }
+
+
+def test_scalar_and_multiscalar_caches_are_separate():
+    run_scalar(NAME, issue_width=2)
+    run_multiscalar(NAME, units=2, issue_width=2)
+    assert len(runner._scalar_cache) == 1
+    assert len(runner._multi_cache) == 1
+
+
+def test_dynamic_count_cache_distinguishes_binaries():
+    scalar = dynamic_count(NAME, multiscalar=False)
+    multi = dynamic_count(NAME, multiscalar=True)
+    assert set(runner._count_cache) == {(NAME, False), (NAME, True)}
+    # The annotated binary executes at least as many instructions
+    # (inserted releases), so the two entries are genuinely distinct.
+    assert multi >= scalar
+    assert dynamic_count(NAME, multiscalar=False) == scalar
+
+
+def test_clear_cache_empties_every_cache():
+    run_scalar(NAME)
+    run_multiscalar(NAME, units=2)
+    dynamic_count(NAME, multiscalar=False)
+    clear_cache()
+    assert not runner._scalar_cache
+    assert not runner._multi_cache
+    assert not runner._count_cache
