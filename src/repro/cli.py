@@ -9,7 +9,10 @@ Subcommands:
 * ``workloads``      — list or run the paper's benchmark stand-ins;
 * ``tables N``       — regenerate a table of the paper's evaluation;
 * ``fuzz``           — differential fuzzing: run seeded random programs
-  on every backend and diff the results (exit 1 on divergence).
+  on every backend and diff the results (exit 1 on divergence);
+* ``sweep``          — run a workload × configuration grid through the
+  sharded job engine with persistent result caching;
+* ``cache``          — inspect or purge the persistent result store.
 
 Examples::
 
@@ -17,7 +20,9 @@ Examples::
     python -m repro run kernel.s --entries loop --issue 2 --ooo
     python -m repro workloads --run cmp --units 4
     python -m repro tables 2
-    python -m repro fuzz --seed 7 --budget 200
+    python -m repro fuzz --seed 7 --budget 200 --jobs 4
+    python -m repro sweep --workloads wc,cmp --units 1,4 --jobs 4
+    python -m repro cache --purge
 """
 
 from __future__ import annotations
@@ -117,17 +122,37 @@ def cmd_workloads(args: argparse.Namespace) -> int:
             print(f"{name:10} {spec.paper_benchmark:28} "
                   f"{spec.description}")
         return 0
+    from repro.engine import SimulationMismatchError
+
     spec = WORKLOADS[args.run]
     scalar = ScalarProcessor(spec.scalar_program(), scalar_config()).run()
     processor = MultiscalarProcessor(spec.multiscalar_program(),
                                      multiscalar_config(args.units))
     result = processor.run()
-    assert result.output == spec.expected_output
+    if result.output != spec.expected_output:
+        raise SimulationMismatchError(
+            f"{args.run}: multiscalar output {result.output!r} does not "
+            f"match expected {spec.expected_output!r}")
     print(f"{args.run}: scalar {scalar.cycles} cycles, "
           f"{args.units}-unit multiscalar {result.cycles} cycles "
           f"(speedup {scalar.cycles / result.cycles:.2f}x, "
           f"prediction {result.prediction_accuracy:.1%})")
     return 0
+
+
+def _apply_cache_flags(args: argparse.Namespace) -> None:
+    from repro.harness import runner
+
+    if getattr(args, "cache_dir", None):
+        import os
+
+        os.environ["REPRO_CACHE_DIR"] = args.cache_dir
+    if getattr(args, "purge_cache", False):
+        removed = runner.clear_cache(persistent=True)
+        print(f"cache: purged {removed} stored results", file=sys.stderr)
+    if getattr(args, "no_cache", False):
+        runner.set_persistent_cache(False)
+        runner.clear_cache()
 
 
 def cmd_tables(args: argparse.Namespace) -> int:
@@ -140,6 +165,7 @@ def cmd_tables(args: argparse.Namespace) -> int:
         table4_rows,
     )
 
+    _apply_cache_flags(args)
     if args.number == 1:
         print(format_table1())
     elif args.number == 2:
@@ -155,6 +181,7 @@ def cmd_tables(args: argparse.Namespace) -> int:
 def cmd_report(args: argparse.Namespace) -> int:
     from repro.harness.report import generate_report
 
+    _apply_cache_flags(args)
     text = generate_report(quick=args.quick)
     if args.output:
         Path(args.output).write_text(text)
@@ -179,6 +206,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
             orders=(False, True) if args.ooo == "both"
             else (args.ooo == "ooo",),
             max_shrink_checks=args.max_shrink_checks,
+            jobs=args.jobs,
             progress=lambda message: print(f"fuzz: {message}",
                                            file=sys.stderr))
         if args.self_test and args.self_test.upper() not in Op.__members__:
@@ -204,6 +232,73 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     result = campaign.run()
     print(result.render())
     return 0 if result.ok else 1
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.engine import ResultStore, persistent_cache_enabled
+    from repro.engine.sweep import SweepRequest, render_timelines, run_sweep
+    from repro.harness.paper_data import ROW_ORDER
+    from repro.workloads import WORKLOADS
+
+    _apply_cache_flags(args)
+    workloads = tuple(args.workloads) if args.workloads else tuple(ROW_ORDER)
+    unknown = [name for name in workloads if name not in WORKLOADS]
+    if unknown:
+        print(f"repro sweep: error: unknown workloads {unknown}",
+              file=sys.stderr)
+        return 2
+    request = SweepRequest(
+        workloads=workloads,
+        units=tuple(args.units),
+        widths=tuple(args.widths),
+        orders=(False, True) if args.ooo == "both"
+        else (args.ooo == "ooo",),
+        jobs=args.jobs,
+        timeout=args.timeout,
+        retries=args.retries,
+        use_cache=not args.no_cache,
+        self_test=args.self_test,
+        max_cycles=args.max_cycles,
+    )
+    store = None
+    if request.use_cache and persistent_cache_enabled():
+        store = ResultStore()
+    summary = run_sweep(
+        request, store,
+        progress=lambda message: print(f"sweep: {message}",
+                                       file=sys.stderr))
+    print(summary.render())
+    if args.timeline:
+        print(render_timelines(request))
+    if args.self_test:
+        if summary.worker_deaths < 1 or not summary.ok:
+            print("sweep: self-test FAILED -- the killed worker's job "
+                  "was not recovered by retry", file=sys.stderr)
+            return 1
+        print(f"sweep: self-test ok -- {summary.worker_deaths} worker "
+              "death(s) recovered by retry, grid complete",
+              file=sys.stderr)
+    if args.require_hit_rate is not None \
+            and summary.hit_rate < args.require_hit_rate:
+        print(f"sweep: persistent-cache hit rate "
+              f"{100.0 * summary.hit_rate:.1f}% is below the required "
+              f"{100.0 * args.require_hit_rate:.1f}%", file=sys.stderr)
+        return 1
+    return 0 if summary.ok else 1
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    from repro.engine import ResultStore
+
+    _apply_cache_flags(args)
+    store = ResultStore()
+    if args.purge:
+        removed = store.purge()
+        print(f"cache: purged {removed} stored results "
+              f"from {store.root}")
+        return 0
+    print(f"cache: {len(store)} stored results under {store.root}")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -251,10 +346,21 @@ def build_parser() -> argparse.ArgumentParser:
     wl.add_argument("--units", type=int, default=8)
     wl.set_defaults(fn=cmd_workloads)
 
+    def add_cache_flags(p):
+        p.add_argument("--no-cache", action="store_true",
+                       help="bypass the persistent result store "
+                            "(force fresh simulations)")
+        p.add_argument("--purge-cache", action="store_true",
+                       help="purge the persistent result store first")
+        p.add_argument("--cache-dir", default=None,
+                       help="result-store directory "
+                            "(default .repro-cache or $REPRO_CACHE_DIR)")
+
     tables = sub.add_parser("tables", help="regenerate a paper table")
     tables.add_argument("number", type=int, choices=(1, 2, 3, 4))
     tables.add_argument("--names", type=lambda s: s.split(","),
                         default=None, help="restrict to these workloads")
+    add_cache_flags(tables)
     tables.set_defaults(fn=cmd_tables)
 
     report = sub.add_parser(
@@ -262,7 +368,50 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("-o", "--output", default=None)
     report.add_argument("--quick", action="store_true",
                         help="three representative workloads only")
+    add_cache_flags(report)
     report.set_defaults(fn=cmd_report)
+
+    sweep = sub.add_parser(
+        "sweep", help="run a workload x config grid through the sharded "
+                      "job engine with persistent caching")
+    sweep.add_argument("--workloads", type=lambda s: s.split(","),
+                       default=None,
+                       help="comma-separated workloads (default: all)")
+    sweep.add_argument("--units", type=lambda s: [int(u) for u in
+                                                  s.split(",")],
+                       default=[4, 8],
+                       help="multiscalar unit counts (default 4,8)")
+    sweep.add_argument("--widths", type=lambda s: [int(w) for w in
+                                                   s.split(",")],
+                       default=[1], help="issue widths (default 1)")
+    sweep.add_argument("--ooo", choices=("io", "ooo", "both"),
+                       default="io", help="issue orders to sweep")
+    sweep.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (1 = serial in-process)")
+    sweep.add_argument("--timeout", type=float, default=600.0,
+                       help="per-job wall-clock budget in seconds")
+    sweep.add_argument("--retries", type=int, default=2,
+                       help="retry budget per job for crashes/timeouts")
+    sweep.add_argument("--max-cycles", type=int, default=20_000_000)
+    sweep.add_argument("--timeline", action="store_true",
+                       help="render per-unit task timelines afterwards")
+    sweep.add_argument("--require-hit-rate", type=float, default=None,
+                       metavar="FRACTION",
+                       help="exit 1 unless the persistent-cache hit rate "
+                            "is at least this fraction (e.g. 0.9)")
+    sweep.add_argument("--self-test", action="store_true",
+                       help="SIGKILL a worker mid-job and require the "
+                            "grid to complete via retry")
+    add_cache_flags(sweep)
+    sweep.set_defaults(fn=cmd_sweep)
+
+    cache = sub.add_parser(
+        "cache", help="inspect or purge the persistent result store")
+    cache.add_argument("--purge", action="store_true",
+                       help="delete every stored result")
+    cache.add_argument("--cache-dir", default=None,
+                       help="result-store directory")
+    cache.set_defaults(fn=cmd_cache)
 
     fuzz = sub.add_parser(
         "fuzz", help="differential fuzzing across all backends")
@@ -282,6 +431,9 @@ def build_parser() -> argparse.ArgumentParser:
                       default=[1, 2], help="issue widths to cover")
     fuzz.add_argument("--ooo", choices=("io", "ooo", "both"),
                       default="both", help="issue orders to cover")
+    fuzz.add_argument("--jobs", type=int, default=1,
+                      help="shard program checks across this many "
+                           "worker processes")
     fuzz.add_argument("--max-shrink-checks", type=int, default=400,
                       help="delta-debugging budget per divergence")
     fuzz.add_argument("--self-test", metavar="OP", default=None,

@@ -12,7 +12,7 @@ violation, ARB overflow) discard a suffix of the active task window.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 from repro.arb import ARBFullError, AddressResolutionBuffer
 from repro.config import MachineConfig, multiscalar_config
@@ -108,6 +108,19 @@ class MultiscalarResult:
     dcache_misses: int
     arb_peak_entries: int
     ring_sends: int
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (inverse of :meth:`from_dict`)."""
+        data = asdict(self)
+        data["distribution"] = self.distribution.as_dict()
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MultiscalarResult":
+        data = dict(data)
+        data["distribution"] = CycleDistribution.from_dict(
+            data["distribution"])
+        return cls(**data)
 
 
 class _UnitContext(PipelineContext):

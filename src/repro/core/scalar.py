@@ -10,7 +10,7 @@ testing (release instructions execute as no-ops).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 from repro.config import MachineConfig, scalar_config
 from repro.isa import semantics
@@ -42,6 +42,17 @@ class ScalarResult:
     icache_misses: int
     dcache_misses: int
     stall_cycles: dict[str, int]
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (inverse of :meth:`from_dict`)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScalarResult":
+        data = dict(data)
+        data["stall_cycles"] = {str(k): int(v)
+                                for k, v in data["stall_cycles"].items()}
+        return cls(**data)
 
 
 class _ScalarContext(PipelineContext):

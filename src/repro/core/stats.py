@@ -93,3 +93,7 @@ class CycleDistribution:
     def fractions(self) -> dict[str, float]:
         total = self.total() or 1
         return {name: count / total for name, count in self.as_dict().items()}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, int]) -> "CycleDistribution":
+        return cls(**{name: int(data[name]) for name in cls().as_dict()})

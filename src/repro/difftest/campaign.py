@@ -11,6 +11,12 @@ On the first divergence the campaign stops, delta-debugs the program
 down to a near-minimal reproducer (re-checking candidates only on the
 backends that actually diverged, which keeps shrinking fast), and
 reports it. Re-running the same seed reproduces the whole sequence.
+
+With ``jobs > 1`` the campaign shards program checks across the
+engine's fault-tolerant worker pool in waves, scanning each wave's
+results in generation order — so the reported divergence is the same
+one the serial campaign would find, and a crashed worker costs a retry
+rather than the campaign.
 """
 
 from __future__ import annotations
@@ -78,6 +84,33 @@ class CampaignResult:
         return "\n".join(lines)
 
 
+def _check_entry(payload: dict, attempt: int) -> dict:
+    """Worker-side oracle check (module-level, hence picklable).
+
+    Regenerates the program from its seed — cheaper than shipping it —
+    and reduces the report to a small result dict; the parent re-derives
+    the full report deterministically if it needs to shrink.
+    """
+    language = payload["languages"][payload["index"]
+                                    % len(payload["languages"])]
+    program = generator_for(language).generate(
+        payload["seed"] * SEED_STRIDE + payload["index"])
+    grid = tuple(BackendSpec(*spec) for spec in payload["grid"])
+    kwargs = {}
+    if payload["max_cycles"] is not None:
+        kwargs["max_cycles"] = payload["max_cycles"]
+    try:
+        report = check_program(program, grid=grid, **kwargs)
+    except ProgramInvalid:
+        return {"status": "invalid", "language": language, "backends": []}
+    return {
+        "status": "ok" if report.ok else "divergence",
+        "language": language,
+        "backends": list(report.backends_run),
+        "divergences": [str(d) for d in report.divergences],
+    }
+
+
 class FuzzCampaign:
     """A seeded, budgeted differential-fuzzing run."""
 
@@ -88,6 +121,7 @@ class FuzzCampaign:
                  orders: tuple[bool, ...] = (False, True),
                  max_shrink_checks: int = 400,
                  max_cycles: int | None = None,
+                 jobs: int = 1,
                  progress=None) -> None:
         if budget < 1:
             raise ValueError("fuzz budget must be at least 1")
@@ -98,6 +132,7 @@ class FuzzCampaign:
         self.scalar_baseline = BackendSpec("scalar", 1, 1, False)
         self.max_shrink_checks = max_shrink_checks
         self.max_cycles = max_cycles
+        self.jobs = max(1, jobs)
         self.progress = progress or (lambda message: None)
 
     # ------------------------------------------------------------- parts
@@ -123,6 +158,11 @@ class FuzzCampaign:
     # --------------------------------------------------------------- run
 
     def run(self) -> CampaignResult:
+        if self.jobs > 1:
+            return self._run_parallel()
+        return self._run_serial()
+
+    def _run_serial(self) -> CampaignResult:
         result = CampaignResult(seed=self.seed)
         index = 0
         while result.programs_run < self.budget:
@@ -146,6 +186,78 @@ class FuzzCampaign:
                 result.shrunk = self._shrink(program, report, grid)
                 break
         return result
+
+    def _run_parallel(self) -> CampaignResult:
+        """Shard checks across worker processes, wave by wave.
+
+        Each worker regenerates its program from the (cheap, seeded)
+        generator and runs the full oracle check; the parent scans
+        outcomes in generation order, so the first divergence reported
+        matches the serial campaign. Shrinking stays in-process.
+        """
+        from repro.engine.scheduler import PoolJob, WorkerPool
+
+        pool = WorkerPool(_check_entry, jobs=self.jobs,
+                          retries=2, progress=self.progress)
+        result = CampaignResult(seed=self.seed)
+        index = 0
+        while result.programs_run < self.budget:
+            wave = min(4 * self.jobs, self.budget - result.programs_run)
+            payloads = []
+            for offset in range(wave):
+                payloads.append(PoolJob(
+                    job_id=str(index + offset),
+                    payload=self._payload_for(index + offset)))
+            outcomes = pool.run(payloads)
+            stop = False
+            for offset in range(wave):
+                if result.programs_run >= self.budget:
+                    stop = True
+                    break
+                outcome = outcomes[str(index + offset)]
+                if not outcome.ok:
+                    # A worker crashed beyond retry; treat the program
+                    # like an invalid generation rather than losing
+                    # the campaign.
+                    self.progress(f"program {index + offset} lost: "
+                                  f"{outcome.error}")
+                    result.programs_skipped += 1
+                    continue
+                checked = outcome.value
+                if checked["status"] == "invalid":
+                    result.programs_skipped += 1
+                    continue
+                result.programs_run += 1
+                result.by_language[checked["language"]] = \
+                    result.by_language.get(checked["language"], 0) + 1
+                result.backends_used.update(checked["backends"])
+                if result.programs_run % 25 == 0:
+                    self.progress(f"{result.programs_run}/{self.budget} "
+                                  "programs, no divergences")
+                if checked["status"] == "divergence":
+                    # Recreate the full report in-process (deterministic)
+                    # and shrink as the serial campaign would.
+                    program = self.generate(index + offset)
+                    grid = self.grid_for(index + offset)
+                    report = self._check(program, grid)
+                    result.report = report
+                    result.shrunk = self._shrink(program, report, grid)
+                    stop = True
+                    break
+            index += wave
+            if stop or result.report is not None:
+                break
+        return result
+
+    def _payload_for(self, index: int) -> dict:
+        return {
+            "seed": self.seed,
+            "index": index,
+            "languages": self.languages,
+            "grid": [(s.kind, s.units, s.issue_width, s.out_of_order)
+                     for s in self.grid_for(index)],
+            "max_cycles": self.max_cycles,
+        }
 
     def _shrink(self, program: GeneratedProgram, report: DiffReport,
                 grid: tuple[BackendSpec, ...]) -> ShrinkResult:

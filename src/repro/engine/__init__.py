@@ -1,0 +1,77 @@
+"""``repro.engine`` — sharded parallel simulation job engine.
+
+Layers:
+
+* :mod:`repro.engine.job` — the content-addressed job model
+  (:class:`SimJob`) and in-process execution;
+* :mod:`repro.engine.store` — the persistent on-disk result store;
+* :mod:`repro.engine.scheduler` — the fault-tolerant worker pool;
+* :mod:`repro.engine.sweep` — grid sweeps combining all three.
+
+The one-job convenience path used by the harness runner lives here:
+:func:`execute_cached` consults the persistent store, simulates on a
+miss, persists the fresh payload, and returns the native result
+object.
+"""
+
+from __future__ import annotations
+
+from repro.engine.job import (
+    SimJob,
+    SimulationMismatchError,
+    code_fingerprint,
+    count_job,
+    execute,
+    multiscalar_job,
+    result_from_payload,
+    scalar_job,
+)
+from repro.engine.scheduler import (
+    InjectedWorkerDeath,
+    JobOutcome,
+    PoolJob,
+    RetryableJobError,
+    WorkerPool,
+)
+from repro.engine.store import (
+    ResultStore,
+    default_cache_dir,
+    persistent_cache_enabled,
+)
+
+__all__ = [
+    "InjectedWorkerDeath",
+    "JobOutcome",
+    "PoolJob",
+    "ResultStore",
+    "RetryableJobError",
+    "SimJob",
+    "SimulationMismatchError",
+    "WorkerPool",
+    "code_fingerprint",
+    "count_job",
+    "default_cache_dir",
+    "execute",
+    "execute_cached",
+    "multiscalar_job",
+    "persistent_cache_enabled",
+    "result_from_payload",
+    "scalar_job",
+]
+
+
+def execute_cached(job: SimJob, store: ResultStore | None):
+    """Run one job through the persistent store (serially, in-process).
+
+    With ``store=None`` the job always simulates and nothing persists.
+    Returns the native result object (:class:`ScalarResult`,
+    :class:`MultiscalarResult`, or an ``int`` instruction count).
+    """
+    if store is None:
+        return result_from_payload(execute(job))
+    key = job.key()
+    payload = store.get(key)
+    if payload is None:
+        payload = execute(job)
+        store.put(key, payload, job=job.describe())
+    return result_from_payload(payload)

@@ -1,0 +1,233 @@
+"""The engine's job model: one simulation request, content-addressed.
+
+A :class:`SimJob` names everything that determines a simulation's
+result — the program (a registered workload or an inline source), the
+backend kind, and the machine configuration axes. :meth:`SimJob.key`
+hashes all of it together with a fingerprint of the simulator's own
+source code, so a cached result self-invalidates the moment either the
+program or the simulator changes.
+
+Executing a job yields a *payload*: a small JSON-serializable dict
+(``{"type": ..., "result": ...}``) that round-trips through the
+persistent store and reconstructs the original result object via
+:func:`result_from_payload`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+from functools import lru_cache
+from pathlib import Path
+
+from repro.config import multiscalar_config, scalar_config
+from repro.core.processor import MultiscalarProcessor, MultiscalarResult
+from repro.core.scalar import ScalarProcessor, ScalarResult
+
+#: Bump when the job-key recipe or payload layout changes shape.
+JOB_SCHEMA_VERSION = 1
+
+DEFAULT_MAX_CYCLES = 20_000_000
+
+
+class SimulationMismatchError(RuntimeError):
+    """A simulated run produced output that differs from the workload's
+    expected output. Raised unconditionally (unlike a bare ``assert``,
+    it survives ``python -O``); the engine reports it as a *job
+    failure*, never as a worker crash."""
+
+
+@lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """Hash of every ``repro`` source file, so results cached by one
+    version of the simulator are invisible to every other version."""
+    import repro
+
+    root = Path(repro.__file__).parent
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(path.relative_to(root).as_posix().encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class SimJob:
+    """One simulation request.
+
+    ``kind`` is ``"scalar"`` (timing baseline), ``"multiscalar"``
+    (timing, ``units`` processing units), or ``"count"`` (functional
+    dynamic-instruction count). The program is either a registered
+    workload (``workload`` set) or an inline source (``source`` +
+    ``language`` + ``entries``).
+    """
+
+    kind: str
+    workload: str | None = None
+    source: str | None = None
+    language: str = "minic"            # inline programs: "minic" | "asm"
+    entries: tuple[str, ...] = ()      # inline programs: task entries
+    annotated: bool = False            # count jobs: which binary
+    units: int = 1
+    issue_width: int = 1
+    out_of_order: bool = False
+    max_cycles: int = DEFAULT_MAX_CYCLES
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("scalar", "multiscalar", "count"):
+            raise ValueError(f"unknown job kind {self.kind!r}")
+        if (self.workload is None) == (self.source is None):
+            raise ValueError("exactly one of workload/source required")
+
+    # ---------------------------------------------------------- identity
+
+    def _program_identity(self) -> dict:
+        if self.workload is not None:
+            spec = _workload_spec(self.workload)
+            return {
+                "workload": self.workload,
+                "source_sha": hashlib.sha256(
+                    spec.source.encode()).hexdigest(),
+                "entries": list(spec.extra_entries),
+            }
+        return {
+            "language": self.language,
+            "source_sha": hashlib.sha256(self.source.encode()).hexdigest(),
+            "entries": list(self.entries),
+        }
+
+    def key(self) -> str:
+        """Content-addressed cache key (hex)."""
+        material = {
+            "schema": JOB_SCHEMA_VERSION,
+            "code": code_fingerprint(),
+            "kind": self.kind,
+            "program": self._program_identity(),
+            "annotated": self._annotated(),
+            "units": self.units,
+            "issue_width": self.issue_width,
+            "out_of_order": self.out_of_order,
+            "max_cycles": self.max_cycles,
+        }
+        blob = json.dumps(material, sort_keys=True).encode()
+        return hashlib.sha256(blob).hexdigest()
+
+    def describe(self) -> dict:
+        """Human-readable job description stored next to each result."""
+        data = asdict(self)
+        data["entries"] = list(self.entries)
+        if self.source is not None and len(data["source"]) > 200:
+            data["source"] = data["source"][:200] + "..."
+        return data
+
+    def label(self) -> str:
+        name = self.workload or f"<inline {self.language}>"
+        if self.kind == "scalar":
+            return (f"{name}:scalar:{self.issue_width}w-"
+                    f"{'ooo' if self.out_of_order else 'io'}")
+        if self.kind == "multiscalar":
+            return (f"{name}:ms:{self.units}u-{self.issue_width}w-"
+                    f"{'ooo' if self.out_of_order else 'io'}")
+        return f"{name}:count:{'multi' if self.annotated else 'scalar'}"
+
+    def _annotated(self) -> bool:
+        return self.kind == "multiscalar" or self.annotated
+
+    # --------------------------------------------------------- execution
+
+    def _build(self):
+        """(program, expected output or None) for this job."""
+        if self.workload is not None:
+            spec = _workload_spec(self.workload)
+            program = spec.multiscalar_program() if self._annotated() \
+                else spec.scalar_program()
+            return program, spec.expected_output
+        if self.language == "asm":
+            from repro.compiler import annotate_program
+            from repro.isa import assemble
+
+            program = assemble(self.source)
+            if self._annotated():
+                program = annotate_program(
+                    program, task_entries=list(self.entries))
+        else:
+            from repro.minic import compile_and_annotate, compile_scalar
+
+            if self._annotated():
+                program = compile_and_annotate(
+                    self.source, extra_entries=list(self.entries))
+            else:
+                program = compile_scalar(self.source)
+        return program, None
+
+    def _verify(self, output: str, expected: str | None) -> None:
+        if expected is not None and output != expected:
+            raise SimulationMismatchError(
+                f"{self.label()}: simulated output {output!r} does not "
+                f"match expected {expected!r}")
+
+
+# ------------------------------------------------------------ constructors
+
+def scalar_job(name: str, issue_width: int = 1, out_of_order: bool = False,
+               max_cycles: int = DEFAULT_MAX_CYCLES) -> SimJob:
+    return SimJob(kind="scalar", workload=name, issue_width=issue_width,
+                  out_of_order=out_of_order, max_cycles=max_cycles)
+
+
+def multiscalar_job(name: str, units: int, issue_width: int = 1,
+                    out_of_order: bool = False,
+                    max_cycles: int = DEFAULT_MAX_CYCLES) -> SimJob:
+    return SimJob(kind="multiscalar", workload=name, units=units,
+                  issue_width=issue_width, out_of_order=out_of_order,
+                  max_cycles=max_cycles)
+
+
+def count_job(name: str, annotated: bool) -> SimJob:
+    return SimJob(kind="count", workload=name, annotated=annotated)
+
+
+def _workload_spec(name: str):
+    from repro.workloads import WORKLOADS
+
+    return WORKLOADS[name]
+
+
+# --------------------------------------------------------------- execution
+
+def execute(job: SimJob) -> dict:
+    """Run one job to completion, returning its JSON-able payload."""
+    program, expected = job._build()
+    if job.kind == "scalar":
+        result = ScalarProcessor(
+            program, scalar_config(job.issue_width, job.out_of_order)
+        ).run(max_cycles=job.max_cycles)
+        job._verify(result.output, expected)
+        return {"type": "scalar", "result": result.to_dict()}
+    if job.kind == "multiscalar":
+        result = MultiscalarProcessor(
+            program, multiscalar_config(job.units, job.issue_width,
+                                        job.out_of_order)
+        ).run(max_cycles=job.max_cycles)
+        job._verify(result.output, expected)
+        return {"type": "multiscalar", "result": result.to_dict()}
+    from repro.isa import FunctionalCPU
+
+    cpu = FunctionalCPU(program)
+    cpu.run()
+    job._verify(cpu.output, expected)
+    return {"type": "count", "count": cpu.instruction_count}
+
+
+def result_from_payload(payload: dict):
+    """Reconstruct the native result object from a stored payload."""
+    if payload["type"] == "scalar":
+        return ScalarResult.from_dict(payload["result"])
+    if payload["type"] == "multiscalar":
+        return MultiscalarResult.from_dict(payload["result"])
+    if payload["type"] == "count":
+        return int(payload["count"])
+    raise ValueError(f"unknown payload type {payload['type']!r}")

@@ -1,0 +1,293 @@
+"""A fault-tolerant worker pool for simulation jobs.
+
+The pool runs a generic entrypoint ``fn(payload, attempt) -> value``
+for each submitted job, sharding up to ``jobs`` of them across child
+processes at a time. It is built for hostile weather:
+
+* **per-job timeout** — a job that exceeds its wall-clock budget has
+  its worker killed and is retried;
+* **worker death** — a worker that dies without reporting (OOM killer,
+  SIGKILL, a segfaulting extension) is detected by process exit and the
+  job is retried with linear backoff, up to ``retries`` times;
+* **failure taxonomy** — a Python exception raised by the entrypoint
+  is *deterministic* and fails the job immediately (no retry), unless
+  it is a :class:`RetryableJobError`; only crashes, timeouts, and
+  explicitly retryable errors are presumed transient;
+* **graceful degradation** — if ``multiprocessing`` is unavailable or
+  process spawning itself fails, the pool falls back to serial
+  in-process execution, and a job whose workers keep dying gets one
+  final in-process attempt before being declared lost.
+
+Fault injection for self-tests: a job may carry ``kill_on_attempts``;
+a worker running one of those attempts SIGKILLs itself mid-job (in
+serial mode it raises a retryable error instead, since killing the
+only process would take the harness down with it).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+try:
+    import multiprocessing as _mp
+except ImportError:          # pragma: no cover - CPython always has it
+    _mp = None
+
+
+class RetryableJobError(Exception):
+    """An entrypoint failure that is worth retrying (transient)."""
+
+
+class InjectedWorkerDeath(RetryableJobError):
+    """Serial-mode stand-in for a SIGKILLed worker."""
+
+
+@dataclass(frozen=True)
+class PoolJob:
+    """One unit of work: an opaque payload under a caller-chosen id."""
+
+    job_id: str
+    payload: Any
+    kill_on_attempts: tuple[int, ...] = ()
+
+
+@dataclass
+class JobOutcome:
+    job_id: str
+    ok: bool = False
+    value: Any = None
+    error: str = ""
+    attempts: int = 0
+    worker_deaths: int = 0
+    timeouts: int = 0
+
+    @property
+    def retries(self) -> int:
+        return max(0, self.attempts - 1)
+
+
+@dataclass
+class _Pending:
+    job: PoolJob
+    attempt: int
+    not_before: float
+
+
+@dataclass
+class _Running:
+    job: PoolJob
+    attempt: int
+    process: Any
+    conn: Any
+    deadline: float
+
+
+def _child_main(conn, fn, payload, attempt, kill_on_attempts) -> None:
+    if attempt in kill_on_attempts:
+        os.kill(os.getpid(), signal.SIGKILL)
+    try:
+        value = fn(payload, attempt)
+        conn.send(("ok", value, ""))
+    except RetryableJobError as exc:
+        conn.send(("retry", None, f"{type(exc).__name__}: {exc}"))
+    except BaseException as exc:   # deterministic failure: do not retry
+        conn.send(("fatal", None, f"{type(exc).__name__}: {exc}"))
+    finally:
+        conn.close()
+
+
+class WorkerPool:
+    """Shard jobs across worker processes; survive their deaths."""
+
+    def __init__(self, entrypoint: Callable[[Any, int], Any], *,
+                 jobs: int = 1, timeout: float = 600.0, retries: int = 2,
+                 backoff: float = 0.25, force_serial: bool = False,
+                 progress: Callable[[str], None] | None = None) -> None:
+        self.entrypoint = entrypoint
+        self.jobs = max(1, jobs)
+        self.timeout = timeout
+        self.retries = max(0, retries)
+        self.backoff = backoff
+        self.progress = progress or (lambda message: None)
+        self.serial = (force_serial or self.jobs == 1 or _mp is None
+                       or os.environ.get("REPRO_FORCE_SERIAL") == "1")
+
+    def _delay(self, attempt: int) -> float:
+        return min(self.backoff * attempt, 2.0)
+
+    # ------------------------------------------------------------ serial
+
+    def _serial_attempt(self, job: PoolJob, attempt: int) -> Any:
+        if attempt in job.kill_on_attempts:
+            raise InjectedWorkerDeath(
+                f"injected worker death on attempt {attempt}")
+        return self.entrypoint(job.payload, attempt)
+
+    def _run_serial(self, job: PoolJob,
+                    outcome: JobOutcome | None = None) -> JobOutcome:
+        outcome = outcome or JobOutcome(job_id=job.job_id)
+        while outcome.attempts <= self.retries:
+            attempt = outcome.attempts
+            outcome.attempts += 1
+            try:
+                outcome.value = self._serial_attempt(job, attempt)
+                outcome.ok = True
+                return outcome
+            except RetryableJobError as exc:
+                outcome.error = f"{type(exc).__name__}: {exc}"
+                if isinstance(exc, InjectedWorkerDeath):
+                    outcome.worker_deaths += 1
+                time.sleep(self._delay(attempt + 1))
+            except Exception as exc:
+                outcome.error = f"{type(exc).__name__}: {exc}"
+                return outcome
+        return outcome
+
+    # ---------------------------------------------------------- parallel
+
+    def _spawn(self, job: PoolJob, attempt: int) -> _Running:
+        ctx = _mp.get_context()
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        process = ctx.Process(
+            target=_child_main,
+            args=(child_conn, self.entrypoint, job.payload, attempt,
+                  job.kill_on_attempts),
+            daemon=True)
+        process.start()
+        child_conn.close()
+        return _Running(job=job, attempt=attempt, process=process,
+                        conn=parent_conn,
+                        deadline=time.monotonic() + self.timeout)
+
+    def _reap(self, running: _Running) -> tuple[str, Any, str]:
+        """(status, value, error) once a worker finished or vanished."""
+        message = None
+        try:
+            if running.conn.poll():
+                message = running.conn.recv()
+        except (EOFError, OSError):
+            message = None
+        running.conn.close()
+        running.process.join(timeout=5)
+        if message is None:
+            code = running.process.exitcode
+            return ("died", None, f"worker died (exit code {code})")
+        return message
+
+    def _settle(self, outcomes: dict[str, JobOutcome],
+                pending: list[_Pending], entry: _Running, status: str,
+                value: Any, error: str) -> bool:
+        """Fold one attempt in; True when the job reached an outcome."""
+        outcome = outcomes[entry.job.job_id]
+        if status == "ok":
+            outcome.ok = True
+            outcome.value = value
+            return True
+        outcome.error = error
+        if status == "fatal":
+            return True
+        if status == "died":
+            outcome.worker_deaths += 1
+        elif status == "timeout":
+            outcome.timeouts += 1
+        # "retry" (an explicit RetryableJobError) is transient but is
+        # neither a worker death nor a timeout; it just burns an attempt.
+        if outcome.attempts <= self.retries:     # transient: try again
+            pending.append(_Pending(entry.job, outcome.attempts,
+                                    time.monotonic()
+                                    + self._delay(outcome.attempts)))
+            return False
+        if outcome.worker_deaths:
+            # Workers keep dying on this job: one final in-process
+            # attempt before declaring it lost.
+            self.progress(f"job {entry.job.job_id}: workers kept dying; "
+                          "final in-process attempt")
+            try:
+                outcome.value = self._serial_attempt(
+                    entry.job, outcome.attempts)
+                outcome.ok = True
+                outcome.attempts += 1
+            except Exception as exc:
+                outcome.error = f"{type(exc).__name__}: {exc}"
+        return True
+
+    def _degrade_to_serial(self, outcomes: dict[str, JobOutcome],
+                           pending: list[_Pending],
+                           running: list[_Running]) -> dict[str, JobOutcome]:
+        for victim in running:
+            victim.process.kill()
+            victim.process.join(timeout=5)
+            victim.conn.close()
+            outcomes[victim.job.job_id].worker_deaths += 1
+            pending.append(_Pending(victim.job,
+                                    outcomes[victim.job.job_id].attempts,
+                                    0.0))
+        for entry in sorted(pending, key=lambda e: e.job.job_id):
+            outcome = outcomes[entry.job.job_id]
+            outcome.attempts = entry.attempt    # resume the attempt budget
+            self._run_serial(entry.job, outcome)
+        return outcomes
+
+    def _run_parallel(self,
+                      pool_jobs: list[PoolJob]) -> dict[str, JobOutcome]:
+        outcomes = {job.job_id: JobOutcome(job_id=job.job_id)
+                    for job in pool_jobs}
+        pending = [_Pending(job, 0, 0.0) for job in pool_jobs]
+        running: list[_Running] = []
+        settled = 0
+        while pending or running:
+            now = time.monotonic()
+            for entry in list(pending):
+                if len(running) >= self.jobs:
+                    break
+                if entry.not_before > now:
+                    continue
+                pending.remove(entry)
+                outcomes[entry.job.job_id].attempts = entry.attempt + 1
+                try:
+                    running.append(self._spawn(entry.job, entry.attempt))
+                except Exception as exc:
+                    self.progress(f"worker spawn failed ({exc}); "
+                                  "degrading to serial execution")
+                    outcomes[entry.job.job_id].attempts = entry.attempt
+                    pending.append(entry)
+                    return self._degrade_to_serial(outcomes, pending,
+                                                   running)
+            reaped = False
+            for entry in list(running):
+                if entry.conn.poll(0) or not entry.process.is_alive():
+                    status, value, error = self._reap(entry)
+                elif time.monotonic() > entry.deadline:
+                    entry.process.kill()
+                    entry.process.join(timeout=5)
+                    entry.conn.close()
+                    status, value, error = (
+                        "timeout", None,
+                        f"timed out after {self.timeout:.0f}s")
+                else:
+                    continue
+                running.remove(entry)
+                reaped = True
+                if self._settle(outcomes, pending, entry, status, value,
+                                error):
+                    settled += 1
+                    self.progress(f"{settled}/{len(pool_jobs)} jobs settled")
+            if (pending or running) and not reaped:
+                time.sleep(0.005)
+        return outcomes
+
+    # --------------------------------------------------------------- api
+
+    def run(self, pool_jobs: list[PoolJob]) -> dict[str, JobOutcome]:
+        """Run every job to a settled outcome; never raises for job
+        failures (inspect :class:`JobOutcome`)."""
+        ids = [job.job_id for job in pool_jobs]
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate job ids submitted to the pool")
+        if self.serial:
+            return {job.job_id: self._run_serial(job) for job in pool_jobs}
+        return self._run_parallel(pool_jobs)

@@ -1,0 +1,117 @@
+"""Persistent on-disk result store: one JSON file per job key.
+
+Layout (under ``.repro-cache/`` by default, or ``$REPRO_CACHE_DIR``)::
+
+    <root>/v1/<key[:2]>/<key>.json
+
+Each file wraps the job payload in a versioned envelope; a schema bump
+makes every older file an automatic miss. Writes go through a
+temporary file in the same directory followed by ``os.replace``, so a
+killed worker or a concurrent writer can never leave a half-written
+result where a reader might find it — the worst case is a duplicate
+write of identical content. Corrupt or unreadable files are treated as
+misses, never as errors.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+#: Bump when the on-disk envelope changes incompatibly.
+STORE_SCHEMA_VERSION = 1
+
+
+def default_cache_dir() -> Path:
+    """Resolve the store root from the environment, lazily, so tests
+    and CLI flags can redirect it per invocation."""
+    return Path(os.environ.get("REPRO_CACHE_DIR", ".repro-cache"))
+
+
+def persistent_cache_enabled() -> bool:
+    return not os.environ.get("REPRO_NO_DISK_CACHE")
+
+
+class ResultStore:
+    """A content-addressed JSON-per-key store with atomic writes."""
+
+    def __init__(self, root: Path | str | None = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    # ------------------------------------------------------------ layout
+
+    @property
+    def _version_dir(self) -> Path:
+        return self.root / f"v{STORE_SCHEMA_VERSION}"
+
+    def path_for(self, key: str) -> Path:
+        return self._version_dir / key[:2] / f"{key}.json"
+
+    # --------------------------------------------------------------- api
+
+    def get(self, key: str) -> dict | None:
+        """The stored payload for ``key``, or ``None`` on any miss
+        (absent, corrupt, wrong schema, wrong key)."""
+        path = self.path_for(key)
+        try:
+            envelope = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if not isinstance(envelope, dict):
+            return None
+        if envelope.get("schema") != STORE_SCHEMA_VERSION:
+            return None
+        if envelope.get("key") != key:
+            return None
+        payload = envelope.get("payload")
+        return payload if isinstance(payload, dict) else None
+
+    def put(self, key: str, payload: dict, job: dict | None = None) -> None:
+        """Atomically persist ``payload`` under ``key``."""
+        envelope = {
+            "schema": STORE_SCHEMA_VERSION,
+            "key": key,
+            "job": job or {},
+            "payload": payload,
+        }
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(envelope, handle)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def purge(self) -> int:
+        """Delete every stored result (all schema versions); return the
+        number of result files removed."""
+        removed = 0
+        if not self.root.is_dir():
+            return removed
+        for path in sorted(self.root.rglob("*.json"), reverse=True):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        for directory in sorted(self.root.rglob("*"), reverse=True):
+            if directory.is_dir():
+                try:
+                    directory.rmdir()
+                except OSError:
+                    pass
+        return removed
+
+    def __len__(self) -> int:
+        if not self._version_dir.is_dir():
+            return 0
+        return sum(1 for _ in self._version_dir.rglob("*.json"))

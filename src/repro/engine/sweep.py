@@ -1,0 +1,268 @@
+"""Grid sweeps: shard a workload × configuration grid across workers.
+
+A sweep expands ``workloads × widths × orders`` into one scalar
+baseline job per (workload, width, order) plus one multiscalar job per
+requested unit count, then runs the grid through the persistent store
+and the fault-tolerant pool:
+
+* jobs whose key is already in the store are *hits* and never dispatch;
+* misses are sharded across ``jobs`` worker processes, and fresh
+  payloads are persisted by the parent (workers never touch the store,
+  so there is exactly one writer);
+* a job that fails (mismatch, timeout after retries, dead workers) is
+  counted and reported, but never takes the sweep down.
+
+The summary renders the same speedup numbers as the serial harness —
+``scalar.cycles / multiscalar.cycles`` per cell — plus the engine's
+cache and fault accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.job import (
+    SimJob,
+    execute,
+    multiscalar_job,
+    result_from_payload,
+    scalar_job,
+)
+from repro.engine.scheduler import JobOutcome, PoolJob, WorkerPool
+from repro.engine.store import ResultStore
+
+
+@dataclass(frozen=True)
+class SweepRequest:
+    workloads: tuple[str, ...]
+    units: tuple[int, ...] = (4, 8)
+    widths: tuple[int, ...] = (1,)
+    orders: tuple[bool, ...] = (False,)
+    jobs: int = 1
+    timeout: float = 600.0
+    retries: int = 2
+    backoff: float = 0.25
+    use_cache: bool = True
+    self_test: bool = False        # kill one worker mid-job, require retry
+    max_cycles: int = 20_000_000
+
+
+@dataclass
+class SweepCell:
+    """One multiscalar grid point joined with its scalar baseline."""
+
+    workload: str
+    units: int
+    issue_width: int
+    out_of_order: bool
+    cycles: int | None = None
+    speedup: float | None = None
+    prediction_accuracy: float | None = None
+    error: str = ""
+
+
+@dataclass
+class SweepSummary:
+    request: SweepRequest
+    cells: list[SweepCell] = field(default_factory=list)
+    scalar_cycles: dict[tuple[str, int, bool], int] = \
+        field(default_factory=dict)
+    total_jobs: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    failures: int = 0
+    retries: int = 0
+    worker_deaths: int = 0
+    timeouts: int = 0
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache_hits / self.total_jobs if self.total_jobs else 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.failures == 0
+
+    def render(self) -> str:
+        req = self.request
+        lines = [
+            f"sweep: {len(req.workloads)} workloads x "
+            f"units {{{','.join(map(str, req.units))}}} x "
+            f"widths {{{','.join(map(str, req.widths))}}} x "
+            f"orders {{{','.join('ooo' if o else 'io' for o in req.orders)}}}"
+            f" -- {self.total_jobs} jobs",
+        ]
+        header = (f"{'workload':10} {'width':5} {'order':5} "
+                  f"{'scalar-cyc':>10}")
+        for units in req.units:
+            header += f" {f'{units}u speedup':>12} {f'{units}u pred':>8}"
+        lines.append(header)
+        for name in req.workloads:
+            for width in req.widths:
+                for ooo in req.orders:
+                    scalar = self.scalar_cycles.get((name, width, ooo))
+                    row = (f"{name:10} {width:5} "
+                           f"{'ooo' if ooo else 'io':5} "
+                           f"{scalar if scalar is not None else '-':>10}")
+                    for units in req.units:
+                        cell = self._cell(name, units, width, ooo)
+                        if cell is None or cell.speedup is None:
+                            row += f" {'-':>12} {'-':>8}"
+                        else:
+                            row += (f" {cell.speedup:>12.2f}"
+                                    f" {cell.prediction_accuracy:>7.1f}%")
+                    lines.append(row)
+        lines.append(
+            f"cache: {self.cache_hits} hits / {self.cache_misses} misses "
+            f"(hit rate {100.0 * self.hit_rate:.1f}%); "
+            f"{self.failures} failures, {self.retries} retries, "
+            f"{self.worker_deaths} worker deaths, "
+            f"{self.timeouts} timeouts")
+        for error in self.errors:
+            lines.append(f"  failed: {error}")
+        return "\n".join(lines)
+
+    def _cell(self, name: str, units: int, width: int,
+              ooo: bool) -> SweepCell | None:
+        for cell in self.cells:
+            if (cell.workload, cell.units, cell.issue_width,
+                    cell.out_of_order) == (name, units, width, ooo):
+                return cell
+        return None
+
+
+def build_grid(request: SweepRequest) -> list[SimJob]:
+    """Expand a sweep request into its (deduplicated) job list."""
+    grid: list[SimJob] = []
+    for name in request.workloads:
+        for width in request.widths:
+            for ooo in request.orders:
+                grid.append(scalar_job(name, width, ooo,
+                                       max_cycles=request.max_cycles))
+                for units in request.units:
+                    grid.append(multiscalar_job(
+                        name, units, width, ooo,
+                        max_cycles=request.max_cycles))
+    seen: set[str] = set()
+    unique = []
+    for job in grid:
+        if job.key() not in seen:
+            seen.add(job.key())
+            unique.append(job)
+    return unique
+
+
+def _pool_entrypoint(job: SimJob, attempt: int) -> dict:
+    """Module-level worker entrypoint (picklable under any start
+    method). Returns the job's JSON-able payload."""
+    return execute(job)
+
+
+def run_sweep(request: SweepRequest, store: ResultStore | None,
+              progress=None) -> SweepSummary:
+    progress = progress or (lambda message: None)
+    grid = build_grid(request)
+    summary = SweepSummary(request=request, total_jobs=len(grid))
+    by_key = {job.key(): job for job in grid}
+    payloads: dict[str, dict] = {}
+
+    # Self-test: the first multiscalar job must survive a SIGKILLed
+    # worker mid-run; it bypasses the read path so it always dispatches.
+    fault_key = None
+    if request.self_test:
+        for job in grid:
+            if job.kind == "multiscalar":
+                fault_key = job.key()
+                break
+
+    to_run: list[PoolJob] = []
+    for job in grid:
+        key = job.key()
+        payload = None if (store is None or key == fault_key) \
+            else store.get(key)
+        if payload is not None:
+            summary.cache_hits += 1
+            payloads[key] = payload
+        else:
+            summary.cache_misses += 1
+            to_run.append(PoolJob(
+                job_id=key, payload=job,
+                kill_on_attempts=(0,) if key == fault_key else ()))
+    if to_run:
+        progress(f"{summary.cache_hits} cached, "
+                 f"{len(to_run)} jobs to run on {request.jobs} workers")
+    pool = WorkerPool(_pool_entrypoint, jobs=request.jobs,
+                      timeout=request.timeout, retries=request.retries,
+                      backoff=request.backoff, progress=progress)
+    outcomes = pool.run(to_run)
+    for key, outcome in outcomes.items():
+        summary.retries += outcome.retries
+        summary.worker_deaths += outcome.worker_deaths
+        summary.timeouts += outcome.timeouts
+        if outcome.ok:
+            payloads[key] = outcome.value
+            if store is not None:
+                store.put(key, outcome.value, job=by_key[key].describe())
+        else:
+            summary.failures += 1
+            summary.errors.append(f"{by_key[key].label()}: {outcome.error}")
+    _tabulate(summary, by_key, payloads)
+    return summary
+
+
+def _tabulate(summary: SweepSummary, by_key: dict[str, SimJob],
+              payloads: dict[str, dict]) -> None:
+    request = summary.request
+    results = {key: result_from_payload(payload)
+               for key, payload in payloads.items()}
+    scalar_keys = {(job.workload, job.issue_width, job.out_of_order): key
+                   for key, job in by_key.items() if job.kind == "scalar"}
+    for name in request.workloads:
+        for width in request.widths:
+            for ooo in request.orders:
+                scalar_key = scalar_keys.get((name, width, ooo))
+                scalar = results.get(scalar_key)
+                if scalar is not None:
+                    summary.scalar_cycles[(name, width, ooo)] = scalar.cycles
+                for units in request.units:
+                    cell = SweepCell(workload=name, units=units,
+                                     issue_width=width, out_of_order=ooo)
+                    key = multiscalar_job(
+                        name, units, width, ooo,
+                        max_cycles=request.max_cycles).key()
+                    multi = results.get(key)
+                    if multi is None:
+                        cell.error = "job failed"
+                    else:
+                        cell.cycles = multi.cycles
+                        cell.prediction_accuracy = \
+                            100.0 * multi.prediction_accuracy
+                        if scalar is not None:
+                            cell.speedup = scalar.cycles / multi.cycles
+                    summary.cells.append(cell)
+
+
+def render_timelines(request: SweepRequest, width: int = 72) -> str:
+    """Re-run the widest configuration of each workload with a
+    :class:`~repro.core.tracer.TaskTracer` attached and render the
+    per-unit task timelines (serial; timing only, results ignored)."""
+    from repro.config import multiscalar_config
+    from repro.core.processor import MultiscalarProcessor
+    from repro.core.tracer import TaskTracer
+    from repro.workloads import WORKLOADS
+
+    units = max(request.units) if request.units else 4
+    lines = []
+    for name in request.workloads:
+        spec = WORKLOADS[name]
+        processor = MultiscalarProcessor(
+            spec.multiscalar_program(),
+            multiscalar_config(units, max(request.widths),
+                               request.orders[-1]))
+        tracer = TaskTracer().attach(processor)
+        processor.run(max_cycles=request.max_cycles)
+        lines.append(f"-- {name} ({units} units) --")
+        lines.append(tracer.render(width=width))
+        lines.append(tracer.summary())
+    return "\n".join(lines)

@@ -1,30 +1,72 @@
 """Run workloads across machine configurations and build table rows.
 
-All simulation results are memoized for the duration of the process, so
-benchmarks for Table 3, Table 4, and the cycle-distribution study can
-share runs.
+Memoization is two-level: a per-process dict (hits return the very
+same result object) in front of the engine's persistent on-disk store
+(results survive across processes and invalidate themselves when the
+simulator or a workload changes). Output verification raises
+:class:`~repro.engine.SimulationMismatchError` unconditionally — it is
+a real check, not a ``assert`` stripped under ``python -O``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.config import multiscalar_config, scalar_config
-from repro.core.processor import MultiscalarProcessor, MultiscalarResult
-from repro.core.scalar import ScalarProcessor, ScalarResult
+from repro.core.processor import MultiscalarResult
+from repro.core.scalar import ScalarResult
+from repro.engine import (
+    ResultStore,
+    SimulationMismatchError,
+    count_job,
+    execute_cached,
+    multiscalar_job,
+    persistent_cache_enabled,
+    scalar_job,
+)
 from repro.harness.paper_data import ROW_ORDER
-from repro.isa import FunctionalCPU
-from repro.workloads import WORKLOADS
+
+__all__ = [
+    "SimulationMismatchError",
+    "clear_cache",
+    "dynamic_count",
+    "run_multiscalar",
+    "run_scalar",
+    "set_persistent_cache",
+    "table2_rows",
+    "table3_rows",
+    "table4_rows",
+]
 
 _scalar_cache: dict[tuple, ScalarResult] = {}
 _multi_cache: dict[tuple, MultiscalarResult] = {}
 _count_cache: dict[tuple, int] = {}
 
+#: Process-wide switch for the persistent layer (``--no-cache``).
+_persistent = True
 
-def clear_cache() -> None:
+
+def set_persistent_cache(enabled: bool) -> None:
+    """Turn the on-disk result store on or off for this process."""
+    global _persistent
+    _persistent = enabled
+
+
+def _store() -> ResultStore | None:
+    if not _persistent or not persistent_cache_enabled():
+        return None
+    return ResultStore()      # resolves $REPRO_CACHE_DIR lazily
+
+
+def clear_cache(persistent: bool = False) -> int:
+    """Empty the in-process memo caches; with ``persistent=True`` also
+    purge the on-disk store. Returns the number of stored result files
+    removed (0 for the in-process-only flavour)."""
     _scalar_cache.clear()
     _multi_cache.clear()
     _count_cache.clear()
+    if persistent:
+        return ResultStore().purge()
+    return 0
 
 
 def run_scalar(name: str, issue_width: int = 1,
@@ -32,11 +74,8 @@ def run_scalar(name: str, issue_width: int = 1,
     """Run one workload on the scalar baseline (memoized)."""
     key = (name, issue_width, out_of_order)
     if key not in _scalar_cache:
-        spec = WORKLOADS[name]
-        config = scalar_config(issue_width, out_of_order)
-        result = ScalarProcessor(spec.scalar_program(), config).run()
-        assert result.output == spec.expected_output, name
-        _scalar_cache[key] = result
+        _scalar_cache[key] = execute_cached(
+            scalar_job(name, issue_width, out_of_order), _store())
     return _scalar_cache[key]
 
 
@@ -45,12 +84,9 @@ def run_multiscalar(name: str, units: int, issue_width: int = 1,
     """Run one workload on a multiscalar configuration (memoized)."""
     key = (name, units, issue_width, out_of_order)
     if key not in _multi_cache:
-        spec = WORKLOADS[name]
-        config = multiscalar_config(units, issue_width, out_of_order)
-        result = MultiscalarProcessor(spec.multiscalar_program(),
-                                      config).run()
-        assert result.output == spec.expected_output, name
-        _multi_cache[key] = result
+        _multi_cache[key] = execute_cached(
+            multiscalar_job(name, units, issue_width, out_of_order),
+            _store())
     return _multi_cache[key]
 
 
@@ -58,13 +94,8 @@ def dynamic_count(name: str, multiscalar: bool) -> int:
     """Dynamic instruction count of a workload binary (memoized)."""
     key = (name, multiscalar)
     if key not in _count_cache:
-        spec = WORKLOADS[name]
-        program = spec.multiscalar_program() if multiscalar \
-            else spec.scalar_program()
-        cpu = FunctionalCPU(program)
-        cpu.run()
-        assert cpu.output == spec.expected_output, name
-        _count_cache[key] = cpu.instruction_count
+        _count_cache[key] = execute_cached(
+            count_job(name, annotated=multiscalar), _store())
     return _count_cache[key]
 
 

@@ -1,0 +1,16 @@
+"""Shared fixtures: keep the persistent result store out of the repo.
+
+Every test gets a private ``REPRO_CACHE_DIR`` so simulations cached by
+one test can never leak into another (or litter ``.repro-cache/`` in
+the working tree). The in-process memo caches in
+``repro.harness.runner`` are intentionally left alone — sharing those
+across tests is what keeps the table suites fast.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _isolated_result_store(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
+    yield

@@ -1,0 +1,109 @@
+"""Tests for the engine's content-addressed job model."""
+
+import pytest
+
+from repro.engine import job as job_mod
+from repro.engine.job import (
+    SimJob,
+    SimulationMismatchError,
+    count_job,
+    execute,
+    multiscalar_job,
+    result_from_payload,
+    scalar_job,
+)
+
+NAME = "cmp"
+
+
+def test_key_is_deterministic_and_hex():
+    a = multiscalar_job(NAME, units=4)
+    b = multiscalar_job(NAME, units=4)
+    assert a.key() == b.key()
+    assert len(a.key()) == 64
+    int(a.key(), 16)   # raises if not hex
+
+
+def test_key_separates_every_config_axis():
+    keys = {
+        multiscalar_job(NAME, 4, 1, False).key(),
+        multiscalar_job(NAME, 8, 1, False).key(),
+        multiscalar_job(NAME, 4, 2, False).key(),
+        multiscalar_job(NAME, 4, 1, True).key(),
+        multiscalar_job("wc", 4, 1, False).key(),
+        scalar_job(NAME).key(),
+        count_job(NAME, annotated=False).key(),
+        count_job(NAME, annotated=True).key(),
+    }
+    assert len(keys) == 8
+
+
+def test_key_depends_on_code_fingerprint(monkeypatch):
+    before = scalar_job(NAME).key()
+    monkeypatch.setattr(job_mod, "code_fingerprint",
+                        lambda: "another-simulator-version")
+    assert scalar_job(NAME).key() != before
+
+
+def test_key_depends_on_max_cycles():
+    assert scalar_job(NAME).key() != \
+        scalar_job(NAME, max_cycles=1_000).key()
+
+
+def test_inline_source_key_tracks_source_text():
+    a = SimJob(kind="scalar", workload=None,
+               source="void main() { print_int(1); }")
+    b = SimJob(kind="scalar", workload=None,
+               source="void main() { print_int(2); }")
+    assert a.key() != b.key()
+
+
+def test_job_validation():
+    with pytest.raises(ValueError):
+        SimJob(kind="warp", workload=NAME)
+    with pytest.raises(ValueError):
+        SimJob(kind="scalar")                        # no program at all
+    with pytest.raises(ValueError):
+        SimJob(kind="scalar", workload=NAME, source="x")   # both
+
+
+def test_execute_scalar_and_roundtrip():
+    payload = execute(scalar_job(NAME))
+    assert payload["type"] == "scalar"
+    result = result_from_payload(payload)
+    assert result.cycles > 0
+    assert result.output      # cmp prints something
+
+
+def test_execute_multiscalar_and_count_agree_with_labels():
+    multi = execute(multiscalar_job(NAME, units=2))
+    assert multi["type"] == "multiscalar"
+    count = execute(count_job(NAME, annotated=True))
+    assert count["type"] == "count"
+    # Retired (useful) instructions of the timing run match the
+    # functional dynamic count of the same binary.
+    assert multi["result"]["instructions"] == count["count"]
+
+
+def test_execute_inline_minic_source():
+    job = SimJob(kind="scalar", workload=None,
+                 source="void main() { print_int(6 * 7); }")
+    result = result_from_payload(execute(job))
+    assert result.output == "42"
+
+
+def test_mismatch_raises_unconditionally(monkeypatch):
+    import dataclasses
+
+    from repro.workloads import WORKLOADS
+
+    bad = dataclasses.replace(WORKLOADS[NAME],
+                              expected_output="certainly not this")
+    monkeypatch.setitem(WORKLOADS, NAME, bad)
+    with pytest.raises(SimulationMismatchError):
+        execute(scalar_job(NAME))
+
+
+def test_result_from_payload_rejects_unknown_type():
+    with pytest.raises(ValueError):
+        result_from_payload({"type": "tachyonic"})

@@ -1,0 +1,97 @@
+"""Tests for the persistent on-disk result store."""
+
+import json
+import os
+
+import pytest
+
+from repro.engine.store import (
+    STORE_SCHEMA_VERSION,
+    ResultStore,
+    default_cache_dir,
+)
+
+KEY = "ab" + "0" * 62
+OTHER = "cd" + "1" * 62
+PAYLOAD = {"type": "count", "count": 42}
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(tmp_path / "cache")
+
+
+def test_put_get_roundtrip(store):
+    assert store.get(KEY) is None
+    store.put(KEY, PAYLOAD, job={"kind": "count"})
+    assert store.get(KEY) == PAYLOAD
+    assert len(store) == 1
+
+
+def test_keys_shard_into_prefix_directories(store):
+    store.put(KEY, PAYLOAD)
+    store.put(OTHER, PAYLOAD)
+    assert store.path_for(KEY).parent.name == "ab"
+    assert store.path_for(OTHER).parent.name == "cd"
+    assert store.path_for(KEY).is_file()
+
+
+def test_corrupt_file_is_a_miss_not_an_error(store):
+    store.put(KEY, PAYLOAD)
+    store.path_for(KEY).write_text("{ not json")
+    assert store.get(KEY) is None
+    store.path_for(KEY).write_text(json.dumps(["not", "a", "dict"]))
+    assert store.get(KEY) is None
+
+
+def test_schema_version_mismatch_is_a_miss(store):
+    store.put(KEY, PAYLOAD)
+    envelope = json.loads(store.path_for(KEY).read_text())
+    envelope["schema"] = STORE_SCHEMA_VERSION + 1
+    store.path_for(KEY).write_text(json.dumps(envelope))
+    assert store.get(KEY) is None
+
+
+def test_key_mismatch_inside_envelope_is_a_miss(store):
+    store.put(KEY, PAYLOAD)
+    envelope = json.loads(store.path_for(KEY).read_text())
+    moved = store.path_for(OTHER)
+    moved.parent.mkdir(parents=True, exist_ok=True)
+    moved.write_text(json.dumps(envelope))   # stored under the wrong key
+    assert store.get(OTHER) is None
+
+
+def test_writes_leave_no_temp_droppings(store):
+    for i in range(5):
+        store.put(f"{i:02d}" + "e" * 62, PAYLOAD)
+    files = [p.name for p in store.root.rglob("*") if p.is_file()]
+    assert all(name.endswith(".json") for name in files)
+
+
+def test_overwrite_is_atomic_replacement(store):
+    store.put(KEY, PAYLOAD)
+    store.put(KEY, {"type": "count", "count": 7})
+    assert store.get(KEY) == {"type": "count", "count": 7}
+    assert len(store) == 1
+
+
+def test_purge_removes_everything(store):
+    store.put(KEY, PAYLOAD)
+    store.put(OTHER, PAYLOAD)
+    assert store.purge() == 2
+    assert len(store) == 0
+    assert store.get(KEY) is None
+    assert store.purge() == 0      # idempotent on an empty store
+
+
+def test_default_dir_honours_environment(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "elsewhere"))
+    assert default_cache_dir() == tmp_path / "elsewhere"
+    assert ResultStore().root == tmp_path / "elsewhere"
+
+
+def test_missing_root_means_empty(tmp_path):
+    store = ResultStore(tmp_path / "never-created")
+    assert store.get(KEY) is None
+    assert len(store) == 0
+    assert not (tmp_path / "never-created").exists()   # get never mkdirs

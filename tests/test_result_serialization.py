@@ -1,0 +1,93 @@
+"""Round-trip tests for result serialization.
+
+The persistent store holds results as JSON; everything the table
+harness reads off a deserialized result — cycles, IPC, prediction
+accuracy, the full cycle-distribution taxonomy — must survive the trip
+exactly, so speedups recomputed from a cache hit match live runs.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.core.processor import MultiscalarResult
+from repro.core.scalar import ScalarResult
+from repro.core.stats import CycleDistribution
+from repro.harness.runner import run_multiscalar, run_scalar
+
+NAME = "cmp"
+
+
+def json_trip(data):
+    """Force the same lossy channel the store uses."""
+    return json.loads(json.dumps(data))
+
+
+@pytest.fixture(scope="module")
+def scalar_result():
+    return run_scalar(NAME)
+
+
+@pytest.fixture(scope="module")
+def multi_result():
+    return run_multiscalar(NAME, units=4)
+
+
+def test_scalar_roundtrip_preserves_every_field(scalar_result):
+    revived = ScalarResult.from_dict(json_trip(scalar_result.to_dict()))
+    assert revived == scalar_result
+    assert dataclasses.asdict(revived) == dataclasses.asdict(scalar_result)
+
+
+def test_multiscalar_roundtrip_preserves_every_field(multi_result):
+    revived = MultiscalarResult.from_dict(json_trip(multi_result.to_dict()))
+    assert revived == multi_result
+    assert isinstance(revived.distribution, CycleDistribution)
+    assert revived.distribution.as_dict() == \
+        multi_result.distribution.as_dict()
+
+
+def test_distribution_invariant_survives_roundtrip(multi_result):
+    revived = MultiscalarResult.from_dict(json_trip(multi_result.to_dict()))
+    # The Section-3 accounting identity still holds on the revived copy.
+    assert revived.distribution.total() == 4 * revived.cycles
+    assert revived.distribution.fractions() == \
+        multi_result.distribution.fractions()
+
+
+def test_speedup_from_deserialized_results_matches_live(
+        scalar_result, multi_result):
+    live = scalar_result.cycles / multi_result.cycles
+    revived_scalar = ScalarResult.from_dict(
+        json_trip(scalar_result.to_dict()))
+    revived_multi = MultiscalarResult.from_dict(
+        json_trip(multi_result.to_dict()))
+    assert revived_scalar.cycles / revived_multi.cycles == live
+    assert revived_multi.prediction_accuracy == \
+        multi_result.prediction_accuracy
+    assert revived_scalar.ipc == scalar_result.ipc
+
+
+def test_every_table_read_stat_is_in_the_payload(multi_result,
+                                                 scalar_result):
+    """Fields the table/report code reads must exist in serialized form."""
+    scalar = scalar_result.to_dict()
+    multi = multi_result.to_dict()
+    for field in ("cycles", "instructions", "ipc", "output",
+                  "icache_misses", "dcache_misses", "stall_cycles"):
+        assert field in scalar
+    for field in ("cycles", "instructions", "ipc", "output",
+                  "tasks_retired", "tasks_squashed",
+                  "squashes_mispredict", "squashes_memory",
+                  "squashes_arb", "prediction_accuracy", "distribution",
+                  "icache_misses", "dcache_misses", "arb_peak_entries",
+                  "ring_sends"):
+        assert field in multi
+
+
+def test_cycle_distribution_from_dict_rejects_missing_bucket():
+    data = CycleDistribution(useful=3, idle=1).as_dict()
+    del data["idle"]
+    with pytest.raises(KeyError):
+        CycleDistribution.from_dict(data)

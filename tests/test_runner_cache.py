@@ -3,11 +3,15 @@
 Tables 3, 4, and the distribution study all go through
 ``repro.harness.runner``; its per-process caches must return the very
 same result object on a hit (simulations are expensive) and must never
-let two different machine configurations collide on one key.
+let two different machine configurations collide on one key. Behind
+the process caches sits the engine's persistent store; runs repeated
+in a fresh "process" (here: a cleared cache) must be served from disk
+without re-simulating.
 """
 
 import pytest
 
+from repro.engine import ResultStore, SimulationMismatchError
 from repro.harness import runner
 from repro.harness.runner import (
     clear_cache,
@@ -95,3 +99,56 @@ def test_clear_cache_empties_every_cache():
     assert not runner._scalar_cache
     assert not runner._multi_cache
     assert not runner._count_cache
+
+
+# ------------------------------------------------- persistent store layer
+
+def test_runner_populates_the_persistent_store():
+    result = run_scalar(NAME)
+    store = ResultStore()
+    assert len(store) == 1
+    # A "new process" (cleared memo cache) is served from disk: equal
+    # stats, but a distinct deserialized object.
+    clear_cache()
+    revived = run_scalar(NAME)
+    assert revived is not result
+    assert revived == result
+
+
+def test_dynamic_count_served_from_disk_across_processes():
+    first = dynamic_count(NAME, multiscalar=True)
+    clear_cache()
+    assert dynamic_count(NAME, multiscalar=True) == first
+    assert len(ResultStore()) == 1
+
+
+def test_clear_cache_persistent_purges_the_store():
+    run_scalar(NAME)
+    run_multiscalar(NAME, units=2)
+    assert len(ResultStore()) == 2
+    removed = clear_cache(persistent=True)
+    assert removed == 2
+    assert len(ResultStore()) == 0
+
+
+def test_set_persistent_cache_off_bypasses_disk():
+    runner.set_persistent_cache(False)
+    try:
+        run_scalar(NAME)
+        assert len(ResultStore()) == 0
+    finally:
+        runner.set_persistent_cache(True)
+
+
+def test_mismatch_is_a_typed_error_not_an_assert(monkeypatch):
+    import dataclasses
+
+    from repro.workloads import WORKLOADS
+
+    bad = dataclasses.replace(WORKLOADS[NAME], expected_output="nope")
+    monkeypatch.setitem(WORKLOADS, NAME, bad)
+    with pytest.raises(SimulationMismatchError):
+        run_scalar(NAME)
+    # The failed run must not poison either cache layer.
+    assert not runner._scalar_cache
+    assert len(ResultStore()) == 0
