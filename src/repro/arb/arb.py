@@ -30,7 +30,7 @@ because no predecessor can invalidate them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.isa.memory_image import SparseMemory
 
@@ -43,7 +43,6 @@ class ARBFullError(Exception):
         self.bank = bank
 
 
-@dataclass
 class _Entry:
     """Speculative state for one word address.
 
@@ -52,8 +51,11 @@ class _Entry:
     ``-1`` means the byte was read from committed memory.
     """
 
-    stores: dict[int, tuple[int, bytearray]] = field(default_factory=dict)
-    loads: dict[int, tuple[int, list[int]]] = field(default_factory=dict)
+    __slots__ = ("stores", "loads")
+
+    def __init__(self) -> None:
+        self.stores: dict[int, tuple[int, bytearray]] = {}
+        self.loads: dict[int, tuple[int, list[int]]] = {}
 
     def empty(self) -> bool:
         return not self.stores and not self.loads
@@ -132,6 +134,21 @@ class AddressResolutionBuffer:
         full bank.
         """
         self.stats.loads += 1
+        if not addr & 3:
+            # Aligned word (and doubleword as two words): one entry
+            # lookup and one record update per word instead of four.
+            if width == 4:
+                out, forwarded = self._load_word(seq, addr >> 2, is_head)
+                if forwarded:
+                    self.stats.forwards += 1
+                return bytes(out)
+            if width == 8:
+                word = addr >> 2
+                lo, fwd_lo = self._load_word(seq, word, is_head)
+                hi, fwd_hi = self._load_word(seq, word + 1, is_head)
+                if fwd_lo or fwd_hi:
+                    self.stats.forwards += 1
+                return bytes(lo + hi)
         out = bytearray()
         forwarded = False
         for offset in range(width):
@@ -159,6 +176,56 @@ class AddressResolutionBuffer:
             self.stats.forwards += 1
         return bytes(out)
 
+    def _load_word(self, seq: int, word_addr: int,
+                   is_head: bool) -> tuple[bytearray, bool]:
+        """One aligned word of a load: (4 bytes, any-byte-forwarded)."""
+        if is_head:
+            entry = self._entries.get(word_addr)
+        else:
+            entry = self._get_entry(word_addr, seq)
+        best = None
+        if entry is not None and entry.stores:
+            for store_seq, (mask, data) in entry.stores.items():
+                if store_seq <= seq:
+                    if best is None:
+                        best = [-1, -1, -1, -1]
+                        vals = [0, 0, 0, 0]
+                    for byte in (0, 1, 2, 3):
+                        if mask & (1 << byte) and store_seq > best[byte]:
+                            best[byte] = store_seq
+                            vals[byte] = data[byte]
+        out = bytearray(4)
+        forwarded = False
+        base = word_addr << 2
+        read_byte = self.memory.read_byte
+        if best is None:
+            for byte in (0, 1, 2, 3):
+                out[byte] = read_byte(base + byte)
+        else:
+            for byte in (0, 1, 2, 3):
+                if best[byte] >= 0:
+                    out[byte] = vals[byte]
+                    forwarded = True
+                else:
+                    out[byte] = read_byte(base + byte)
+        if not is_head:
+            record = entry.loads.get(seq)
+            if record is None:
+                sources = [1 << 62] * 4
+                mask = 0
+            else:
+                mask, sources = record
+            if best is None:
+                for byte in (0, 1, 2, 3):
+                    if sources[byte] > -1:
+                        sources[byte] = -1
+            else:
+                for byte in (0, 1, 2, 3):
+                    if best[byte] < sources[byte]:
+                        sources[byte] = best[byte]
+            entry.loads[seq] = (mask | 0xF, sources)
+        return out, forwarded
+
     def reserve(self, seq: int, addr: int, width: int) -> None:
         """Reserve ARB space for an upcoming store of ``width`` bytes.
 
@@ -183,6 +250,22 @@ class AddressResolutionBuffer:
         committed memory directly after the violation check.
         """
         self.stats.stores += 1
+        if not addr & 3:
+            width = len(data)
+            if width == 4:
+                violator = self._store_word(seq, addr >> 2, data, is_head)
+                if violator is not None:
+                    self.stats.violations += 1
+                return violator
+            if width == 8:
+                word = addr >> 2
+                lo = self._store_word(seq, word, data[:4], is_head)
+                hi = self._store_word(seq, word + 1, data[4:], is_head)
+                violator = (lo if hi is None
+                            else hi if lo is None else min(lo, hi))
+                if violator is not None:
+                    self.stats.violations += 1
+                return violator
         violator: int | None = None
         for offset, value in enumerate(data):
             byte_addr = addr + offset
@@ -215,6 +298,39 @@ class AddressResolutionBuffer:
             entry.stores[seq] = (mask | (1 << byte), buf)
         if violator is not None:
             self.stats.violations += 1
+        return violator
+
+    def _store_word(self, seq: int, word_addr: int, data: bytes,
+                    is_head: bool) -> int | None:
+        """One aligned word of a store: returns the min violator seq."""
+        entry = self._entries.get(word_addr)
+        violator: int | None = None
+        if entry is not None and entry.loads:
+            for load_seq, (mask, sources) in entry.loads.items():
+                if load_seq > seq and mask & 0xF and \
+                        (violator is None or load_seq < violator):
+                    for byte in (0, 1, 2, 3):
+                        if mask & (1 << byte) and sources[byte] <= seq:
+                            violator = load_seq
+                            break
+        if is_head and entry is None:
+            # Non-speculative and nothing tracked: write through.
+            base = word_addr << 2
+            write_byte = self.memory.write_byte
+            for byte in (0, 1, 2, 3):
+                write_byte(base + byte, data[byte])
+            return violator
+        if entry is None:
+            entry = self._get_entry(word_addr, seq)
+        else:
+            self._by_seq.setdefault(seq, set()).add(word_addr)
+        record = entry.stores.get(seq)
+        if record is None:
+            entry.stores[seq] = (0xF, bytearray(data))
+        else:
+            mask, buf = record
+            buf[0:4] = data
+            entry.stores[seq] = (mask | 0xF, buf)
         return violator
 
     # ------------------------------------------------------ commit/squash

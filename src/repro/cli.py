@@ -12,6 +12,9 @@ Subcommands:
   on every backend and diff the results (exit 1 on divergence);
 * ``sweep``          — run a workload × configuration grid through the
   sharded job engine with persistent result caching;
+* ``bench``          — measure simulator throughput (simulated cycles
+  per wall-clock second), write ``BENCH_simulator.json``, and
+  optionally gate against the committed baseline;
 * ``cache``          — inspect or purge the persistent result store.
 
 Examples::
@@ -22,6 +25,7 @@ Examples::
     python -m repro tables 2
     python -m repro fuzz --seed 7 --budget 200 --jobs 4
     python -m repro sweep --workloads wc,cmp --units 1,4 --jobs 4
+    python -m repro bench --quick --check
     python -m repro cache --purge
 """
 
@@ -58,8 +62,10 @@ def cmd_run(args: argparse.Namespace) -> int:
     multiscalar = args.units > 1 or args.multiscalar
     program = _load_program(args.file, multiscalar, args.entries,
                             args.auto_loops)
+    fast_path = not args.no_fast_path
     if multiscalar:
-        config = multiscalar_config(args.units, args.issue, args.ooo)
+        config = multiscalar_config(args.units, args.issue, args.ooo,
+                                    fast_path=fast_path)
         processor = MultiscalarProcessor(program, config)
         tracer = TaskTracer().attach(processor) if args.timeline else None
         result = processor.run(max_cycles=args.max_cycles)
@@ -83,7 +89,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             print(tracer.render(), file=sys.stderr)
             print("-- " + tracer.summary(), file=sys.stderr)
     else:
-        config = scalar_config(args.issue, args.ooo)
+        config = scalar_config(args.issue, args.ooo, fast_path=fast_path)
         result = ScalarProcessor(program, config).run(
             max_cycles=args.max_cycles)
         print(result.output, end="")
@@ -205,6 +211,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
             units=tuple(args.units), widths=tuple(args.widths),
             orders=(False, True) if args.ooo == "both"
             else (args.ooo == "ooo",),
+            fast_paths=(True, False) if args.no_fast_path else (True,),
             max_shrink_checks=args.max_shrink_checks,
             jobs=args.jobs,
             progress=lambda message: print(f"fuzz: {message}",
@@ -259,6 +266,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         use_cache=not args.no_cache,
         self_test=args.self_test,
         max_cycles=args.max_cycles,
+        fast_path=not args.no_fast_path,
     )
     store = None
     if request.use_cache and persistent_cache_enabled():
@@ -285,6 +293,39 @@ def cmd_sweep(args: argparse.Namespace) -> int:
               f"{100.0 * args.require_hit_rate:.1f}%", file=sys.stderr)
         return 1
     return 0 if summary.ok else 1
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.harness import bench
+
+    progress = (lambda message: print(f"bench: {message}",
+                                      file=sys.stderr))
+    payload = bench.run_bench(quick=args.quick,
+                              fast_path=not args.no_fast_path,
+                              profile=not args.no_profile,
+                              progress=progress)
+    bench.write_payload(payload, args.output)
+    total = payload["total"]
+    print(f"bench: {total['cycles']} simulated cycles in "
+          f"{total['wall_seconds']:.2f}s -- "
+          f"{total['cycles_per_second']:,.0f} cycles/sec "
+          f"({'fast path' if payload['fast_path'] else 'reference path'})")
+    print(f"bench: wrote {args.output}", file=sys.stderr)
+    baseline = bench.load_baseline(args.baseline)
+    if baseline is None:
+        if args.check:
+            print(f"bench: no baseline at {args.baseline}; nothing to "
+                  "gate against", file=sys.stderr)
+        return 0
+    ok, lines = bench.compare_to_baseline(payload, baseline,
+                                          args.max_regression)
+    for line in lines:
+        print(f"bench: {line}")
+    if args.check and not ok:
+        print("bench: throughput regression exceeds "
+              f"{args.max_regression:.0%}", file=sys.stderr)
+        return 1
+    return 0
 
 
 def cmd_cache(args: argparse.Namespace) -> int:
@@ -320,6 +361,9 @@ def build_parser() -> argparse.ArgumentParser:
                        default=[], help="extra task-entry labels")
         p.add_argument("--auto-loops", action="store_true",
                        help="make every loop header a task entry")
+        p.add_argument("--no-fast-path", action="store_true",
+                       help="force the reference per-cycle simulator "
+                            "(results are identical, just slower)")
 
     run = sub.add_parser("run", help="run a .mc or .s program")
     run.add_argument("file")
@@ -402,8 +446,35 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--self-test", action="store_true",
                        help="SIGKILL a worker mid-job and require the "
                             "grid to complete via retry")
+    sweep.add_argument("--no-fast-path", action="store_true",
+                       help="run the reference per-cycle simulator "
+                            "(cached separately from fast-path results)")
     add_cache_flags(sweep)
     sweep.set_defaults(fn=cmd_sweep)
+
+    bench = sub.add_parser(
+        "bench", help="measure simulator throughput and gate against "
+                      "the committed baseline")
+    bench.add_argument("--quick", action="store_true",
+                       help="small representative subset (CI perf smoke)")
+    bench.add_argument("-o", "--output", default="BENCH_simulator.json",
+                       help="where to write the measurements "
+                            "(default BENCH_simulator.json)")
+    bench.add_argument("--baseline",
+                       default="benchmarks/bench_baseline.json",
+                       help="committed baseline to compare against")
+    bench.add_argument("--check", action="store_true",
+                       help="exit 1 on a calibrated throughput "
+                            "regression beyond --max-regression")
+    bench.add_argument("--max-regression", type=float, default=0.30,
+                       metavar="FRACTION",
+                       help="tolerated total-throughput regression "
+                            "(default 0.30)")
+    bench.add_argument("--no-fast-path", action="store_true",
+                       help="benchmark the reference per-cycle path")
+    bench.add_argument("--no-profile", action="store_true",
+                       help="skip the cProfile pass")
+    bench.set_defaults(fn=cmd_bench)
 
     cache = sub.add_parser(
         "cache", help="inspect or purge the persistent result store")
@@ -434,6 +505,9 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--jobs", type=int, default=1,
                       help="shard program checks across this many "
                            "worker processes")
+    fuzz.add_argument("--no-fast-path", action="store_true",
+                      help="also rotate reference (per-cycle) simulator "
+                           "configs into the oracle grid")
     fuzz.add_argument("--max-shrink-checks", type=int, default=400,
                       help="delta-debugging budget per divergence")
     fuzz.add_argument("--self-test", metavar="OP", default=None,

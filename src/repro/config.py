@@ -110,6 +110,11 @@ class MachineConfig:
     #: Section 2.3 alternate microarchitecture: one FP unit and one
     #: complex-integer unit shared by ALL processing units.
     shared_fp_units: bool = False
+    #: Simulator (not machine) knob: use pre-decoded semantics closures
+    #: and quiescence-aware cycle skipping. Results are cycle-exact
+    #: either way; False forces the reference per-cycle path (the
+    #: ``--no-fast-path`` escape hatch, used by the differential tests).
+    fast_path: bool = True
 
     @property
     def num_banks(self) -> int:
@@ -124,13 +129,17 @@ class MachineConfig:
 
 
 def scalar_config(issue_width: int = 1,
-                  out_of_order: bool = False) -> MachineConfig:
+                  out_of_order: bool = False,
+                  fast_path: bool = True) -> MachineConfig:
     """The paper's scalar baseline: one aggressive processing unit."""
-    return MachineConfig(num_units=1).with_issue(issue_width, out_of_order)
+    return MachineConfig(num_units=1, fast_path=fast_path).with_issue(
+        issue_width, out_of_order)
 
 
 def multiscalar_config(num_units: int = 4, issue_width: int = 1,
-                       out_of_order: bool = False) -> MachineConfig:
+                       out_of_order: bool = False,
+                       fast_path: bool = True) -> MachineConfig:
     """A multiscalar processor with the paper's Section-5.1 parameters."""
-    return MachineConfig(num_units=num_units).with_issue(
+    return MachineConfig(num_units=num_units,
+                         fast_path=fast_path).with_issue(
         issue_width, out_of_order)

@@ -35,6 +35,7 @@ from repro.isa.opcodes import FUClass
 from repro.pipeline import PipelineContext, UnitPipeline
 from repro.pipeline.functional_units import FUPool
 from repro.pipeline.unit import MemRetry
+from repro.pipeline.unit import NEVER as PIPELINE_NEVER
 
 #: Sentinel for "the walk ends here" predictions.
 PRED_HALT = -1
@@ -76,6 +77,12 @@ class TaskInstance:
     squashed: bool = False
     actual_next: int | None = None
     cycles: TaskCycleRecord = field(default_factory=TaskCycleRecord)
+    #: Unit-level cycle skip (fast path): while ``cycle < sleep_until``
+    #: the unit's step is provably a no-op and is charged without being
+    #: run. External events (a ring arrival, a squash, a retirement, a
+    #: task assignment) clear this to 0; may hold pipeline.NEVER when
+    #: the unit waits purely on such an event.
+    sleep_until: int = 0
 
     @property
     def entry(self) -> int:
@@ -129,6 +136,18 @@ class _UnitContext(PipelineContext):
     def __init__(self, processor: "MultiscalarProcessor", index: int) -> None:
         self.p = processor
         self.index = index
+        # The program never changes for a processor's lifetime; shadow
+        # the methods with direct bound references to skip a call layer.
+        self.uop_at = processor.program.uop_at
+        self.uop_window = processor.program.uop_window
+        # Direct references to the current task's register file and
+        # reservation table, maintained by _set_unit_task: reg_ready /
+        # read_reg / write_reg run a few times per simulated instruction
+        # and must not chase processor→units→slot→task per call. Both
+        # containers are mutated in place for a task's whole life, so
+        # the references stay valid between task changes.
+        self.cur_regs: list | None = None
+        self.cur_pending: dict[int, int] | None = None
 
     @property
     def task(self) -> TaskInstance:
@@ -140,18 +159,20 @@ class _UnitContext(PipelineContext):
     def instr_at(self, addr: int) -> Instruction | None:
         return self.p.program.instr_at(addr)
 
+    def uop_at(self, addr: int):
+        return self.p.program.uop_at(addr)
+
     def reg_ready(self, reg: int) -> bool:
-        return reg not in self.task.pending
+        return reg not in self.cur_pending
 
     def read_reg(self, reg: int):
-        return self.task.regs[reg]
+        return self.cur_regs[reg]
 
     def write_reg(self, reg: int, value) -> None:
         if reg != 0:
-            task = self.task
-            task.regs[reg] = value
+            self.cur_regs[reg] = value
             # A local write supersedes any still-awaited predecessor value.
-            task.pending.pop(reg, None)
+            self.cur_pending.pop(reg, None)
 
     def _is_head(self, task: TaskInstance) -> bool:
         active = self.p.active
@@ -262,8 +283,12 @@ class MultiscalarProcessor:
                 index=index,
                 icache=InstructionCache(memory_config, self.bus),
                 pipeline=UnitPipeline(self.config.unit, context,
-                                      fu_pool=pool),
+                                      fu_pool=pool,
+                                      fast_path=self.config.fast_path),
                 context=context)
+            # Shadow the context method with the icache's bound fetch:
+            # one fetch-group probe per ~4 simulated instructions.
+            context.fetch_group = slot.icache.fetch
             self.units.append(slot)
         self.ring = ForwardingRing(self.num_units,
                                    self.config.ring_hop_latency,
@@ -297,6 +322,11 @@ class MultiscalarProcessor:
         # register, but the ring message may die at a reassigned unit).
         self._retired_outgoing: dict[int, dict[int, object]] = {}
         self._last_progress = 0
+        self._fast = self.config.fast_path
+        #: Hard bound on cycle skipping, so the timeout/deadlock checks
+        #: in run() fire at exactly the same cycle as per-cycle ticking.
+        self._cycle_horizon = 20_000_000
+        self._activity = True
         #: Optional event observer (see repro.core.tracer.TaskTracer):
         #: an object with task_assigned/task_stopped/task_retired/
         #: task_squashed(task, cycle) methods.
@@ -310,6 +340,7 @@ class MultiscalarProcessor:
             raise MultiscalarError(
                 f"no task descriptor at program entry "
                 f"{self.program.entry:#x}")
+        self._cycle_horizon = max_cycles
         while not self.halted:
             self.step()
             if self.cycle >= max_cycles:
@@ -343,27 +374,126 @@ class MultiscalarProcessor:
 
     def step(self) -> None:
         cycle = self.cycle
+        self._activity = False
         self._deliver_ring(cycle)
         self._try_assign(cycle)
-        noted_units: set[int] = set()
-        for task in list(self.active):
+        noted = 0
+        fast = self._fast
+        units = self.units
+        active = self.active
+        # Index-based walk instead of iterating a snapshot copy: squash
+        # victims are always strictly younger than the task whose step
+        # triggered the squash (memory violators, ARB youngest, and
+        # mispredict successors all sit later in ``active``), so the
+        # list only ever loses a suffix at or past the current index.
+        i = 0
+        while i < len(active):
+            task = active[i]
+            i += 1
             if task.squashed:
                 continue
-            slot = self.units[task.unit_index]
+            slot = units[task.unit_index]
             if slot.task is not task:
                 continue
+            if task.sleep_until > cycle:
+                # Unit-level cycle skip: the unit's last step was quiet
+                # and no locally timetabled event fires before
+                # sleep_until, so this step would change nothing. Charge
+                # the (stable) stall reason exactly as it would have.
+                task.cycles.stall_cycles[slot.pipeline._last_stall] += 1
+                noted += 1
+                continue
             issued, reason = slot.pipeline.step(cycle)
-            task.cycles.note(issued, reason)
-            noted_units.add(task.unit_index)
+            # Inlined TaskCycleRecord.note (hot: once per unit-cycle).
+            cycles = task.cycles
+            if issued:
+                cycles.busy_cycles += 1
+            else:
+                cycles.stall_cycles[reason] += 1
+            noted += 1
+            if slot.pipeline._activity:
+                self._activity = True
             if issued:
                 self._last_progress = cycle
             if self._squash_request is not None:
                 self._apply_squash_request(cycle)
-        for slot in self.units:
-            if slot.index not in noted_units:
-                self.distribution.idle += 1
+                self._activity = True
+            elif fast and not issued and not slot.pipeline._activity:
+                # Quiet step: put the unit to sleep until its earliest
+                # locally known event. NEVER (purely external waits) is
+                # fine — the unblocking event itself clears the sleep.
+                wake = slot.pipeline.wake_cycle(cycle)
+                if wake > cycle + 1:
+                    task.sleep_until = wake
+        self.distribution.idle += self.num_units - noted
         self._try_retire(cycle)
-        self.cycle = cycle + 1
+        next_cycle = cycle + 1
+        if self._fast and not self._activity and not self.halted \
+                and self._squash_request is None:
+            wake = self._wake_cycle(cycle)
+            if wake > next_cycle:
+                horizon = min(self._cycle_horizon,
+                              self._last_progress + 200_001)
+                if wake > horizon:
+                    wake = horizon
+                if wake > next_cycle:
+                    self._account_skip(next_cycle, wake)
+                    next_cycle = wake
+        self.cycle = next_cycle
+
+    def _wake_cycle(self, cycle: int) -> int:
+        """Earliest cycle at which any machine component could act.
+
+        Only consulted after a globally quiet step. Every locally
+        timetabled event contributes a candidate: pipeline completions
+        and fetch deliveries (per unit), in-flight ring messages, and
+        the sequencer's busy window. Purely external waits (a blocked
+        head's retirement chain) are always bounded by some other
+        component's candidate or by the deadlock horizon.
+        """
+        wake = PIPELINE_NEVER
+        if self.next_pc is not None:
+            busy_until = self.seq_busy_until
+            if busy_until > cycle:
+                if busy_until <= cycle + 1:
+                    return 0
+                wake = busy_until
+        ring_next = self.ring.next_arrival()
+        if ring_next is not None:
+            if ring_next <= cycle + 1:
+                return 0
+            if ring_next < wake:
+                wake = ring_next
+        for task in self.active:
+            slot = self.units[task.unit_index]
+            if task.squashed or slot.task is not task:
+                return 0  # inconsistent mid-squash state: do not skip
+            # A sleeping unit's bound is still valid (nothing local has
+            # moved since it was computed; shared-FU claims only push
+            # ports later, which makes the cached bound conservative).
+            su = task.sleep_until
+            unit_wake = su if su > cycle else slot.pipeline.wake_cycle(cycle)
+            if unit_wake <= cycle + 1:
+                return 0
+            if unit_wake < wake:
+                wake = unit_wake
+        return wake
+
+    def _account_skip(self, start: int, end: int) -> None:
+        """Charge the skipped cycles exactly as per-cycle ticking would.
+
+        The window is quiescent, so each active task would have been
+        noted with ``issued == 0`` and its (stable) last stall reason on
+        every cycle in it, and every unassigned unit would have counted
+        idle.
+        """
+        span = end - start
+        busy_units = 0
+        for task in self.active:
+            slot = self.units[task.unit_index]
+            task.cycles.note_many(span, slot.pipeline._last_stall)
+            busy_units += 1
+        self.distribution.idle += span * (self.num_units - busy_units)
 
     # ========================================================= sequencer
 
@@ -390,11 +520,20 @@ class MultiscalarProcessor:
         if not self.descriptor_cache.lookup(entry):
             # Fetch the descriptor (one 4-word transfer) before assigning.
             self.seq_busy_until = self.bus.request(cycle, 4)
+            self._activity = True
             return
         task = self._build_task(descriptor, slot.index)
         slot.task = task
+        slot.context.cur_regs = task.regs
+        slot.context.cur_pending = task.pending
         slot.pipeline.reset(pc=entry)
         self.active.append(task)
+        # The reset above zeroes any shared FU port lists, which can
+        # legitimately free a port before another unit's cached sleep
+        # bound expected it: wake everyone to re-evaluate.
+        for t in self.active:
+            t.sleep_until = 0
+        self._activity = True
         if self.observer is not None:
             self.observer.task_assigned(task, cycle)
         self._next_unit = (self._next_unit + 1) % self.num_units
@@ -452,10 +591,14 @@ class MultiscalarProcessor:
     # ============================================================== ring
 
     def _deliver_ring(self, cycle: int) -> None:
-        for dest, message in self.ring.arrivals(cycle):
+        arrivals = self.ring.arrivals(cycle)
+        if arrivals:
+            self._activity = True
+        for dest, message in arrivals:
             task = self.units[dest].task
             stop_here = False
             if task is not None and not task.squashed:
+                task.sleep_until = 0  # external event: re-evaluate
                 if task.pending.get(message.reg) == message.sender_seq:
                     task.regs[message.reg] = message.value
                     task.snapshot[message.reg] = message.value
@@ -579,6 +722,11 @@ class MultiscalarProcessor:
             self._discard_task(task)
         del self.active[pos:]
         if victims:
+            # Shared machine state changed (ARB entries freed, shared FU
+            # ports reset, in-flight messages dropped): every surviving
+            # unit must re-evaluate rather than keep a stale sleep bound.
+            for task in self.active:
+                task.sleep_until = 0
             self._next_unit = victims[0].unit_index
             self.ring.drop_stale(self._squashed_seqs)
             self._squashed_seqs.clear()
@@ -597,6 +745,8 @@ class MultiscalarProcessor:
             slot.pipeline.stats.committed - task.committed_base)
         slot.pipeline.reset(pc=None)
         slot.task = None
+        slot.context.cur_regs = None
+        slot.context.cur_pending = None
         self.distribution.fold_squashed(task.cycles)
         if self.observer is not None:
             self.observer.task_squashed(task, self.cycle)
@@ -625,8 +775,16 @@ class MultiscalarProcessor:
         self.distribution.fold_retired(head.cycles)
         self.tasks_retired += 1
         slot.task = None
+        slot.context.cur_regs = None
+        slot.context.cur_pending = None
         self.active.pop(0)
+        # Headship moved and the ARB committed a task's stores: wake
+        # every unit (syscall commit gates, store-ordering waits, and
+        # "stall"-policy ARB space all key off the head).
+        for task in self.active:
+            task.sleep_until = 0
         self._last_progress = cycle
+        self._activity = True
         if self.observer is not None:
             self.observer.task_retired(head, cycle)
 

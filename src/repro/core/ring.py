@@ -81,13 +81,29 @@ class ForwardingRing:
 
         Returns (destination unit, message) pairs in arrival order.
         """
-        out: list[tuple[int, RingMessage]] = []
+        out: list[tuple[int, RingMessage]] | None = None
         for from_unit, link in enumerate(self._links):
+            if not link or link[0].arrive_cycle > cycle:
+                continue
+            if out is None:
+                out = []
             destination = (from_unit + 1) % self.num_units
             while link and link[0].arrive_cycle <= cycle:
                 out.append((destination, heappop(link)))
+        if out is None:
+            return []
         out.sort(key=lambda pair: (pair[1].arrive_cycle, pair[1].order))
         return out
+
+    def next_arrival(self) -> int | None:
+        """Earliest arrival cycle of any in-flight message, or None."""
+        nxt: int | None = None
+        for link in self._links:
+            if link:
+                arrive = link[0].arrive_cycle
+                if nxt is None or arrive < nxt:
+                    nxt = arrive
+        return nxt
 
     def drop_stale(self, squashed_seqs: set[int]) -> None:
         """Purge in-flight messages from squashed tasks."""

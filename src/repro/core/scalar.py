@@ -58,6 +58,13 @@ class ScalarResult:
 class _ScalarContext(PipelineContext):
     def __init__(self, processor: "ScalarProcessor") -> None:
         self.p = processor
+        # Shadow the methods with direct bound references (the program
+        # and register file are fixed per processor); skips a call layer
+        # on the hot path. fetch_group is bound in ScalarProcessor's
+        # constructor once the icache exists.
+        self.uop_at = processor.program.uop_at
+        self.uop_window = processor.program.uop_window
+        self._regs = processor.regs
 
     def fetch_group(self, addr: int, cycle: int) -> int:
         return self.p.icache.fetch(addr, cycle)
@@ -65,15 +72,18 @@ class _ScalarContext(PipelineContext):
     def instr_at(self, addr: int) -> Instruction | None:
         return self.p.program.instr_at(addr)
 
+    def uop_at(self, addr: int):
+        return self.p.program.uop_at(addr)
+
     def reg_ready(self, reg: int) -> bool:
         return True
 
     def read_reg(self, reg: int):
-        return self.p.regs[reg]
+        return self._regs[reg]
 
     def write_reg(self, reg: int, value) -> None:
         if reg != 0:
-            self.p.regs[reg] = value
+            self._regs[reg] = value
 
     def mem_load(self, instr: Instruction, addr: int, cycle: int):
         value = semantics.do_load(instr.op, self.p.memory, addr)
@@ -116,7 +126,9 @@ class ScalarProcessor:
         self.cycle = 0
         self.stall_cycles: dict[str, int] = {r.name: 0 for r in StallReason}
         ctx = _ScalarContext(self)
-        self.pipeline = UnitPipeline(self.config.unit, ctx)
+        ctx.fetch_group = self.icache.fetch
+        self.pipeline = UnitPipeline(self.config.unit, ctx,
+                                     fast_path=self.config.fast_path)
         self.pipeline.reset(pc=program.entry)
 
     def syscall(self) -> None:
@@ -135,11 +147,30 @@ class ScalarProcessor:
             raise RuntimeError(f"unknown syscall {code}")
 
     def run(self, max_cycles: int = 20_000_000) -> ScalarResult:
+        pipeline = self.pipeline
+        fast = self.config.fast_path
+        stall_cycles = self.stall_cycles
         while not self.halted:
-            issued, reason = self.pipeline.step(self.cycle)
+            cycle = self.cycle
+            issued, reason = pipeline.step(cycle)
             if not issued:
-                self.stall_cycles[reason.name] += 1
-            self.cycle += 1
+                stall_cycles[reason.name] += 1
+            next_cycle = cycle + 1
+            if fast and not issued and not self.halted:
+                # Quiescence-aware cycle skipping: with nothing issued
+                # and no local state change, jump to the unit's next
+                # known event, charging the skipped cycles to the same
+                # (stable) stall reason per-cycle ticking would have.
+                wake = pipeline.wake_cycle(cycle)
+                if wake > next_cycle:
+                    # Cap so the timeout below raises at the same cycle
+                    # as per-cycle ticking (its check is `>` max_cycles).
+                    if wake > max_cycles + 1:
+                        wake = max_cycles + 1
+                    if wake > next_cycle:
+                        stall_cycles[reason.name] += wake - next_cycle
+                        next_cycle = wake
+            self.cycle = next_cycle
             if self.cycle > max_cycles:
                 raise SimulationTimeout(
                     f"scalar run exceeded {max_cycles} cycles")

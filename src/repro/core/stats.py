@@ -22,19 +22,38 @@ from dataclasses import dataclass, field
 
 from repro.pipeline.context import StallReason
 
+#: Stall buckets a task can be charged with (classification never
+#: yields NONE for a stalled cycle). Pre-seeding every task's tally
+#: with these keys lets the per-cycle noting use a bare ``+=``.
+_CHARGEABLE = tuple(r for r in StallReason if r is not StallReason.NONE)
+
+
+def _fresh_stalls() -> dict[StallReason, int]:
+    return dict.fromkeys(_CHARGEABLE, 0)
+
 
 @dataclass
 class TaskCycleRecord:
     """Per-task tallies, folded into the totals at retire or squash."""
 
     busy_cycles: int = 0
-    stall_cycles: dict[StallReason, int] = field(default_factory=dict)
+    stall_cycles: dict[StallReason, int] = field(
+        default_factory=_fresh_stalls)
 
     def note(self, issued: int, reason: StallReason) -> None:
         if issued:
             self.busy_cycles += 1
         else:
-            self.stall_cycles[reason] = self.stall_cycles.get(reason, 0) + 1
+            self.stall_cycles[reason] += 1
+
+    def note_many(self, span: int, reason: StallReason) -> None:
+        """Charge ``span`` stalled cycles at once (cycle-skip fast path).
+
+        Only valid for stall cycles: a skipped window is by construction
+        quiescent, so every cycle in it would have been noted with
+        ``issued == 0`` and the same (stable) stall reason.
+        """
+        self.stall_cycles[reason] += span
 
 
 @dataclass
@@ -67,8 +86,9 @@ class CycleDistribution:
 
     def _fold_stalls(self, record: TaskCycleRecord) -> None:
         for reason, count in record.stall_cycles.items():
-            name = self._STALL_FIELD[reason]
-            setattr(self, name, getattr(self, name) + count)
+            if count:
+                name = self._STALL_FIELD[reason]
+                setattr(self, name, getattr(self, name) + count)
 
     @property
     def no_computation(self) -> int:

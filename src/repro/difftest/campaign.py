@@ -119,6 +119,7 @@ class FuzzCampaign:
                  units: tuple[int, ...] = (1, 2, 4, 8),
                  widths: tuple[int, ...] = (1, 2),
                  orders: tuple[bool, ...] = (False, True),
+                 fast_paths: tuple[bool, ...] = (True,),
                  max_shrink_checks: int = 400,
                  max_cycles: int | None = None,
                  jobs: int = 1,
@@ -128,7 +129,7 @@ class FuzzCampaign:
         self.seed = seed
         self.budget = budget
         self.languages = tuple(languages)
-        self.ms_grid = full_grid(units, widths, orders)
+        self.ms_grid = full_grid(units, widths, orders, fast_paths)
         self.scalar_baseline = BackendSpec("scalar", 1, 1, False)
         self.max_shrink_checks = max_shrink_checks
         self.max_cycles = max_cycles
@@ -254,7 +255,8 @@ class FuzzCampaign:
             "seed": self.seed,
             "index": index,
             "languages": self.languages,
-            "grid": [(s.kind, s.units, s.issue_width, s.out_of_order)
+            "grid": [(s.kind, s.units, s.issue_width, s.out_of_order,
+                      s.fast_path)
                      for s in self.grid_for(index)],
             "max_cycles": self.max_cycles,
         }

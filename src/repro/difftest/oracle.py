@@ -60,21 +60,28 @@ class BackendSpec:
     units: int = 1
     issue_width: int = 1
     out_of_order: bool = False
+    #: False runs the reference per-cycle simulator (``--no-fast-path``)
+    #: — the same machine, so it must produce identical results; the
+    #: oracle treats it as just another backend axis.
+    fast_path: bool = True
 
     @property
     def label(self) -> str:
         issue = f"{self.issue_width}w-" \
             + ("ooo" if self.out_of_order else "io")
+        suffix = "" if self.fast_path else "-ref"
         if self.kind == "scalar":
-            return f"scalar:{issue}"
-        return f"ms:{self.units}u-{issue}"
+            return f"scalar:{issue}{suffix}"
+        return f"ms:{self.units}u-{issue}{suffix}"
 
 
 def full_grid(units=(1, 2, 4, 8), widths=(1, 2),
-              orders=(False, True)) -> list[BackendSpec]:
+              orders=(False, True),
+              fast_paths=(True,)) -> list[BackendSpec]:
     """Every multiscalar configuration of the paper's evaluation grid."""
-    return [BackendSpec("multiscalar", u, w, o)
-            for u in units for w in widths for o in orders]
+    return [BackendSpec("multiscalar", u, w, o, fp)
+            for u in units for w in widths for o in orders
+            for fp in fast_paths]
 
 
 #: Default per-program grid: the scalar baseline plus three multiscalar
@@ -192,7 +199,8 @@ def run_scalar_backend(program: Program, spec: BackendSpec,
                        max_cycles: int = DEFAULT_MAX_CYCLES) -> Outcome:
     with use_backend("scalar"):
         processor = ScalarProcessor(
-            program, scalar_config(spec.issue_width, spec.out_of_order))
+            program, scalar_config(spec.issue_width, spec.out_of_order,
+                                   fast_path=spec.fast_path))
         try:
             result = processor.run(max_cycles=max_cycles)
         except Exception as exc:
@@ -273,7 +281,8 @@ def run_multiscalar_backend(program: Program, spec: BackendSpec,
     with use_backend("multiscalar"):
         processor = MultiscalarProcessor(
             program, multiscalar_config(spec.units, spec.issue_width,
-                                        spec.out_of_order))
+                                        spec.out_of_order,
+                                        fast_path=spec.fast_path))
         observer = _InvariantObserver()
         processor.observer = observer
         try:

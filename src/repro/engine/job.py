@@ -17,8 +17,8 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 from dataclasses import asdict, dataclass
-from functools import lru_cache
 from pathlib import Path
 
 from repro.config import multiscalar_config, scalar_config
@@ -38,20 +38,34 @@ class SimulationMismatchError(RuntimeError):
     failure*, never as a worker crash."""
 
 
-@lru_cache(maxsize=1)
+#: Per-process memo for :func:`code_fingerprint`, seeded from (and
+#: published to) the environment so pool workers inherit the parent's
+#: fingerprint instead of re-hashing the whole package per process.
+_FINGERPRINT_ENV = "REPRO_CODE_FINGERPRINT"
+_fingerprint: str | None = None
+
+
 def code_fingerprint() -> str:
     """Hash of every ``repro`` source file, so results cached by one
     version of the simulator are invisible to every other version."""
-    import repro
+    global _fingerprint
+    if _fingerprint is None:
+        inherited = os.environ.get(_FINGERPRINT_ENV)
+        if inherited:
+            _fingerprint = inherited
+        else:
+            import repro
 
-    root = Path(repro.__file__).parent
-    digest = hashlib.sha256()
-    for path in sorted(root.rglob("*.py")):
-        digest.update(path.relative_to(root).as_posix().encode())
-        digest.update(b"\0")
-        digest.update(path.read_bytes())
-        digest.update(b"\0")
-    return digest.hexdigest()[:16]
+            root = Path(repro.__file__).parent
+            digest = hashlib.sha256()
+            for path in sorted(root.rglob("*.py")):
+                digest.update(path.relative_to(root).as_posix().encode())
+                digest.update(b"\0")
+                digest.update(path.read_bytes())
+                digest.update(b"\0")
+            _fingerprint = digest.hexdigest()[:16]
+            os.environ[_FINGERPRINT_ENV] = _fingerprint
+    return _fingerprint
 
 
 @dataclass(frozen=True)
@@ -75,6 +89,11 @@ class SimJob:
     issue_width: int = 1
     out_of_order: bool = False
     max_cycles: int = DEFAULT_MAX_CYCLES
+    #: Simulator knob, not a machine axis: False forces the reference
+    #: per-cycle path. Results are cycle-exact either way, but the key
+    #: still separates the two so ``--no-fast-path`` runs never serve
+    #: (or pollute) fast-path cache entries.
+    fast_path: bool = True
 
     def __post_init__(self) -> None:
         if self.kind not in ("scalar", "multiscalar", "count"):
@@ -111,6 +130,7 @@ class SimJob:
             "issue_width": self.issue_width,
             "out_of_order": self.out_of_order,
             "max_cycles": self.max_cycles,
+            "fast_path": self.fast_path,
         }
         blob = json.dumps(material, sort_keys=True).encode()
         return hashlib.sha256(blob).hexdigest()
@@ -173,17 +193,20 @@ class SimJob:
 # ------------------------------------------------------------ constructors
 
 def scalar_job(name: str, issue_width: int = 1, out_of_order: bool = False,
-               max_cycles: int = DEFAULT_MAX_CYCLES) -> SimJob:
+               max_cycles: int = DEFAULT_MAX_CYCLES,
+               fast_path: bool = True) -> SimJob:
     return SimJob(kind="scalar", workload=name, issue_width=issue_width,
-                  out_of_order=out_of_order, max_cycles=max_cycles)
+                  out_of_order=out_of_order, max_cycles=max_cycles,
+                  fast_path=fast_path)
 
 
 def multiscalar_job(name: str, units: int, issue_width: int = 1,
                     out_of_order: bool = False,
-                    max_cycles: int = DEFAULT_MAX_CYCLES) -> SimJob:
+                    max_cycles: int = DEFAULT_MAX_CYCLES,
+                    fast_path: bool = True) -> SimJob:
     return SimJob(kind="multiscalar", workload=name, units=units,
                   issue_width=issue_width, out_of_order=out_of_order,
-                  max_cycles=max_cycles)
+                  max_cycles=max_cycles, fast_path=fast_path)
 
 
 def count_job(name: str, annotated: bool) -> SimJob:
@@ -203,14 +226,16 @@ def execute(job: SimJob) -> dict:
     program, expected = job._build()
     if job.kind == "scalar":
         result = ScalarProcessor(
-            program, scalar_config(job.issue_width, job.out_of_order)
+            program, scalar_config(job.issue_width, job.out_of_order,
+                                   fast_path=job.fast_path)
         ).run(max_cycles=job.max_cycles)
         job._verify(result.output, expected)
         return {"type": "scalar", "result": result.to_dict()}
     if job.kind == "multiscalar":
         result = MultiscalarProcessor(
             program, multiscalar_config(job.units, job.issue_width,
-                                        job.out_of_order)
+                                        job.out_of_order,
+                                        fast_path=job.fast_path)
         ).run(max_cycles=job.max_cycles)
         job._verify(result.output, expected)
         return {"type": "multiscalar", "result": result.to_dict()}

@@ -45,6 +45,7 @@ class SweepRequest:
     use_cache: bool = True
     self_test: bool = False        # kill one worker mid-job, require retry
     max_cycles: int = 20_000_000
+    fast_path: bool = True         # False: reference per-cycle simulator
 
 
 @dataclass
@@ -139,11 +140,13 @@ def build_grid(request: SweepRequest) -> list[SimJob]:
         for width in request.widths:
             for ooo in request.orders:
                 grid.append(scalar_job(name, width, ooo,
-                                       max_cycles=request.max_cycles))
+                                       max_cycles=request.max_cycles,
+                                       fast_path=request.fast_path))
                 for units in request.units:
                     grid.append(multiscalar_job(
                         name, units, width, ooo,
-                        max_cycles=request.max_cycles))
+                        max_cycles=request.max_cycles,
+                        fast_path=request.fast_path))
     seen: set[str] = set()
     unique = []
     for job in grid:
@@ -230,7 +233,8 @@ def _tabulate(summary: SweepSummary, by_key: dict[str, SimJob],
                                      issue_width=width, out_of_order=ooo)
                     key = multiscalar_job(
                         name, units, width, ooo,
-                        max_cycles=request.max_cycles).key()
+                        max_cycles=request.max_cycles,
+                        fast_path=request.fast_path).key()
                     multi = results.get(key)
                     if multi is None:
                         cell.error = "job failed"

@@ -11,7 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.isa.opcodes import Fmt, Kind, Op, OPSPECS, OpSpec, StopKind
+from repro.isa.opcodes import (CONTROL_KINDS, Fmt, Kind, MEM_KINDS, Op,
+                               OPSPECS, OpSpec, StopKind)
 from repro.isa.registers import FPCOND_REG, RA, reg_name
 
 
@@ -45,10 +46,14 @@ class Instruction:
         default=None, repr=False, compare=False)
     _dsts: tuple[int, ...] | None = field(
         default=None, repr=False, compare=False)
+    _spec: OpSpec | None = field(default=None, repr=False, compare=False)
 
     @property
     def spec(self) -> OpSpec:
-        return OPSPECS[self.op]
+        spec = self._spec
+        if spec is None:
+            spec = self._spec = OPSPECS[self.op]
+        return spec
 
     def src_regs(self) -> tuple[int, ...]:
         """Unified indices of the registers this instruction reads."""
@@ -87,14 +92,13 @@ class Instruction:
 
     def is_control(self) -> bool:
         """True for every instruction that may change the PC."""
-        return self.kind in (Kind.BRANCH, Kind.JUMP, Kind.CALL,
-                             Kind.JUMP_REG)
+        return self.kind in CONTROL_KINDS
 
     def is_conditional(self) -> bool:
         return self.kind is Kind.BRANCH
 
     def is_mem(self) -> bool:
-        return self.kind in (Kind.LOAD, Kind.STORE)
+        return self.kind in MEM_KINDS
 
     def __str__(self) -> str:  # pragma: no cover - debugging aid
         return format_instruction(self)

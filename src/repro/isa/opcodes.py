@@ -166,6 +166,13 @@ class Kind(enum.Enum):
     RELEASE = enum.auto()
 
 
+#: Kinds that may redirect the PC / that touch memory — frozensets so the
+#: hot paths test membership without building a tuple per call.
+CONTROL_KINDS = frozenset(
+    {Kind.BRANCH, Kind.JUMP, Kind.CALL, Kind.JUMP_REG})
+MEM_KINDS = frozenset({Kind.LOAD, Kind.STORE})
+
+
 class StopKind(enum.Enum):
     """Stop-bit conditions attached to instructions at task exits."""
 

@@ -96,6 +96,11 @@ class Program:
     entry: int
     tasks: dict[int, TaskDescriptor] = field(default_factory=dict)
     source_name: str = "<asm>"
+    #: Lazily built pre-decoded micro-op list, parallel to
+    #: ``instructions`` (repro.isa.uop). Rebuilt whenever the
+    #: instruction list changes length; callers that mutate instructions
+    #: in place must call :meth:`invalidate_uops`.
+    _uops: list = field(default=None, repr=False, compare=False)
 
     @property
     def text_base(self) -> int:
@@ -111,6 +116,42 @@ class Program:
         if 0 <= index < len(self.instructions) and (addr & 3) == 0:
             return self.instructions[index]
         return None
+
+    def uops(self) -> list:
+        """The pre-decoded micro-op list, built on first use."""
+        if self._uops is None or len(self._uops) != len(self.instructions):
+            from repro.isa.uop import predecode
+
+            self._uops = predecode(self.instructions)
+        return self._uops
+
+    def uop_at(self, addr: int):
+        """Micro-op at a word address, or None if outside the text."""
+        uops = self._uops
+        if uops is None or len(uops) != len(self.instructions):
+            uops = self.uops()
+        index = (addr - TEXT_BASE) >> 2
+        if 0 <= index < len(uops) and (addr & 3) == 0:
+            return uops[index]
+        return None
+
+    def uop_window(self, addr: int, count: int) -> list:
+        """Micro-ops for up to ``count`` consecutive words at ``addr``.
+
+        Truncated at the end of the text; empty for misaligned or
+        out-of-range addresses. One call serves a whole fetch group.
+        """
+        uops = self._uops
+        if uops is None or len(uops) != len(self.instructions):
+            uops = self.uops()
+        index = (addr - TEXT_BASE) >> 2
+        if index < 0 or (addr & 3):
+            return []
+        return uops[index:index + count]
+
+    def invalidate_uops(self) -> None:
+        """Drop the cached micro-ops (after mutating ``instructions``)."""
+        self._uops = None
 
     def label_addr(self, name: str) -> int:
         try:

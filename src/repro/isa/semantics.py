@@ -14,6 +14,8 @@ squashed-later task may execute them with garbage operands.
 
 from __future__ import annotations
 
+import struct
+
 from repro.isa.instruction import Instruction
 from repro.isa.memory_image import MASK32, SparseMemory, s32, u32
 from repro.isa.opcodes import Op
@@ -138,6 +140,76 @@ def _to_int(value: float) -> int:
         return 0
 
 
+# ---------------------------------------------------------------- tables
+#
+# Per-opcode dispatch tables: each maps Op -> f(instr, srcs) -> value.
+# Built once at import from the operand-class tables above, they replace
+# the if/elif chains that used to probe each class in turn on every
+# evaluation. The pre-decode layer (repro.isa.uop) goes one step
+# further and binds the operand-class function plus the operand indices
+# into a closure per static instruction.
+
+def _r3_entry(fn):
+    return lambda instr, srcs: fn(srcs[instr.rs], srcs[instr.rt])
+
+
+def _r2i_entry(fn):
+    return lambda instr, srcs: fn(srcs[instr.rs], instr.imm)
+
+
+def _fp3_entry(fn):
+    return lambda instr, srcs: fn(srcs[instr.fs], srcs[instr.ft])
+
+
+def _fp2_entry(fn):
+    return lambda instr, srcs: fn(srcs[instr.fs])
+
+
+def _fcmp_entry(fn):
+    return lambda instr, srcs: int(fn(srcs[instr.fs], srcs[instr.ft]))
+
+
+ALU_EVAL: dict[Op, object] = {}
+for _op, _fn in _INT_R3.items():
+    ALU_EVAL[_op] = _r3_entry(_fn)
+for _op, _fn in _INT_R2I.items():
+    ALU_EVAL[_op] = _r2i_entry(_fn)
+for _op, _fn in _FP3.items():
+    ALU_EVAL[_op] = _fp3_entry(_fn)
+for _op, _fn in _FP2.items():
+    ALU_EVAL[_op] = _fp2_entry(_fn)
+for _op, _fn in _FCMP.items():
+    ALU_EVAL[_op] = _fcmp_entry(_fn)
+ALU_EVAL[Op.LUI] = lambda instr, srcs: u32(instr.imm << 16)
+ALU_EVAL[Op.LI] = lambda instr, srcs: u32(instr.imm)
+ALU_EVAL[Op.LA] = lambda instr, srcs: u32(
+    instr.target if instr.target is not None else instr.imm)
+ALU_EVAL[Op.MOVE] = lambda instr, srcs: srcs[instr.rs]
+ALU_EVAL[Op.NOT] = lambda instr, srcs: u32(~srcs[instr.rs])
+ALU_EVAL[Op.NEG] = lambda instr, srcs: u32(-s32(srcs[instr.rs]))
+ALU_EVAL[Op.CVT_D_W] = lambda instr, srcs: float(s32(srcs[instr.rs]))
+ALU_EVAL[Op.CVT_W_D] = lambda instr, srcs: _to_int(srcs[instr.fs])
+del _op, _fn
+
+
+def _br2_entry(fn):
+    return lambda instr, srcs: fn(srcs[instr.rs], srcs[instr.rt])
+
+
+def _br1_entry(fn):
+    return lambda instr, srcs: fn(srcs[instr.rs])
+
+
+BRANCH_EVAL: dict[Op, object] = {}
+for _op, _fn in _BR2.items():
+    BRANCH_EVAL[_op] = _br2_entry(_fn)
+for _op, _fn in _BR1.items():
+    BRANCH_EVAL[_op] = _br1_entry(_fn)
+BRANCH_EVAL[Op.BC1T] = lambda instr, srcs: bool(srcs[FPCOND_REG])
+BRANCH_EVAL[Op.BC1F] = lambda instr, srcs: not srcs[FPCOND_REG]
+del _op, _fn
+
+
 def evaluate_alu(instr: Instruction, srcs: dict[int, object]) -> object:
     """Compute the single result value of a non-memory, non-control op.
 
@@ -145,48 +217,25 @@ def evaluate_alu(instr: Instruction, srcs: dict[int, object]) -> object:
     value to be written to the (single) destination register. Raises
     KeyError for opcodes with no ALU result.
     """
-    op = instr.op
-    if op in _INT_R3:
-        return _INT_R3[op](srcs[instr.rs], srcs[instr.rt])
-    if op in _INT_R2I:
-        return _INT_R2I[op](srcs[instr.rs], instr.imm)
-    if op in _FP3:
-        return _FP3[op](srcs[instr.fs], srcs[instr.ft])
-    if op in _FP2:
-        return _FP2[op](srcs[instr.fs])
-    if op in _FCMP:
-        return int(_FCMP[op](srcs[instr.fs], srcs[instr.ft]))
-    if op is Op.LUI:
-        return u32(instr.imm << 16)
-    if op is Op.LI:
-        return u32(instr.imm)
-    if op is Op.LA:
-        return u32(instr.target if instr.target is not None else instr.imm)
-    if op is Op.MOVE:
-        return srcs[instr.rs]
-    if op is Op.NOT:
-        return u32(~srcs[instr.rs])
-    if op is Op.NEG:
-        return u32(-s32(srcs[instr.rs]))
-    if op is Op.CVT_D_W:
-        return float(s32(srcs[instr.rs]))
-    if op is Op.CVT_W_D:
-        return _to_int(srcs[instr.fs])
-    raise KeyError(f"{op.value} has no ALU result")
+    fn = ALU_EVAL.get(instr.op)
+    if fn is None:
+        raise KeyError(f"{instr.op.value} has no ALU result")
+    return fn(instr, srcs)
+
+
+#: The un-patched evaluator. Fault injection (repro.difftest.injection)
+#: swaps the module attribute ``evaluate_alu``; the pipelines compare
+#: against this reference to decide whether their pre-decoded closures
+#: (which would bypass the patch) are safe to use.
+_GENUINE_EVALUATE_ALU = evaluate_alu
 
 
 def branch_taken(instr: Instruction, srcs: dict[int, object]) -> bool:
     """Evaluate a conditional branch's outcome."""
-    op = instr.op
-    if op in _BR2:
-        return _BR2[op](srcs[instr.rs], srcs[instr.rt])
-    if op in _BR1:
-        return _BR1[op](srcs[instr.rs])
-    if op is Op.BC1T:
-        return bool(srcs[FPCOND_REG])
-    if op is Op.BC1F:
-        return not srcs[FPCOND_REG]
-    raise KeyError(f"{op.value} is not a conditional branch")
+    fn = BRANCH_EVAL.get(instr.op)
+    if fn is None:
+        raise KeyError(f"{instr.op.value} is not a conditional branch")
+    return fn(instr, srcs)
 
 
 def effective_addr(instr: Instruction, srcs: dict[int, object]) -> int:
@@ -194,71 +243,75 @@ def effective_addr(instr: Instruction, srcs: dict[int, object]) -> int:
     return u32(srcs[instr.rs] + instr.imm)
 
 
+_WIDTH = {Op.LB: 1, Op.LBU: 1, Op.SB: 1, Op.L_D: 8, Op.S_D: 8}
+
+
 def load_width(op: Op) -> int:
     """Access width in bytes of a memory opcode."""
-    if op in (Op.LB, Op.LBU, Op.SB):
-        return 1
-    if op in (Op.L_D, Op.S_D):
-        return 8
-    return 4
+    return _WIDTH.get(op, 4)
+
+
+_DO_LOAD = {
+    Op.LW: SparseMemory.read_word,
+    Op.LB: lambda mem, addr: u32(s32((mem.read_byte(addr) ^ 0x80) - 0x80)),
+    Op.LBU: SparseMemory.read_byte,
+    Op.L_S: SparseMemory.read_float,
+    Op.L_D: SparseMemory.read_double,
+}
 
 
 def do_load(op: Op, mem: SparseMemory, addr: int) -> object:
     """Perform a load against a memory image and return the value."""
-    if op is Op.LW:
-        return mem.read_word(addr)
-    if op is Op.LB:
-        return u32(s32((mem.read_byte(addr) ^ 0x80) - 0x80))
-    if op is Op.LBU:
-        return mem.read_byte(addr)
-    if op is Op.L_S:
-        return mem.read_float(addr)
-    if op is Op.L_D:
-        return mem.read_double(addr)
-    raise KeyError(f"{op.value} is not a load")
+    fn = _DO_LOAD.get(op)
+    if fn is None:
+        raise KeyError(f"{op.value} is not a load")
+    return fn(mem, addr)
+
+
+_DO_STORE = {
+    Op.SW: SparseMemory.write_word,
+    Op.SB: SparseMemory.write_byte,
+    Op.S_S: SparseMemory.write_float,
+    Op.S_D: SparseMemory.write_double,
+}
 
 
 def do_store(op: Op, mem: SparseMemory, addr: int, value: object) -> None:
     """Perform a store against a memory image."""
-    if op is Op.SW:
-        mem.write_word(addr, value)
-    elif op is Op.SB:
-        mem.write_byte(addr, value)
-    elif op is Op.S_S:
-        mem.write_float(addr, value)
-    elif op is Op.S_D:
-        mem.write_double(addr, value)
-    else:
+    fn = _DO_STORE.get(op)
+    if fn is None:
         raise KeyError(f"{op.value} is not a store")
+    fn(mem, addr, value)
+
+
+_STORE_BYTES = {
+    Op.SW: lambda value: (value & MASK32).to_bytes(4, "little"),
+    Op.SB: lambda value: bytes([value & 0xFF]),
+    Op.S_S: lambda value: struct.pack("<f", value),
+    Op.S_D: lambda value: struct.pack("<d", value),
+}
 
 
 def store_bytes(op: Op, value: object) -> bytes:
     """Encode a store value as raw bytes (used by the ARB)."""
-    import struct
+    fn = _STORE_BYTES.get(op)
+    if fn is None:
+        raise KeyError(f"{op.value} is not a store")
+    return fn(value)
 
-    if op is Op.SW:
-        return (value & MASK32).to_bytes(4, "little")
-    if op is Op.SB:
-        return bytes([value & 0xFF])
-    if op is Op.S_S:
-        return struct.pack("<f", value)
-    if op is Op.S_D:
-        return struct.pack("<d", value)
-    raise KeyError(f"{op.value} is not a store")
+
+_LOAD_FROM_BYTES = {
+    Op.LW: lambda raw: int.from_bytes(raw, "little"),
+    Op.LB: lambda raw: u32((raw[0] ^ 0x80) - 0x80),
+    Op.LBU: lambda raw: raw[0],
+    Op.L_S: lambda raw: struct.unpack("<f", raw)[0],
+    Op.L_D: lambda raw: struct.unpack("<d", raw)[0],
+}
 
 
 def load_from_bytes(op: Op, raw: bytes) -> object:
     """Decode load result from raw bytes (used by the ARB)."""
-    import struct
-
-    if op is Op.LW:
-        return int.from_bytes(raw, "little")
-    if op is Op.LB:
-        return u32((raw[0] ^ 0x80) - 0x80)
-    if op is Op.LBU:
-        return raw[0]
-    if op is Op.L_S:
-        return struct.unpack("<f", raw)[0]
-    if op is Op.L_D:
-        return struct.unpack("<d", raw)[0]
-    raise KeyError(f"{op.value} is not a load")
+    fn = _LOAD_FROM_BYTES.get(op)
+    if fn is None:
+        raise KeyError(f"{op.value} is not a load")
+    return fn(raw)

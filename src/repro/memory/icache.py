@@ -23,17 +23,27 @@ class InstructionCache:
                                        config.icache_block)
         #: Words delivered per hit access (one fetch group).
         self.fetch_words = 4
+        self._hit_latency = config.icache_hit
 
     def fetch(self, addr: int, cycle: int) -> int:
         """Fetch the 4-word group containing ``addr``.
 
         Returns the cycle at which the instructions are available to
-        decode.
+        decode. The tag probe is inlined from DirectMappedCache.touch:
+        this runs once per fetch group on the simulator's hot path.
         """
-        if self.cache.touch(addr):
-            return cycle + self.config.icache_hit
-        done = self.bus.request(cycle, self.cache.words_per_block)
-        return done + self.config.icache_hit
+        cache = self.cache
+        block = addr >> cache._block_bits
+        index = block % cache.num_sets
+        tag = block // cache.num_sets
+        stats = cache.stats
+        stats.accesses += 1
+        if cache._tags[index] == tag:
+            return cycle + self._hit_latency
+        stats.misses += 1
+        cache._tags[index] = tag
+        done = self.bus.request(cycle, cache.words_per_block)
+        return done + self._hit_latency
 
     @property
     def stats(self):

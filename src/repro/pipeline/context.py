@@ -14,8 +14,13 @@ import enum
 from repro.isa.instruction import Instruction
 
 
-class StallReason(enum.Enum):
-    """Why a unit performed no computation in a cycle (paper Section 3)."""
+class StallReason(enum.IntEnum):
+    """Why a unit performed no computation in a cycle (paper Section 3).
+
+    An ``IntEnum`` so the per-cycle stall tallies hash members through
+    the C-level int hash instead of ``Enum.__hash__`` (a Python-level
+    function that shows up in simulator profiles).
+    """
 
     NONE = enum.auto()           # it did issue work
     INTER_TASK = enum.auto()     # waiting on a value from an earlier task
@@ -40,6 +45,41 @@ class PipelineContext(abc.ABC):
     @abc.abstractmethod
     def instr_at(self, addr: int) -> Instruction | None:
         """Decoded instruction at ``addr`` (None outside the text)."""
+
+    def uop_at(self, addr: int):
+        """Pre-decoded micro-op at ``addr`` (None outside the text).
+
+        The processor contexts override this with the program's interned
+        micro-op table; the default decodes on demand (with a per-context
+        memo) so simple test contexts only need ``instr_at``.
+        """
+        cache = getattr(self, "_uop_cache", None)
+        if cache is None:
+            cache = self._uop_cache = {}
+        uop = cache.get(addr)
+        if uop is None:
+            instr = self.instr_at(addr)
+            if instr is None:
+                return None
+            from repro.isa.uop import MicroOp
+
+            uop = cache[addr] = MicroOp(instr)
+        return uop
+
+    def uop_window(self, addr: int, count: int) -> list:
+        """Micro-ops for up to ``count`` consecutive words at ``addr``,
+        truncated at the first address outside the text.
+
+        The processor contexts shadow this with the program's batched
+        lookup so one call serves a whole fetch group.
+        """
+        out = []
+        for k in range(count):
+            uop = self.uop_at(addr + 4 * k)
+            if uop is None:
+                break
+            out.append(uop)
+        return out
 
     # -------------------------------------------------------- registers
 

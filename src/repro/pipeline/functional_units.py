@@ -35,11 +35,24 @@ class FUPool:
         if share_with is not None:
             for fu in shared_classes:
                 self._free[fu] = share_with._free[fu]  # alias, not copy
-        self.busy_counts: dict[FUClass, int] = {
-            fu: 0 for fu in self._free}
+        # Value-indexed view of the same slot lists (see MicroOp.fui):
+        # lets the issue loop index with an int instead of hashing an
+        # Enum. The inner lists are shared, so resets stay in sync.
+        size = max(fu.value for fu in self._free) + 1
+        self._free_by_val: list[list[int] | None] = [None] * size
+        for fu, slots in self._free.items():
+            self._free_by_val[fu.value] = slots
 
     def can_accept(self, fu: FUClass, cycle: int) -> bool:
-        return any(free <= cycle for free in self._free[fu])
+        slots = self._free[fu]
+        for free in slots:
+            if free <= cycle:
+                return True
+        return False
+
+    def next_free(self, fu: FUClass) -> int:
+        """Earliest cycle at which any instance can accept an issue."""
+        return min(self._free[fu])
 
     def accept(self, fu: FUClass, cycle: int) -> None:
         """Claim an instance's issue port for this cycle."""
@@ -47,7 +60,6 @@ class FUPool:
         for i, free in enumerate(slots):
             if free <= cycle:
                 slots[i] = cycle + 1
-                self.busy_counts[fu] += 1
                 return
         raise RuntimeError(f"no free {fu.name} unit at cycle {cycle}")
 

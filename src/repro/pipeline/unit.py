@@ -17,16 +17,21 @@ hardware's tag-bit-aware instruction cache would (Section 2.2).
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.config import UnitConfig
 from repro.isa import semantics
 from repro.isa.executor import next_pc as arch_next_pc
-from repro.isa.instruction import Instruction
 from repro.isa.memory_image import u32
 from repro.isa.opcodes import FUClass, Kind, Op, StopKind
+from repro.isa.uop import MicroOp
 from repro.pipeline.context import PipelineContext, StallReason
 from repro.pipeline.functional_units import FUPool
+
+#: Sentinel wake-up cycle meaning "no locally known event" — the unit is
+#: waiting on something external (a ring delivery, a predecessor's
+#: retirement) that another component's wake candidate must bound.
+NEVER = 1 << 62
 
 
 class MemRetry(Exception):
@@ -35,24 +40,38 @@ class MemRetry(Exception):
     retries on a later cycle."""
 
 
-@dataclass
 class _InFlight:
-    """One instruction in the ROB (dispatch through commit)."""
+    """One instruction in the ROB (dispatch through commit).
 
-    instr: Instruction
-    pc: int
-    idx: int                     # dispatch order, monotonically increasing
-    issuable_at: int
-    producers: dict[int, "_InFlight | None"] = field(default_factory=dict)
-    issued: bool = False
-    done_cycle: int = 0
-    result: object = None        # destination value (ALU/load/link)
-    ea: int = 0                  # effective address of a memory op
-    store_value: object = None
-    taken: bool = False
-    next_pc: int = 0
-    resolved: bool = True        # False for in-flight control instructions
-    stalled_fetch: bool = False  # this instruction stopped the fetcher
+    A ``__slots__`` class rather than a dataclass: tens of millions are
+    created per simulation and attribute access on them dominates the
+    issue/commit loops.
+    """
+
+    __slots__ = ("uop", "pc", "idx", "issuable_at", "producers", "issued",
+                 "done_cycle", "result", "ea", "store_value", "taken",
+                 "next_pc", "resolved", "stalled_fetch")
+
+    def __init__(self, uop: MicroOp, pc: int, idx: int,
+                 issuable_at: int) -> None:
+        self.uop = uop
+        self.pc = pc
+        self.idx = idx                # dispatch order, monotonic
+        self.issuable_at = issuable_at
+        self.producers: dict[int, _InFlight | None] = {}
+        self.issued = False
+        self.done_cycle = 0
+        self.result = None            # destination value (ALU/load/link)
+        self.ea = 0                   # effective address of a memory op
+        self.store_value = None
+        self.taken = False
+        self.next_pc = 0
+        self.resolved = True          # False for in-flight control instrs
+        self.stalled_fetch = False    # this instruction stopped the fetcher
+
+    @property
+    def instr(self):
+        return self.uop.instr
 
     def completed(self, cycle: int) -> bool:
         return self.issued and cycle >= self.done_cycle
@@ -74,11 +93,13 @@ class UnitPipeline:
     """One processing unit."""
 
     def __init__(self, config: UnitConfig, ctx: PipelineContext,
-                 fu_pool: FUPool | None = None) -> None:
+                 fu_pool: FUPool | None = None,
+                 fast_path: bool = True) -> None:
         self.config = config
         self.ctx = ctx
         self.fus = fu_pool if fu_pool is not None else FUPool(config)
         self.stats = PipelineStats()
+        self.fast_path = fast_path
         self.reset(pc=None)
 
     # ----------------------------------------------------------- control
@@ -87,7 +108,7 @@ class UnitPipeline:
         """Restart the pipeline at ``pc`` (None leaves fetch stopped)."""
         self.pc = pc
         self.rob: list[_InFlight] = []
-        self.fetch_buffer: deque[tuple[Instruction, int]] = deque()
+        self.fetch_buffer: deque[tuple[MicroOp, int]] = deque()
         self.fetch_pending_until: int | None = None
         self.fetch_pending_pc: int | None = None
         self.last_writer: dict[int, _InFlight] = {}
@@ -97,6 +118,22 @@ class UnitPipeline:
         self.stop_committed = False
         self.fus.reset()
         self._last_stall = StallReason.FETCH
+        self._activity = True
+        self._unissued = 0
+        # Config scalars cached off dataclass attribute lookups.
+        self._width = self.config.issue_width
+        self._window = self.config.window_size
+        self._fetchq = self.config.fetch_queue
+        self._in_order = not self.config.out_of_order
+        # Constant per context class (True for the scalar baseline,
+        # False for a multiscalar unit); cached off the hot paths.
+        self._suppress = self.ctx.suppress_annotations()
+        # Pre-decoded closures bypass the patchable module attribute
+        # ``semantics.evaluate_alu``; fall back to the generic path
+        # whenever fault injection has swapped it (or the escape hatch
+        # disabled the fast path), so planted bugs still fire.
+        self._fast = (self.fast_path and semantics.evaluate_alu
+                      is semantics._GENUINE_EVALUATE_ALU)
 
     def busy(self) -> bool:
         """True while any instruction is in flight or fetch is active."""
@@ -112,37 +149,145 @@ class UnitPipeline:
 
     def step(self, cycle: int) -> tuple[int, StallReason]:
         """Advance one cycle; returns (instructions issued, stall reason)."""
-        self._commit(cycle)
-        self._resolve_branches(cycle)
-        issued = self._issue(cycle)
-        self._dispatch(cycle)
-        self._fetch(cycle)
+        fetch_until_before = self.fetch_pending_until
+        rob = self.rob
+        committed = 0
+        if rob:
+            head = rob[0]
+            # Cheap inline preview of _commit's head test: skip the call
+            # (and its loop setup) when the head cannot retire yet.
+            if head.resolved and head.issued and cycle >= head.done_cycle:
+                committed = self._commit(cycle)
+        resolved = self._resolve_branches(cycle) if self.unresolved else 0
+        if not self._unissued:
+            issued = 0
+        elif self._width == 1 and self._in_order:
+            # The paper's default shape; skip the _issue scan entirely.
+            rob = self.rob
+            if self._try_issue(rob[len(rob) - self._unissued], cycle):
+                issued = 1
+                self._unissued -= 1
+                self.stats.issued += 1
+            else:
+                issued = 0
+        else:
+            issued = self._issue(cycle)
+        dispatched = self._dispatch(cycle) if self.fetch_buffer else 0
+        # Call _fetch only when it will act: a due delivery, or room to
+        # start a new request (its own guards are a superset of these).
+        fpu = self.fetch_pending_until
+        if fpu is not None:
+            if cycle >= fpu:
+                self._fetch(cycle)
+        elif self.pc is not None \
+                and len(self.fetch_buffer) < self._fetchq:
+            self._fetch(cycle)
         if issued:
             reason = StallReason.NONE
         else:
             reason = self._classify_stall(cycle)
         self._last_stall = reason
+        # "Quiet" means no architectural state that could enable a future
+        # local action changed this cycle: nothing issued, committed,
+        # resolved, or dispatched, and the fetch engine neither started
+        # nor delivered a request. The cycle-skipping fast path may only
+        # engage after quiet steps (see wake_cycle).
+        self._activity = bool(
+            issued or resolved or committed or dispatched
+            or self.fetch_pending_until != fetch_until_before)
         return issued, reason
+
+    def wake_cycle(self, cycle: int) -> int:
+        """Earliest future cycle at which this unit could act, given only
+        locally known release times; 0 if the clock must not skip.
+
+        Must be called right after :meth:`step`. Returns 0 when the step
+        did anything (state changed → re-evaluate next cycle) or when any
+        known constraint clears by ``cycle + 1`` (this is what keeps
+        per-cycle retry behaviour — e.g. ARB-full loops — bit-identical).
+        Returns :data:`NEVER` when the unit is blocked purely on external
+        events (ring deliveries, predecessor retirement); some other
+        component's candidate must then bound the skip.
+        """
+        if self._activity:
+            return 0
+        wake = NEVER
+        fpu = self.fetch_pending_until
+        if fpu is not None:
+            if fpu <= cycle + 1:
+                return 0
+            wake = fpu
+        ctx = self.ctx
+        fus = self.fus
+        in_order = not self.config.out_of_order
+        for rec in self.rob:
+            if rec.issued:
+                dc = rec.done_cycle
+                if dc > cycle:
+                    if dc <= cycle + 1:
+                        return 0
+                    if dc < wake:
+                        wake = dc
+                continue
+            # An unissued instruction: find when its known constraints
+            # clear. Constraints without a local timetable (a ring-fed
+            # register, an unissued producer, an older unresolved branch
+            # or uncommitted store) are left to the candidate of whatever
+            # event unblocks them.
+            bound = rec.issuable_at
+            external = False
+            for reg, producer in rec.producers.items():
+                if producer is None:
+                    if not ctx.reg_ready(reg):
+                        external = True
+                        break
+                elif not producer.issued:
+                    external = True
+                    break
+                elif producer.done_cycle > bound:
+                    bound = producer.done_cycle
+            if not external:
+                uop = rec.uop
+                if uop.kind is Kind.LOAD and (
+                        self._older_unresolved_branch(rec)
+                        or self._older_uncommitted_store(rec)):
+                    external = True
+                else:
+                    fu_free = fus.next_free(uop.fu)
+                    if fu_free > bound:
+                        bound = fu_free
+            if not external:
+                if bound <= cycle + 1:
+                    return 0
+                if bound < wake:
+                    wake = bound
+            if in_order:
+                # Younger instructions cannot issue before this one.
+                break
+        return wake
 
     # ------------------------------------------------------------ commit
 
-    def _commit(self, cycle: int) -> None:
+    def _commit(self, cycle: int) -> int:
         ctx = self.ctx
+        committed = 0
         while self.rob:
             rec = self.rob[0]
-            if not rec.completed(cycle) or not rec.resolved:
+            if not (rec.issued and cycle >= rec.done_cycle) \
+                    or not rec.resolved:
                 break
-            instr = rec.instr
-            kind = instr.kind
-            if kind in (Kind.SYSCALL, Kind.HALT) \
+            uop = rec.uop
+            kind = uop.kind
+            if (kind is Kind.SYSCALL or kind is Kind.HALT) \
                     and not ctx.can_commit_syscall():
                 break
+            instr = uop.instr
             self.rob.pop(0)
-            self.stats.committed += 1
+            committed += 1
             # Retire the register result.
-            dsts = instr.dst_regs()
+            dsts = uop.dsts
             if dsts and rec.result is not None:
-                ctx.write_reg(dsts[0], rec.result)
+                ctx.write_reg(uop.dst, rec.result)
             for dst in dsts:
                 if self.last_writer.get(dst) is rec:
                     del self.last_writer[dst]
@@ -166,13 +311,13 @@ class UnitPipeline:
                 self._flush_younger(rec.idx)
                 self._stop_fetch()
                 break
-            suppressed = ctx.suppress_annotations()
-            if not suppressed:
+            if not self._suppress:
                 if instr.forward and dsts:
                     ctx.on_forward(dsts[0], rec.result)
                 if kind is Kind.RELEASE:
                     ctx.on_release(instr.regs)
-                if self._stop_satisfied(rec):
+                if instr.stop is not StopKind.NONE \
+                        and self._stop_satisfied(rec):
                     self.stop_committed = True
                     ctx.on_stop(instr, rec.next_pc)
                     # Anything younger belongs to the next task and is
@@ -180,10 +325,13 @@ class UnitPipeline:
                     self._flush_younger(rec.idx)
                     self.pc = None
                     break
+        if committed:
+            self.stats.committed += committed
+        return committed
 
     @staticmethod
     def _stop_satisfied(rec: _InFlight) -> bool:
-        stop = rec.instr.stop
+        stop = rec.uop.instr.stop
         if stop is StopKind.NONE:
             return False
         if stop is StopKind.ALWAYS:
@@ -194,24 +342,27 @@ class UnitPipeline:
 
     # -------------------------------------------------------- resolution
 
-    def _resolve_branches(self, cycle: int) -> None:
-        while True:
+    def _resolve_branches(self, cycle: int) -> int:
+        resolved = 0
+        while self.unresolved:
             candidate = None
             for rec in self.unresolved:
                 if rec.issued and cycle >= rec.done_cycle:
                     candidate = rec
                     break
             if candidate is None:
-                return
+                break
             self.unresolved.remove(candidate)
             candidate.resolved = True
+            resolved += 1
             self._apply_resolution(candidate, cycle)
+        return resolved
 
     def _apply_resolution(self, rec: _InFlight, cycle: int) -> None:
-        instr = rec.instr
-        kind = instr.kind
-        stop = instr.stop if not self.ctx.suppress_annotations() \
-            else StopKind.NONE
+        uop = rec.uop
+        instr = uop.instr
+        kind = uop.kind
+        stop = instr.stop if not self._suppress else StopKind.NONE
         if kind is Kind.BRANCH:
             ends_task = (stop is StopKind.ALWAYS
                          or (stop is StopKind.TAKEN and rec.taken)
@@ -244,8 +395,9 @@ class UnitPipeline:
     def _issue(self, cycle: int) -> int:
         issued = 0
         width = self.config.issue_width
+        rob = self.rob
         if self.config.out_of_order:
-            for rec in self.rob:
+            for rec in rob:
                 if issued >= width:
                     break
                 if rec.issued:
@@ -253,16 +405,19 @@ class UnitPipeline:
                 if self._try_issue(rec, cycle):
                     issued += 1
         else:
-            for rec in self.rob:
-                if rec.issued:
-                    continue
-                if issued >= width:
-                    break
-                if self._try_issue(rec, cycle):
+            # In-order issue keeps the issued flags a prefix of the ROB,
+            # so the first unissued record sits at a known index.
+            index = len(rob) - self._unissued
+            end = len(rob)
+            while issued < width and index < end:
+                if self._try_issue(rob[index], cycle):
                     issued += 1
+                    index += 1
                 else:
                     break  # in-order: a stalled instruction blocks younger
-        self.stats.issued += issued
+        if issued:
+            self._unissued -= issued
+            self.stats.issued += issued
         return issued
 
     def _sources_ready(self, rec: _InFlight, cycle: int) -> bool:
@@ -292,99 +447,142 @@ class UnitPipeline:
         for other in self.rob:
             if other.idx >= rec.idx:
                 return False
-            if other.instr.kind is Kind.STORE:
+            if other.uop.kind is Kind.STORE:
                 return True
         return False
 
     def _try_issue(self, rec: _InFlight, cycle: int) -> bool:
         if cycle < rec.issuable_at:
             return False
-        if not self._sources_ready(rec, cycle):
-            return False
-        instr = rec.instr
-        kind = instr.kind
-        spec = instr.spec
+        ctx = self.ctx
+        # Check readiness and gather source values in one pass (reads
+        # have no side effects, so a later constraint failing after a
+        # partial gather is harmless).
+        srcs: dict[int, object] = {}
+        for reg, producer in rec.producers.items():
+            if producer is None:
+                if not ctx.reg_ready(reg):
+                    return False
+                srcs[reg] = ctx.read_reg(reg)
+            elif producer.issued and cycle >= producer.done_cycle:
+                srcs[reg] = producer.result
+            else:
+                return False
+        uop = rec.uop
+        kind = uop.kind
         if kind is Kind.LOAD and (self._older_unresolved_branch(rec)
                                   or self._older_uncommitted_store(rec)):
             return False
-        if not self.fus.can_accept(spec.fu, cycle):
-            return False
-        srcs = self._gather_sources(rec)
-        latency = self.fus.latency(spec.latency)
-        done = cycle + latency
+        fus = self.fus
+        slots = fus._free_by_val[uop.fui]
+        # Most FU classes have a single instance (Table 1); index it
+        # directly and only scan when the first port is taken.
+        if slots[0] <= cycle:
+            slot = 0
+        else:
+            slot = -1
+            for i in range(1, len(slots)):
+                if slots[i] <= cycle:
+                    slot = i
+                    break
+            if slot < 0:
+                return False
+        done = cycle + fus.latencies[uop.latency_key]
+        fast = self._fast
         if kind is Kind.ALU:
-            if instr.op is not Op.NOP and instr.dst_regs():
-                rec.result = semantics.evaluate_alu(instr, srcs)
+            fn = uop.alu
+            if fn is not None:
+                rec.result = (fn(srcs) if fast
+                              else semantics.evaluate_alu(uop.instr, srcs))
         elif kind is Kind.LOAD:
-            rec.ea = semantics.effective_addr(instr, srcs)
+            if fast:
+                rec.ea = ea = u32(srcs[uop.ea_base] + uop.imm)
+            else:
+                rec.ea = ea = semantics.effective_addr(uop.instr, srcs)
             try:
                 # Address generation takes the EX cycle; the cache access
                 # begins the cycle after.
-                value, done = self.ctx.mem_load(instr, rec.ea, cycle + 1)
+                value, done = ctx.mem_load(uop.instr, ea, cycle + 1)
             except MemRetry:
                 return False
             rec.result = value
             self.stats.loads += 1
         elif kind is Kind.STORE:
-            rec.ea = semantics.effective_addr(instr, srcs)
+            if fast:
+                rec.ea = ea = u32(srcs[uop.ea_base] + uop.imm)
+            else:
+                rec.ea = ea = semantics.effective_addr(uop.instr, srcs)
             try:
-                self.ctx.mem_store_prepare(instr, rec.ea)
+                ctx.mem_store_prepare(uop.instr, ea)
             except MemRetry:
                 return False
-            value_reg = instr.ft if instr.ft is not None else instr.rt
-            rec.store_value = srcs[value_reg]
+            rec.store_value = srcs[uop.store_reg]
         elif kind is Kind.BRANCH:
-            rec.taken = semantics.branch_taken(instr, srcs)
-            rec.next_pc = instr.target if rec.taken else rec.pc + 4
-        elif kind in (Kind.JUMP, Kind.CALL, Kind.JUMP_REG):
-            rec.next_pc = arch_next_pc(instr, srcs, rec.pc)
+            taken = (uop.branch(srcs) if fast
+                     else semantics.branch_taken(uop.instr, srcs))
+            rec.taken = taken
+            rec.next_pc = uop.target if taken else rec.pc + 4
+        elif kind is Kind.JUMP or kind is Kind.CALL \
+                or kind is Kind.JUMP_REG:
+            rec.next_pc = arch_next_pc(uop.instr, srcs, rec.pc)
             if kind is Kind.CALL:
                 rec.result = u32(rec.pc + 4)  # link value for $ra
         # SYSCALL / HALT / RELEASE carry no EX-stage result.
-        self.fus.accept(spec.fu, cycle)
+        slots[slot] = cycle + 1   # claim the instance's issue port
         rec.issued = True
         rec.done_cycle = done
         return True
 
     # ---------------------------------------------------------- dispatch
 
-    def _dispatch(self, cycle: int) -> None:
-        width = self.config.issue_width
+    def _dispatch(self, cycle: int) -> int:
+        width = self._width
+        window = self._window
+        fetch_buffer = self.fetch_buffer
+        last_writer = self.last_writer
+        rob = self.rob
+        idx = self._dispatch_idx
+        issuable = cycle + 1
         dispatched = 0
-        while (dispatched < width and self.fetch_buffer
-               and len(self.rob) < self.config.window_size):
-            instr, pc = self.fetch_buffer.popleft()
-            rec = _InFlight(instr=instr, pc=pc, idx=self._dispatch_idx,
-                            issuable_at=cycle + 1)
+        while dispatched < width and fetch_buffer and len(rob) < window:
+            uop, pc = fetch_buffer.popleft()
+            rec = _InFlight(uop, pc, idx, issuable)
             rec.next_pc = pc + 4  # control instructions overwrite at issue
-            self._dispatch_idx += 1
-            if instr.op is Op.RELEASE:
+            idx += 1
+            srcs = uop.srcs
+            if srcs and uop.op is not Op.RELEASE:
                 # A release does not wait for its registers: the commit
                 # handler forwards the current local value, and defers
                 # any register still awaiting a predecessor (the ring
                 # re-forwards it on arrival). Blocking issue here would
                 # serialize tasks on values they merely pass through.
-                sources: tuple[int, ...] = ()
-            else:
-                sources = instr.src_regs()
-            for reg in sources:
-                rec.producers[reg] = self.last_writer.get(reg)
-            for dst in instr.dst_regs():
-                self.last_writer[dst] = rec
-            if instr.kind is Kind.STORE:
+                producers = rec.producers
+                for reg in srcs:
+                    producers[reg] = last_writer.get(reg)
+            for dst in uop.dsts:
+                last_writer[dst] = rec
+            if uop.kind is Kind.STORE:
                 self.pending_stores += 1
-            self.rob.append(rec)
-            self.stats.dispatched += 1
+            rob.append(rec)
             dispatched += 1
-            if self._dispatch_control(rec):
+            # Only control instructions and stop-tagged instructions can
+            # redirect or stall fetch (tag bits are read through the
+            # live instruction, never cached on the micro-op).
+            if (uop.ctl or uop.instr.stop is not StopKind.NONE) \
+                    and self._dispatch_control(rec):
                 break
+        if dispatched:
+            self._dispatch_idx = idx
+            self._unissued += dispatched
+            self.stats.dispatched += dispatched
+        return dispatched
 
     def _dispatch_control(self, rec: _InFlight) -> bool:
         """Handle fetch redirection at decode; True if dispatch must stop."""
-        instr = rec.instr
-        kind = instr.kind
-        suppressed = self.ctx.suppress_annotations()
-        stop = instr.stop if not suppressed else StopKind.NONE
+        uop = rec.uop
+        instr = uop.instr
+        kind = uop.kind
+        stop = instr.stop if not self._suppress else StopKind.NONE
         if kind is Kind.BRANCH:
             rec.resolved = False
             self.unresolved.append(rec)
@@ -429,7 +627,7 @@ class UnitPipeline:
             self._deliver_fetch_group()
         if self.pc is None:
             return
-        if len(self.fetch_buffer) >= self.config.fetch_queue:
+        if len(self.fetch_buffer) >= self._fetchq:
             return
         group = self.pc & ~15
         self.fetch_pending_pc = self.pc
@@ -439,19 +637,18 @@ class UnitPipeline:
         start = self.fetch_pending_pc
         self.fetch_pending_until = None
         self.fetch_pending_pc = None
-        if start is None or self.pc is None or start != self.pc:
+        if start is None or start != self.pc:
             return  # redirected while the fetch was in flight
-        group_end = (start & ~15) + 16
+        count = ((start & ~15) + 16 - start) >> 2
+        window = self.ctx.uop_window(start, count)
+        fetch_buffer = self.fetch_buffer
         pc = start
-        while pc < group_end:
-            instr = self.ctx.instr_at(pc)
-            if instr is None:
-                self.pc = None
-                return
-            self.fetch_buffer.append((instr, pc))
-            self.stats.fetched += 1
+        for uop in window:
+            fetch_buffer.append((uop, pc))
             pc += 4
-        self.pc = pc
+        self.stats.fetched += len(window)
+        # A short window means the group ran off the end of the text.
+        self.pc = pc if len(window) == count else None
 
     def _redirect_fetch(self, target: int) -> None:
         self.pc = target
@@ -476,10 +673,11 @@ class UnitPipeline:
         self.rob = keep
         self.unresolved = [r for r in self.unresolved if r.idx <= idx]
         self.pending_stores = sum(
-            1 for r in self.rob if r.instr.kind is Kind.STORE)
+            1 for r in self.rob if r.uop.kind is Kind.STORE)
+        self._unissued = sum(1 for r in keep if not r.issued)
         self.last_writer = {}
         for rec in self.rob:
-            for dst in rec.instr.dst_regs():
+            for dst in rec.uop.dsts:
                 self.last_writer[dst] = rec
         self.fetch_buffer.clear()
         self.fetch_pending_until = None
@@ -488,16 +686,19 @@ class UnitPipeline:
     # ------------------------------------------------------------- stats
 
     def _classify_stall(self, cycle: int) -> StallReason:
-        for rec in self.rob:
-            if rec.issued:
-                continue
+        if self._unissued:
+            if self.config.out_of_order:
+                rec = next(r for r in self.rob if not r.issued)
+            else:
+                # In-order: the issued flags are a prefix of the ROB.
+                rec = self.rob[len(self.rob) - self._unissued]
             for reg, producer in rec.producers.items():
                 if producer is None and not self.ctx.reg_ready(reg):
                     return StallReason.INTER_TASK
             return StallReason.INTRA_TASK
         if self.rob:
             head = self.rob[0]
-            if head.instr.kind is Kind.SYSCALL and head.completed(cycle) \
+            if head.uop.kind is Kind.SYSCALL and head.completed(cycle) \
                     and not self.ctx.can_commit_syscall():
                 return StallReason.SYSCALL
             return StallReason.INTRA_TASK
