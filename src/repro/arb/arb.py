@@ -30,7 +30,8 @@ because no predecessor can invalidate them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import base64
+from dataclasses import asdict, dataclass
 
 from repro.isa.memory_image import SparseMemory
 
@@ -365,6 +366,36 @@ class AddressResolutionBuffer:
         if entry.empty():
             del self._entries[word_addr]
             self._bank_counts[self._bank_of_word(word_addr)] -= 1
+
+    # -------------------------------------------------------- persistence
+
+    def state_dict(self) -> dict:
+        entries = []
+        for word_addr, entry in sorted(self._entries.items()):
+            stores = [[seq, mask,
+                       base64.b64encode(bytes(buf)).decode("ascii")]
+                      for seq, (mask, buf) in sorted(entry.stores.items())]
+            loads = [[seq, mask, list(sources)]
+                     for seq, (mask, sources) in sorted(entry.loads.items())]
+            entries.append([word_addr, stores, loads])
+        return {"entries": entries,
+                "by_seq": [[seq, sorted(words)]
+                           for seq, words in sorted(self._by_seq.items())],
+                "stats": asdict(self.stats)}
+
+    def load_state(self, state: dict) -> None:
+        self._entries = {}
+        self._bank_counts = [0] * self.num_banks
+        for word_addr, stores, loads in state["entries"]:
+            entry = _Entry()
+            for seq, mask, data in stores:
+                entry.stores[seq] = (mask, bytearray(base64.b64decode(data)))
+            for seq, mask, sources in loads:
+                entry.loads[seq] = (mask, list(sources))
+            self._entries[word_addr] = entry
+            self._bank_counts[self._bank_of_word(word_addr)] += 1
+        self._by_seq = {seq: set(words) for seq, words in state["by_seq"]}
+        self.stats = ARBStats(**state["stats"])
 
     # -------------------------------------------------------- inspection
 

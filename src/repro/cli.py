@@ -15,6 +15,9 @@ Subcommands:
 * ``bench``          — measure simulator throughput (simulated cycles
   per wall-clock second), write ``BENCH_simulator.json``, and
   optionally gate against the committed baseline;
+* ``chaos``          — fault-injection harness: SIGKILL workers, plant
+  truncated checkpoints, corrupt cache files, and plant a livelock,
+  then require bit-identical results (exit 1 on any surprise);
 * ``cache``          — inspect or purge the persistent result store.
 
 Examples::
@@ -26,6 +29,7 @@ Examples::
     python -m repro fuzz --seed 7 --budget 200 --jobs 4
     python -m repro sweep --workloads wc,cmp --units 1,4 --jobs 4
     python -m repro bench --quick --check
+    python -m repro chaos --self-test
     python -m repro cache --purge
 """
 
@@ -238,6 +242,9 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         return 0
     result = campaign.run()
     print(result.render())
+    if result.interrupted:
+        print("fuzz: interrupted; partial results above", file=sys.stderr)
+        return 130
     return 0 if result.ok else 1
 
 
@@ -276,6 +283,10 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         progress=lambda message: print(f"sweep: {message}",
                                        file=sys.stderr))
     print(summary.render())
+    if summary.interrupted:
+        print("sweep: interrupted; completed results were persisted",
+              file=sys.stderr)
+        return 130
     if args.timeline:
         print(render_timelines(request))
     if args.self_test:
@@ -326,6 +337,36 @@ def cmd_bench(args: argparse.Namespace) -> int:
               f"{args.max_regression:.0%}", file=sys.stderr)
         return 1
     return 0
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.resilience.chaos import (
+        ChaosRequest,
+        run_chaos,
+        self_test_request,
+    )
+
+    from repro.workloads import WORKLOADS
+
+    if args.self_test:
+        request = self_test_request()
+    else:
+        unknown = [name for name in args.workloads
+                   if name not in WORKLOADS]
+        if unknown:
+            print(f"repro chaos: error: unknown workloads {unknown}",
+                  file=sys.stderr)
+            return 2
+        request = ChaosRequest(workloads=tuple(args.workloads),
+                               units=tuple(args.units),
+                               jobs=args.jobs,
+                               checkpoint_every=args.checkpoint_every)
+    report = run_chaos(
+        request,
+        progress=lambda message: print(f"chaos: {message}",
+                                       file=sys.stderr))
+    print(report.render())
+    return 0 if report.ok else 1
 
 
 def cmd_cache(args: argparse.Namespace) -> int:
@@ -476,6 +517,26 @@ def build_parser() -> argparse.ArgumentParser:
                        help="skip the cProfile pass")
     bench.set_defaults(fn=cmd_bench)
 
+    chaos = sub.add_parser(
+        "chaos", help="fault-injection harness: kill workers, corrupt "
+                      "checkpoints and caches, plant a livelock, and "
+                      "require bit-identical results")
+    chaos.add_argument("--self-test", action="store_true",
+                       help="one-workload quick configuration")
+    chaos.add_argument("--workloads", type=lambda s: s.split(","),
+                       default=["wc", "cmp"],
+                       help="workloads to sweep under sabotage")
+    chaos.add_argument("--units", type=lambda s: [int(u) for u in
+                                                  s.split(",")],
+                       default=[2],
+                       help="multiscalar unit counts (default 2)")
+    chaos.add_argument("--jobs", type=int, default=2,
+                       help="worker processes for the sabotaged sweep")
+    chaos.add_argument("--checkpoint-every", type=int, default=2_000,
+                       help="cycles between checkpoints (small, so the "
+                            "kill-after-checkpoint fault resumes mid-run)")
+    chaos.set_defaults(fn=cmd_chaos)
+
     cache = sub.add_parser(
         "cache", help="inspect or purge the persistent result store")
     cache.add_argument("--purge", action="store_true",
@@ -520,7 +581,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except KeyboardInterrupt:
+        # Commands with worker pools drain them internally; anything
+        # that still reaches here just ends quietly, no traceback.
+        print(f"repro {args.command}: interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":

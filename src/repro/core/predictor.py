@@ -16,7 +16,7 @@ cost for non-loop patterns, noted in DESIGN.md.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 from repro.config import PredictorConfig
 from repro.isa.program import TargetKind, TaskDescriptor
@@ -132,6 +132,20 @@ class TaskPredictor:
         self.ras = list(snapshot)
         del self.ras[: max(0, len(self.ras) - self.config.ras_entries)]
 
+    # -------------------------------------------------------- persistence
+
+    def state_dict(self) -> dict:
+        return {"histories": list(self._histories),
+                "patterns": [list(p) for p in self._patterns],
+                "ras": list(self.ras),
+                "stats": asdict(self.stats)}
+
+    def load_state(self, state: dict) -> None:
+        self._histories = list(state["histories"])
+        self._patterns = [tuple(p) for p in state["patterns"]]
+        self.ras = list(state["ras"])
+        self.stats = PredictorStats(**state["stats"])
+
 
 class DescriptorCache:
     """Direct-mapped task-descriptor cache (timing only)."""
@@ -152,3 +166,13 @@ class DescriptorCache:
         self.misses += 1
         self._tags[index] = tag
         return False
+
+    def state_dict(self) -> dict:
+        return {"tags": list(self._tags),
+                "accesses": self.accesses,
+                "misses": self.misses}
+
+    def load_state(self, state: dict) -> None:
+        self._tags = list(state["tags"])
+        self.accesses = state["accesses"]
+        self.misses = state["misses"]

@@ -36,6 +36,7 @@ from repro.pipeline import PipelineContext, UnitPipeline
 from repro.pipeline.functional_units import FUPool
 from repro.pipeline.unit import MemRetry
 from repro.pipeline.unit import NEVER as PIPELINE_NEVER
+from repro.resilience.failures import CycleBudgetError, LivelockError
 
 #: Sentinel for "the walk ends here" predictions.
 PRED_HALT = -1
@@ -45,8 +46,8 @@ class MultiscalarError(Exception):
     """Configuration or program-structure errors (missing descriptors)."""
 
 
-class SimulationTimeout(Exception):
-    """Cycle budget exhausted, or no forward progress (deadlock)."""
+class SimulationTimeout(CycleBudgetError):
+    """Cycle budget exhausted without the program halting."""
 
 
 @dataclass
@@ -322,6 +323,9 @@ class MultiscalarProcessor:
         # register, but the ring message may die at a reassigned unit).
         self._retired_outgoing: dict[int, dict[int, object]] = {}
         self._last_progress = 0
+        #: Cycles without a commit/retire before run() declares livelock.
+        #: A watchdog may lower it (see repro.resilience.Watchdog.bind).
+        self._progress_window = 200_000
         self._fast = self.config.fast_path
         #: Hard bound on cycle skipping, so the timeout/deadlock checks
         #: in run() fire at exactly the same cycle as per-cycle ticking.
@@ -334,12 +338,15 @@ class MultiscalarProcessor:
 
     # ================================================== public interface
 
-    def run(self, max_cycles: int = 20_000_000) -> MultiscalarResult:
+    def run(self, max_cycles: int = 20_000_000, checkpointer=None,
+            watchdog=None) -> MultiscalarResult:
         entry_task = self.program.task_at(self.program.entry)
         if entry_task is None:
             raise MultiscalarError(
                 f"no task descriptor at program entry "
                 f"{self.program.entry:#x}")
+        if watchdog is not None:
+            watchdog.bind(self, max_cycles)
         self._cycle_horizon = max_cycles
         while not self.halted:
             self.step()
@@ -348,8 +355,13 @@ class MultiscalarProcessor:
                     f"exceeded {max_cycles} cycles (head task at "
                     f"{self.active[0].entry:#x})" if self.active else
                     f"exceeded {max_cycles} cycles")
-            if self.cycle - self._last_progress > 200_000:
-                raise SimulationTimeout(self._deadlock_report())
+            if self.cycle - self._last_progress > self._progress_window:
+                raise self._livelock_error()
+            if checkpointer is not None \
+                    and self.cycle >= checkpointer.next_cycle:
+                checkpointer.capture(self)
+            if watchdog is not None:
+                watchdog.check(self)
         # The halting task retires (halt only commits at the head); any
         # younger tasks are speculative overshoot past the program end.
         if self.active:
@@ -433,7 +445,8 @@ class MultiscalarProcessor:
             wake = self._wake_cycle(cycle)
             if wake > next_cycle:
                 horizon = min(self._cycle_horizon,
-                              self._last_progress + 200_001)
+                              self._last_progress
+                              + self._progress_window + 1)
                 if wake > horizon:
                     wake = horizon
                 if wake > next_cycle:
@@ -850,3 +863,191 @@ class MultiscalarProcessor:
                 f"stopped={task.stopped} pending={pending} "
                 f"rob={len(slot.pipeline.rob)} pc={slot.pipeline.pc}")
         return "\n".join(lines)
+
+    def _livelock_error(self) -> LivelockError:
+        units = []
+        for i, task in enumerate(self.active):
+            slot = self.units[task.unit_index]
+            units.append({
+                "position": i,
+                "unit": task.unit_index,
+                "task": task.descriptor.name or hex(task.entry),
+                "seq": task.seq,
+                "stopped": task.stopped,
+                "pending": dict(task.pending),
+                "rob": len(slot.pipeline.rob),
+                "pc": slot.pipeline.pc,
+            })
+        message = self._deadlock_report()
+        if units:
+            head = units[0]
+            message += (f"\n  stuck head: unit {head['unit']} task "
+                        f"{head['task']} seq {head['seq']}")
+        return LivelockError(message, cycle=self.cycle,
+                             last_progress=self._last_progress, units=units)
+
+    # ======================================================= persistence
+
+    def state_dict(self) -> dict:
+        """Complete machine state as a JSON-serializable dict.
+
+        Invariant: a processor restored from this dict continues
+        bit-identically to one that never stopped (same cycle counts,
+        stall distributions, outputs, and memory). Non-JSON containers
+        use canonical encodings: int-keyed dicts as sorted [k, v] pair
+        lists, sets as sorted lists, bytes as base64.
+        """
+        return {
+            "cycle": self.cycle,
+            "halted": self.halted,
+            "next_pc": self.next_pc,
+            "seq_busy_until": self.seq_busy_until,
+            "next_unit": self._next_unit,
+            "seq": self._seq,
+            "output": list(self.output),
+            "arch_regs": list(self.arch_regs),
+            "memory": self.memory.state_dict(),
+            "bus": self.bus.state_dict(),
+            "dcache": self.dcache.state_dict(),
+            "arb": self.arb.state_dict(),
+            "ring": self.ring.state_dict(),
+            "predictor": self.predictor.state_dict(),
+            "descriptor_cache": self.descriptor_cache.state_dict(),
+            "active": [self._task_state(task) for task in self.active],
+            "units": [
+                {"icache": slot.icache.state_dict(),
+                 "pipeline": slot.pipeline.state_dict(),
+                 "task_seq": None if slot.task is None else slot.task.seq}
+                for slot in self.units],
+            "distribution": self.distribution.as_dict(),
+            "retired_instructions": self.retired_instructions,
+            "squashed_instructions": self.squashed_instructions,
+            "tasks_retired": self.tasks_retired,
+            "tasks_squashed": self.tasks_squashed,
+            "squashes_mispredict": self.squashes_mispredict,
+            "squashes_memory": self.squashes_memory,
+            "squashes_arb": self.squashes_arb,
+            "squash_request": (None if self._squash_request is None
+                               else list(self._squash_request)),
+            "squashed_seqs": sorted(self._squashed_seqs),
+            "retired_outgoing": [
+                [seq, sorted([reg, value] for reg, value
+                             in outgoing.items())]
+                for seq, outgoing in sorted(self._retired_outgoing.items())],
+            "last_progress": self._last_progress,
+            "progress_window": self._progress_window,
+            "cycle_horizon": self._cycle_horizon,
+            "activity": self._activity,
+        }
+
+    @staticmethod
+    def _task_state(task: TaskInstance) -> dict:
+        return {
+            "seq": task.seq,
+            "entry": task.entry,
+            "unit_index": task.unit_index,
+            "regs": list(task.regs),
+            "snapshot": list(task.snapshot),
+            "pending": sorted([reg, seq]
+                              for reg, seq in task.pending.items()),
+            "ras_checkpoint": list(task.ras_checkpoint),
+            "committed_base": task.committed_base,
+            "forwarded": sorted(task.forwarded),
+            "outgoing": sorted([reg, value]
+                               for reg, value in task.outgoing.items()),
+            "deferred": sorted(task.deferred),
+            "predicted_next": task.predicted_next,
+            "predicted_index": task.predicted_index,
+            "stopped": task.stopped,
+            "validated": task.validated,
+            "squashed": task.squashed,
+            "actual_next": task.actual_next,
+            "cycles": task.cycles.as_dict(),
+            "sleep_until": task.sleep_until,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore the machine from :meth:`state_dict` output.
+
+        The processor must have been constructed with the same program
+        and configuration that produced the snapshot.
+        """
+        self.cycle = state["cycle"]
+        self.halted = state["halted"]
+        self.next_pc = state["next_pc"]
+        self.seq_busy_until = state["seq_busy_until"]
+        self._next_unit = state["next_unit"]
+        self._seq = state["seq"]
+        self.output = list(state["output"])
+        self.arch_regs = list(state["arch_regs"])
+        # The ARB and every unit context hold references to this
+        # SparseMemory object; load_state rebinds its page table in
+        # place of the same object, keeping those references valid.
+        self.memory.load_state(state["memory"])
+        self.bus.load_state(state["bus"])
+        self.dcache.load_state(state["dcache"])
+        self.arb.load_state(state["arb"])
+        self.ring.load_state(state["ring"])
+        self.predictor.load_state(state["predictor"])
+        self.descriptor_cache.load_state(state["descriptor_cache"])
+        self.active = [self._load_task(ts) for ts in state["active"]]
+        by_seq = {task.seq: task for task in self.active}
+        # Pipelines restore after their tasks exist so each context's
+        # cur_regs/cur_pending can rebind to the restored containers.
+        # The per-pipeline reset() inside load_state zeroes shared FU
+        # ports already restored by an earlier unit, but every aliasing
+        # pool then rewrites them with identical snapshot values.
+        for slot, unit_state in zip(self.units, state["units"]):
+            slot.icache.load_state(unit_state["icache"])
+            slot.pipeline.load_state(unit_state["pipeline"])
+            task_seq = unit_state["task_seq"]
+            task = None if task_seq is None else by_seq[task_seq]
+            slot.task = task
+            slot.context.cur_regs = None if task is None else task.regs
+            slot.context.cur_pending = (None if task is None
+                                        else task.pending)
+        self.distribution = CycleDistribution.from_dict(
+            state["distribution"])
+        self.retired_instructions = state["retired_instructions"]
+        self.squashed_instructions = state["squashed_instructions"]
+        self.tasks_retired = state["tasks_retired"]
+        self.tasks_squashed = state["tasks_squashed"]
+        self.squashes_mispredict = state["squashes_mispredict"]
+        self.squashes_memory = state["squashes_memory"]
+        self.squashes_arb = state["squashes_arb"]
+        request = state["squash_request"]
+        self._squash_request = None if request is None else tuple(request)
+        self._squashed_seqs = set(state["squashed_seqs"])
+        self._retired_outgoing = {
+            seq: {reg: value for reg, value in pairs}
+            for seq, pairs in state["retired_outgoing"]}
+        self._last_progress = state["last_progress"]
+        self._progress_window = state["progress_window"]
+        self._cycle_horizon = state["cycle_horizon"]
+        self._activity = state["activity"]
+
+    def _load_task(self, state: dict) -> TaskInstance:
+        descriptor = self.program.task_at(state["entry"])
+        if descriptor is None:
+            raise MultiscalarError(
+                f"snapshot names a task at {state['entry']:#x} but the "
+                "program has no descriptor there (program mismatch)")
+        return TaskInstance(
+            seq=state["seq"], descriptor=descriptor,
+            unit_index=state["unit_index"],
+            regs=list(state["regs"]), snapshot=list(state["snapshot"]),
+            pending={reg: seq for reg, seq in state["pending"]},
+            create_mask=descriptor.create_mask,
+            ras_checkpoint=list(state["ras_checkpoint"]),
+            committed_base=state["committed_base"],
+            forwarded=set(state["forwarded"]),
+            outgoing={reg: value for reg, value in state["outgoing"]},
+            deferred=set(state["deferred"]),
+            predicted_next=state["predicted_next"],
+            predicted_index=state["predicted_index"],
+            stopped=state["stopped"],
+            validated=state["validated"],
+            squashed=state["squashed"],
+            actual_next=state["actual_next"],
+            cycles=TaskCycleRecord.from_dict(state["cycles"]),
+            sleep_until=state["sleep_until"])

@@ -15,7 +15,7 @@ values produced by squashed tasks can be dropped in flight.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from heapq import heappop, heappush
 
 
@@ -104,6 +104,30 @@ class ForwardingRing:
                 if nxt is None or arrive < nxt:
                     nxt = arrive
         return nxt
+
+    def state_dict(self) -> dict:
+        return {
+            "links": [[[m.arrive_cycle, m.order, m.sender_seq,
+                        m.from_unit, m.origin_unit, m.reg, m.value]
+                       for m in sorted(link)]
+                      for link in self._links],
+            "link_load": [list(pair) for pair in self._link_load],
+            "order": self._order,
+            "stats": asdict(self.stats),
+        }
+
+    def load_state(self, state: dict) -> None:
+        # A sorted message list is a valid heap, and pop order is fully
+        # determined by (arrive_cycle, order), so restoring sorted is
+        # behaviour-identical to the captured heap.
+        self._links = [
+            [RingMessage(arrive_cycle=m[0], order=m[1], sender_seq=m[2],
+                         from_unit=m[3], origin_unit=m[4], reg=m[5],
+                         value=m[6]) for m in link]
+            for link in state["links"]]
+        self._link_load = [tuple(pair) for pair in state["link_load"]]
+        self._order = state["order"]
+        self.stats = RingStats(**state["stats"])
 
     def drop_stale(self, squashed_seqs: set[int]) -> None:
         """Purge in-flight messages from squashed tasks."""

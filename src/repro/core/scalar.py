@@ -27,9 +27,10 @@ from repro.isa.program import Program
 from repro.memory import InstructionCache, ScalarDataCache, SplitTransactionBus
 from repro.pipeline import PipelineContext, UnitPipeline
 from repro.pipeline.context import StallReason
+from repro.resilience.failures import CycleBudgetError, LivelockError
 
 
-class SimulationTimeout(Exception):
+class SimulationTimeout(CycleBudgetError):
     """The cycle budget was exhausted before the program halted."""
 
 
@@ -124,6 +125,9 @@ class ScalarProcessor:
         self.halted = False
         self.output: list[str] = []
         self.cycle = 0
+        self._last_progress = 0
+        #: Cycles without an issue before run() declares livelock.
+        self._progress_window = 200_000
         self.stall_cycles: dict[str, int] = {r.name: 0 for r in StallReason}
         ctx = _ScalarContext(self)
         ctx.fetch_group = self.icache.fetch
@@ -146,14 +150,19 @@ class ScalarProcessor:
         else:
             raise RuntimeError(f"unknown syscall {code}")
 
-    def run(self, max_cycles: int = 20_000_000) -> ScalarResult:
+    def run(self, max_cycles: int = 20_000_000, checkpointer=None,
+            watchdog=None) -> ScalarResult:
         pipeline = self.pipeline
         fast = self.config.fast_path
         stall_cycles = self.stall_cycles
+        if watchdog is not None:
+            watchdog.bind(self, max_cycles)
         while not self.halted:
             cycle = self.cycle
             issued, reason = pipeline.step(cycle)
-            if not issued:
+            if issued:
+                self._last_progress = cycle
+            else:
                 stall_cycles[reason.name] += 1
             next_cycle = cycle + 1
             if fast and not issued and not self.halted:
@@ -163,10 +172,13 @@ class ScalarProcessor:
                 # (stable) stall reason per-cycle ticking would have.
                 wake = pipeline.wake_cycle(cycle)
                 if wake > next_cycle:
-                    # Cap so the timeout below raises at the same cycle
-                    # as per-cycle ticking (its check is `>` max_cycles).
-                    if wake > max_cycles + 1:
-                        wake = max_cycles + 1
+                    # Cap so the timeout and livelock checks below raise
+                    # at the same cycle as per-cycle ticking would.
+                    horizon = min(max_cycles + 1,
+                                  self._last_progress
+                                  + self._progress_window + 1)
+                    if wake > horizon:
+                        wake = horizon
                     if wake > next_cycle:
                         stall_cycles[reason.name] += wake - next_cycle
                         next_cycle = wake
@@ -174,6 +186,13 @@ class ScalarProcessor:
             if self.cycle > max_cycles:
                 raise SimulationTimeout(
                     f"scalar run exceeded {max_cycles} cycles")
+            if self.cycle - self._last_progress > self._progress_window:
+                raise self._livelock_error()
+            if checkpointer is not None \
+                    and self.cycle >= checkpointer.next_cycle:
+                checkpointer.capture(self)
+            if watchdog is not None:
+                watchdog.check(self)
         committed = self.pipeline.stats.committed
         return ScalarResult(
             cycles=self.cycle,
@@ -184,3 +203,66 @@ class ScalarProcessor:
             dcache_misses=self.dcache.stats.misses,
             stall_cycles=dict(self.stall_cycles),
         )
+
+    def _livelock_error(self) -> LivelockError:
+        pipeline = self.pipeline
+        units = [{
+            "position": 0,
+            "unit": 0,
+            "task": "scalar",
+            "seq": 0,
+            "stopped": False,
+            "pending": {},
+            "rob": len(pipeline.rob),
+            "pc": pipeline.pc,
+        }]
+        message = (f"scalar pipeline made no progress since cycle "
+                   f"{self._last_progress} (now {self.cycle}): "
+                   f"rob={len(pipeline.rob)} pc={pipeline.pc} "
+                   f"stall={pipeline._last_stall.name}"
+                   f"\n  stuck head: unit 0 task scalar seq 0")
+        return LivelockError(message, cycle=self.cycle,
+                             last_progress=self._last_progress, units=units)
+
+    # ------------------------------------------------------- persistence
+
+    def state_dict(self) -> dict:
+        """Complete machine state as a JSON-serializable dict."""
+        return {
+            "cycle": self.cycle,
+            "halted": self.halted,
+            "output": list(self.output),
+            "regs": list(self.regs),
+            "memory": self.memory.state_dict(),
+            "bus": self.bus.state_dict(),
+            "icache": self.icache.state_dict(),
+            "dcache": self.dcache.state_dict(),
+            "pipeline": self.pipeline.state_dict(),
+            "stall_cycles": dict(self.stall_cycles),
+            "last_progress": self._last_progress,
+            "progress_window": self._progress_window,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore the machine from :meth:`state_dict` output.
+
+        The processor must have been constructed with the same program
+        and configuration that produced the snapshot.
+        """
+        self.cycle = state["cycle"]
+        self.halted = state["halted"]
+        self.output = list(state["output"])
+        # In-place restore: the pipeline context aliases this list.
+        self.regs[:] = state["regs"]
+        self.memory.load_state(state["memory"])
+        self.bus.load_state(state["bus"])
+        self.icache.load_state(state["icache"])
+        self.dcache.load_state(state["dcache"])
+        self.pipeline.load_state(state["pipeline"])
+        # In-place update: run() holds a direct reference to this dict.
+        self.stall_cycles.clear()
+        self.stall_cycles.update(
+            {str(name): count
+             for name, count in state["stall_cycles"].items()})
+        self._last_progress = state["last_progress"]
+        self._progress_window = state["progress_window"]

@@ -55,6 +55,18 @@ class TaskCycleRecord:
         """
         self.stall_cycles[reason] += span
 
+    def as_dict(self) -> dict:
+        return {"busy_cycles": self.busy_cycles,
+                "stall_cycles": {reason.name: count for reason, count
+                                 in self.stall_cycles.items()}}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TaskCycleRecord":
+        record = cls(busy_cycles=int(data["busy_cycles"]))
+        for name, count in data["stall_cycles"].items():
+            record.stall_cycles[StallReason[name]] = int(count)
+        return record
+
 
 @dataclass
 class CycleDistribution:

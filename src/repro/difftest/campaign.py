@@ -51,6 +51,9 @@ class CampaignResult:
     backends_used: set[str] = field(default_factory=set)
     report: DiffReport | None = None          # first divergence, if any
     shrunk: ShrinkResult | None = None
+    #: Ctrl-C cut the campaign short: counts above cover only the
+    #: programs that finished checking, and no workers were orphaned.
+    interrupted: bool = False
 
     @property
     def ok(self) -> bool:
@@ -65,6 +68,9 @@ class CampaignResult:
         if self.programs_skipped:
             lines.append(f"fuzz: skipped {self.programs_skipped} "
                          "invalid generations")
+        if self.interrupted:
+            lines.append("fuzz: interrupted; totals cover completed "
+                         "checks only")
         if self.ok:
             lines.append("fuzz: no divergences")
             return "\n".join(lines)
@@ -166,26 +172,29 @@ class FuzzCampaign:
     def _run_serial(self) -> CampaignResult:
         result = CampaignResult(seed=self.seed)
         index = 0
-        while result.programs_run < self.budget:
-            program = self.generate(index)
-            grid = self.grid_for(index)
-            index += 1
-            try:
-                report = self._check(program, grid)
-            except ProgramInvalid:
-                result.programs_skipped += 1
-                continue
-            result.programs_run += 1
-            result.by_language[program.language] = \
-                result.by_language.get(program.language, 0) + 1
-            result.backends_used.update(report.backends_run)
-            if result.programs_run % 25 == 0:
-                self.progress(f"{result.programs_run}/{self.budget} "
-                              "programs, no divergences")
-            if not report.ok:
-                result.report = report
-                result.shrunk = self._shrink(program, report, grid)
-                break
+        try:
+            while result.programs_run < self.budget:
+                program = self.generate(index)
+                grid = self.grid_for(index)
+                index += 1
+                try:
+                    report = self._check(program, grid)
+                except ProgramInvalid:
+                    result.programs_skipped += 1
+                    continue
+                result.programs_run += 1
+                result.by_language[program.language] = \
+                    result.by_language.get(program.language, 0) + 1
+                result.backends_used.update(report.backends_run)
+                if result.programs_run % 25 == 0:
+                    self.progress(f"{result.programs_run}/{self.budget} "
+                                  "programs, no divergences")
+                if not report.ok:
+                    result.report = report
+                    result.shrunk = self._shrink(program, report, grid)
+                    break
+        except KeyboardInterrupt:
+            result.interrupted = True
         return result
 
     def _run_parallel(self) -> CampaignResult:
@@ -202,52 +211,69 @@ class FuzzCampaign:
                           retries=2, progress=self.progress)
         result = CampaignResult(seed=self.seed)
         index = 0
-        while result.programs_run < self.budget:
-            wave = min(4 * self.jobs, self.budget - result.programs_run)
-            payloads = []
-            for offset in range(wave):
-                payloads.append(PoolJob(
-                    job_id=str(index + offset),
-                    payload=self._payload_for(index + offset)))
-            outcomes = pool.run(payloads)
-            stop = False
-            for offset in range(wave):
-                if result.programs_run >= self.budget:
-                    stop = True
+        try:
+            while result.programs_run < self.budget:
+                wave = min(4 * self.jobs,
+                           self.budget - result.programs_run)
+                payloads = []
+                for offset in range(wave):
+                    payloads.append(PoolJob(
+                        job_id=str(index + offset),
+                        payload=self._payload_for(index + offset)))
+                outcomes = pool.run(payloads)
+                stop = False
+                for offset in range(wave):
+                    if result.programs_run >= self.budget:
+                        stop = True
+                        break
+                    outcome = outcomes[str(index + offset)]
+                    if not outcome.ok:
+                        if outcome.error == "interrupted":
+                            # The pool drained on Ctrl-C; nothing at or
+                            # past this outcome ran.
+                            stop = True
+                            break
+                        # A worker crashed beyond retry; treat the
+                        # program like an invalid generation rather
+                        # than losing the campaign.
+                        self.progress(f"program {index + offset} lost: "
+                                      f"{outcome.error}")
+                        result.programs_skipped += 1
+                        continue
+                    checked = outcome.value
+                    if checked["status"] == "invalid":
+                        result.programs_skipped += 1
+                        continue
+                    result.programs_run += 1
+                    result.by_language[checked["language"]] = \
+                        result.by_language.get(checked["language"], 0) + 1
+                    result.backends_used.update(checked["backends"])
+                    if result.programs_run % 25 == 0:
+                        self.progress(
+                            f"{result.programs_run}/{self.budget} "
+                            "programs, no divergences")
+                    if checked["status"] == "divergence":
+                        # Recreate the full report in-process
+                        # (deterministic) and shrink as the serial
+                        # campaign would.
+                        program = self.generate(index + offset)
+                        grid = self.grid_for(index + offset)
+                        report = self._check(program, grid)
+                        result.report = report
+                        result.shrunk = self._shrink(program, report, grid)
+                        stop = True
+                        break
+                index += wave
+                if pool.interrupted:
+                    result.interrupted = True
                     break
-                outcome = outcomes[str(index + offset)]
-                if not outcome.ok:
-                    # A worker crashed beyond retry; treat the program
-                    # like an invalid generation rather than losing
-                    # the campaign.
-                    self.progress(f"program {index + offset} lost: "
-                                  f"{outcome.error}")
-                    result.programs_skipped += 1
-                    continue
-                checked = outcome.value
-                if checked["status"] == "invalid":
-                    result.programs_skipped += 1
-                    continue
-                result.programs_run += 1
-                result.by_language[checked["language"]] = \
-                    result.by_language.get(checked["language"], 0) + 1
-                result.backends_used.update(checked["backends"])
-                if result.programs_run % 25 == 0:
-                    self.progress(f"{result.programs_run}/{self.budget} "
-                                  "programs, no divergences")
-                if checked["status"] == "divergence":
-                    # Recreate the full report in-process (deterministic)
-                    # and shrink as the serial campaign would.
-                    program = self.generate(index + offset)
-                    grid = self.grid_for(index + offset)
-                    report = self._check(program, grid)
-                    result.report = report
-                    result.shrunk = self._shrink(program, report, grid)
-                    stop = True
+                if stop or result.report is not None:
                     break
-            index += wave
-            if stop or result.report is not None:
-                break
+        except KeyboardInterrupt:
+            # Raised between waves or during in-process shrinking; the
+            # pool has already drained its workers by the time run()
+            # returns, so there is nothing left to kill.
+            result.interrupted = True
         return result
 
     def _payload_for(self, index: int) -> dict:

@@ -74,3 +74,33 @@ def inject_opcode_bug(op: Op, backends: frozenset[str] | set[str] =
         yield
     finally:
         semantics.evaluate_alu = real
+
+
+@contextmanager
+def inject_livelock(after_retires: int = 0):
+    """Silently block multiscalar task retirement after ``after_retires``
+    tasks have retired.
+
+    The head task then sits stopped-and-drained forever; its successors
+    drain the forwarding ring, stall on unavailable head values, and the
+    whole machine stops issuing — a livelock with no exception and no
+    halt, exactly the failure mode the resilience watchdog exists to
+    catch. Used by the watchdog tests and the chaos harness to assert a
+    hang surfaces as a typed
+    :class:`~repro.resilience.failures.LivelockError` naming the stuck
+    unit, instead of spinning until the cycle budget dies.
+    """
+    from repro.core.processor import MultiscalarProcessor
+
+    real = MultiscalarProcessor._try_retire
+
+    def stuck_retire(self, cycle):
+        if self.tasks_retired >= after_retires:
+            return
+        real(self, cycle)
+
+    MultiscalarProcessor._try_retire = stuck_retire
+    try:
+        yield
+    finally:
+        MultiscalarProcessor._try_retire = real

@@ -221,30 +221,53 @@ def _workload_spec(name: str):
 
 # --------------------------------------------------------------- execution
 
-def execute(job: SimJob) -> dict:
-    """Run one job to completion, returning its JSON-able payload."""
+def _checkpoint_manager(job: SimJob, checkpoints, attempt: int):
+    """Build the (manager, keep) pair for a checkpointed timing job."""
+    if checkpoints is None or job.kind == "count":
+        return None
+    from repro.resilience.checkpoint import CheckpointManager
+
+    manager = CheckpointManager(checkpoints.directory, job.key(),
+                                every=checkpoints.every)
+    if attempt in checkpoints.kill_after_checkpoint_on_attempts:
+        manager.die_after_capture = True
+    return manager
+
+
+def execute(job: SimJob, checkpoints=None, attempt: int = 0) -> dict:
+    """Run one job to completion, returning its JSON-able payload.
+
+    With a :class:`~repro.resilience.checkpoint.CheckpointPolicy`, a
+    timing job periodically persists its machine state and — if a
+    checkpoint from a previous (crashed/killed) attempt survives —
+    resumes from it instead of re-simulating from cycle 0. Either way
+    the payload is bit-identical to an uncheckpointed run.
+    """
     program, expected = job._build()
+    manager = _checkpoint_manager(job, checkpoints, attempt)
     if job.kind == "scalar":
-        result = ScalarProcessor(
+        processor = ScalarProcessor(
             program, scalar_config(job.issue_width, job.out_of_order,
-                                   fast_path=job.fast_path)
-        ).run(max_cycles=job.max_cycles)
-        job._verify(result.output, expected)
-        return {"type": "scalar", "result": result.to_dict()}
-    if job.kind == "multiscalar":
-        result = MultiscalarProcessor(
+                                   fast_path=job.fast_path))
+    elif job.kind == "multiscalar":
+        processor = MultiscalarProcessor(
             program, multiscalar_config(job.units, job.issue_width,
                                         job.out_of_order,
-                                        fast_path=job.fast_path)
-        ).run(max_cycles=job.max_cycles)
-        job._verify(result.output, expected)
-        return {"type": "multiscalar", "result": result.to_dict()}
-    from repro.isa import FunctionalCPU
+                                        fast_path=job.fast_path))
+    else:
+        from repro.isa import FunctionalCPU
 
-    cpu = FunctionalCPU(program)
-    cpu.run()
-    job._verify(cpu.output, expected)
-    return {"type": "count", "count": cpu.instruction_count}
+        cpu = FunctionalCPU(program)
+        cpu.run()
+        job._verify(cpu.output, expected)
+        return {"type": "count", "count": cpu.instruction_count}
+    if manager is not None:
+        manager.resume(processor)
+    result = processor.run(max_cycles=job.max_cycles, checkpointer=manager)
+    job._verify(result.output, expected)
+    if manager is not None and not checkpoints.keep:
+        manager.discard()
+    return {"type": job.kind, "result": result.to_dict()}
 
 
 def result_from_payload(payload: dict):

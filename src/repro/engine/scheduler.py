@@ -115,6 +115,10 @@ class WorkerPool:
         self.progress = progress or (lambda message: None)
         self.serial = (force_serial or self.jobs == 1 or _mp is None
                        or os.environ.get("REPRO_FORCE_SERIAL") == "1")
+        #: Set when a run was cut short by Ctrl-C: every in-flight
+        #: worker was killed and joined (no orphans), finished outcomes
+        #: were kept, and unfinished jobs read ``error="interrupted"``.
+        self.interrupted = False
 
     def _delay(self, attempt: int) -> float:
         return min(self.backoff * attempt, 2.0)
@@ -239,55 +243,97 @@ class WorkerPool:
         pending = [_Pending(job, 0, 0.0) for job in pool_jobs]
         running: list[_Running] = []
         settled = 0
-        while pending or running:
-            now = time.monotonic()
-            for entry in list(pending):
-                if len(running) >= self.jobs:
-                    break
-                if entry.not_before > now:
-                    continue
-                pending.remove(entry)
-                outcomes[entry.job.job_id].attempts = entry.attempt + 1
-                try:
-                    running.append(self._spawn(entry.job, entry.attempt))
-                except Exception as exc:
-                    self.progress(f"worker spawn failed ({exc}); "
-                                  "degrading to serial execution")
-                    outcomes[entry.job.job_id].attempts = entry.attempt
-                    pending.append(entry)
-                    return self._degrade_to_serial(outcomes, pending,
-                                                   running)
-            reaped = False
-            for entry in list(running):
-                if entry.conn.poll(0) or not entry.process.is_alive():
-                    status, value, error = self._reap(entry)
-                elif time.monotonic() > entry.deadline:
-                    entry.process.kill()
-                    entry.process.join(timeout=5)
-                    entry.conn.close()
-                    status, value, error = (
-                        "timeout", None,
-                        f"timed out after {self.timeout:.0f}s")
-                else:
-                    continue
-                running.remove(entry)
-                reaped = True
-                if self._settle(outcomes, pending, entry, status, value,
-                                error):
-                    settled += 1
-                    self.progress(f"{settled}/{len(pool_jobs)} jobs settled")
-            if (pending or running) and not reaped:
-                time.sleep(0.005)
+        try:
+            while pending or running:
+                now = time.monotonic()
+                for entry in list(pending):
+                    if len(running) >= self.jobs:
+                        break
+                    if entry.not_before > now:
+                        continue
+                    pending.remove(entry)
+                    outcomes[entry.job.job_id].attempts = entry.attempt + 1
+                    try:
+                        running.append(self._spawn(entry.job,
+                                                   entry.attempt))
+                    except Exception as exc:
+                        self.progress(f"worker spawn failed ({exc}); "
+                                      "degrading to serial execution")
+                        outcomes[entry.job.job_id].attempts = entry.attempt
+                        pending.append(entry)
+                        return self._degrade_to_serial(outcomes, pending,
+                                                       running)
+                reaped = False
+                for entry in list(running):
+                    if entry.conn.poll(0) or not entry.process.is_alive():
+                        status, value, error = self._reap(entry)
+                    elif time.monotonic() > entry.deadline:
+                        entry.process.kill()
+                        entry.process.join(timeout=5)
+                        entry.conn.close()
+                        status, value, error = (
+                            "timeout", None,
+                            f"timed out after {self.timeout:.0f}s")
+                    else:
+                        continue
+                    running.remove(entry)
+                    reaped = True
+                    if self._settle(outcomes, pending, entry, status,
+                                    value, error):
+                        settled += 1
+                        self.progress(
+                            f"{settled}/{len(pool_jobs)} jobs settled")
+                if (pending or running) and not reaped:
+                    time.sleep(0.005)
+        except KeyboardInterrupt:
+            self._abort(outcomes, pending, running)
         return outcomes
+
+    def _abort(self, outcomes: dict[str, JobOutcome],
+               pending: list[_Pending], running: list[_Running]) -> None:
+        """Ctrl-C drain: kill and join every worker, keep finished
+        outcomes, and mark everything unfinished ``interrupted``."""
+        self.interrupted = True
+        self.progress("interrupted; stopping workers")
+        unfinished = ({entry.job.job_id for entry in pending}
+                      | {entry.job.job_id for entry in running})
+        for entry in running:
+            try:
+                entry.process.kill()
+                entry.process.join(timeout=5)
+                entry.conn.close()
+            except Exception:
+                pass
+        running.clear()
+        pending.clear()
+        for job_id in unfinished:
+            outcome = outcomes[job_id]
+            if not outcome.ok:
+                outcome.error = "interrupted"
 
     # --------------------------------------------------------------- api
 
     def run(self, pool_jobs: list[PoolJob]) -> dict[str, JobOutcome]:
         """Run every job to a settled outcome; never raises for job
-        failures (inspect :class:`JobOutcome`)."""
+        failures (inspect :class:`JobOutcome`). A Ctrl-C stops the run
+        early but cleanly: workers are killed and joined, completed
+        outcomes survive, and :attr:`interrupted` is set."""
         ids = [job.job_id for job in pool_jobs]
         if len(set(ids)) != len(ids):
             raise ValueError("duplicate job ids submitted to the pool")
+        self.interrupted = False
         if self.serial:
-            return {job.job_id: self._run_serial(job) for job in pool_jobs}
+            outcomes: dict[str, JobOutcome] = {}
+            for job in pool_jobs:
+                if self.interrupted:
+                    outcomes[job.job_id] = JobOutcome(
+                        job_id=job.job_id, error="interrupted")
+                    continue
+                try:
+                    outcomes[job.job_id] = self._run_serial(job)
+                except KeyboardInterrupt:
+                    self.interrupted = True
+                    outcomes[job.job_id] = JobOutcome(
+                        job_id=job.job_id, error="interrupted")
+            return outcomes
         return self._run_parallel(pool_jobs)

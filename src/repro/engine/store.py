@@ -4,21 +4,23 @@ Layout (under ``.repro-cache/`` by default, or ``$REPRO_CACHE_DIR``)::
 
     <root>/v1/<key[:2]>/<key>.json
 
-Each file wraps the job payload in a versioned envelope; a schema bump
-makes every older file an automatic miss. Writes go through a
-temporary file in the same directory followed by ``os.replace``, so a
-killed worker or a concurrent writer can never leave a half-written
-result where a reader might find it — the worst case is a duplicate
-write of identical content. Corrupt or unreadable files are treated as
-misses, never as errors.
+Each file wraps the job payload in a versioned, checksummed envelope;
+a schema bump makes every older file an automatic miss. Writes go
+through the shared atomic helper (same-directory temp file + fsync +
+``os.replace``), so a killed worker or a concurrent writer can never
+leave a half-written result where a reader might find it — the worst
+case is a duplicate write of identical content. Corrupt, truncated,
+or checksum-failing files are treated as misses (warned once per
+process), never as errors. Envelopes written before the checksum
+field existed still read back (schema unchanged).
 """
 
 from __future__ import annotations
 
-import json
 import os
-import tempfile
 from pathlib import Path
+
+from repro.resilience import atomio
 
 #: Bump when the on-disk envelope changes incompatibly.
 STORE_SCHEMA_VERSION = 1
@@ -53,43 +55,31 @@ class ResultStore:
 
     def get(self, key: str) -> dict | None:
         """The stored payload for ``key``, or ``None`` on any miss
-        (absent, corrupt, wrong schema, wrong key)."""
+        (absent, corrupt, checksum failure, wrong schema, wrong key)."""
         path = self.path_for(key)
-        try:
-            envelope = json.loads(path.read_text())
-        except (OSError, ValueError):
-            return None
+        envelope = atomio.read_json(path)
         if not isinstance(envelope, dict):
             return None
         if envelope.get("schema") != STORE_SCHEMA_VERSION:
             return None
         if envelope.get("key") != key:
             return None
+        if not atomio.verify_envelope(path, envelope):
+            return None
         payload = envelope.get("payload")
         return payload if isinstance(payload, dict) else None
 
     def put(self, key: str, payload: dict, job: dict | None = None) -> None:
-        """Atomically persist ``payload`` under ``key``."""
+        """Durably persist ``payload`` under ``key`` (atomic replace,
+        fsync, content checksum)."""
         envelope = {
             "schema": STORE_SCHEMA_VERSION,
             "key": key,
             "job": job or {},
+            "checksum": atomio.payload_checksum(payload),
             "payload": payload,
         }
-        path = self.path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp_name = tempfile.mkstemp(
-            dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(envelope, handle)
-            os.replace(tmp_name, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+        atomio.atomic_write_json(self.path_for(key), envelope)
 
     def purge(self) -> int:
         """Delete every stored result (all schema versions); return the

@@ -30,6 +30,7 @@ from repro.engine.job import (
 )
 from repro.engine.scheduler import JobOutcome, PoolJob, WorkerPool
 from repro.engine.store import ResultStore
+from repro.resilience.checkpoint import CheckpointPolicy
 
 
 @dataclass(frozen=True)
@@ -46,6 +47,9 @@ class SweepRequest:
     self_test: bool = False        # kill one worker mid-job, require retry
     max_cycles: int = 20_000_000
     fast_path: bool = True         # False: reference per-cycle simulator
+    #: Simulated cycles between worker checkpoints (timing jobs only);
+    #: long jobs killed mid-run resume from the last good checkpoint.
+    checkpoint_every: int = 2_000_000
 
 
 @dataclass
@@ -76,6 +80,9 @@ class SweepSummary:
     worker_deaths: int = 0
     timeouts: int = 0
     errors: list[str] = field(default_factory=list)
+    #: Ctrl-C cut the sweep short: completed cells are still tabulated
+    #: and persisted, unfinished jobs read "interrupted".
+    interrupted: bool = False
 
     @property
     def hit_rate(self) -> float:
@@ -120,6 +127,9 @@ class SweepSummary:
             f"{self.failures} failures, {self.retries} retries, "
             f"{self.worker_deaths} worker deaths, "
             f"{self.timeouts} timeouts")
+        if self.interrupted:
+            lines.append("sweep interrupted: partial results above were "
+                         "flushed; unfinished jobs read 'interrupted'")
         for error in self.errors:
             lines.append(f"  failed: {error}")
         return "\n".join(lines)
@@ -156,15 +166,30 @@ def build_grid(request: SweepRequest) -> list[SimJob]:
     return unique
 
 
-def _pool_entrypoint(job: SimJob, attempt: int) -> dict:
+def _pool_entrypoint(payload, attempt: int) -> dict:
     """Module-level worker entrypoint (picklable under any start
-    method). Returns the job's JSON-able payload."""
-    return execute(job)
+    method). ``payload`` is a bare :class:`SimJob` or a
+    ``(SimJob, CheckpointPolicy)`` pair; returns the job's JSON-able
+    payload."""
+    if isinstance(payload, tuple):
+        job, policy = payload
+        return execute(job, checkpoints=policy, attempt=attempt)
+    return execute(payload)
 
 
 def run_sweep(request: SweepRequest, store: ResultStore | None,
-              progress=None) -> SweepSummary:
+              progress=None, faults: dict[str, dict] | None = None
+              ) -> SweepSummary:
+    """Run a sweep grid through the store and the worker pool.
+
+    ``faults`` (chaos harness) maps job keys to injections:
+    ``{"kill_on_attempts": (...)}`` SIGKILLs the worker mid-job on
+    those attempts, ``{"kill_after_checkpoint": (...)}`` kills it right
+    after its first durable checkpoint. Faulted keys always bypass the
+    cache read so the injection actually runs.
+    """
     progress = progress or (lambda message: None)
+    faults = dict(faults or {})
     grid = build_grid(request)
     summary = SweepSummary(request=request, total_jobs=len(grid))
     by_key = {job.key(): job for job in grid}
@@ -172,26 +197,41 @@ def run_sweep(request: SweepRequest, store: ResultStore | None,
 
     # Self-test: the first multiscalar job must survive a SIGKILLed
     # worker mid-run; it bypasses the read path so it always dispatches.
-    fault_key = None
     if request.self_test:
         for job in grid:
             if job.kind == "multiscalar":
-                fault_key = job.key()
+                faults.setdefault(job.key(), {}) \
+                    .setdefault("kill_on_attempts", (0,))
                 break
+
+    policy = None
+    if store is not None:
+        policy = CheckpointPolicy(directory=str(store.root / "ckpt"),
+                                  every=request.checkpoint_every)
 
     to_run: list[PoolJob] = []
     for job in grid:
         key = job.key()
-        payload = None if (store is None or key == fault_key) \
+        fault = faults.get(key)
+        payload = None if (store is None or fault is not None) \
             else store.get(key)
         if payload is not None:
             summary.cache_hits += 1
             payloads[key] = payload
-        else:
-            summary.cache_misses += 1
-            to_run.append(PoolJob(
-                job_id=key, payload=job,
-                kill_on_attempts=(0,) if key == fault_key else ()))
+            continue
+        summary.cache_misses += 1
+        job_policy = policy
+        if policy is not None and fault is not None \
+                and fault.get("kill_after_checkpoint"):
+            job_policy = CheckpointPolicy(
+                directory=policy.directory, every=policy.every,
+                kill_after_checkpoint_on_attempts=tuple(
+                    fault["kill_after_checkpoint"]))
+        to_run.append(PoolJob(
+            job_id=key,
+            payload=job if job_policy is None else (job, job_policy),
+            kill_on_attempts=tuple(
+                fault.get("kill_on_attempts", ())) if fault else ()))
     if to_run:
         progress(f"{summary.cache_hits} cached, "
                  f"{len(to_run)} jobs to run on {request.jobs} workers")
@@ -199,6 +239,7 @@ def run_sweep(request: SweepRequest, store: ResultStore | None,
                       timeout=request.timeout, retries=request.retries,
                       backoff=request.backoff, progress=progress)
     outcomes = pool.run(to_run)
+    summary.interrupted = pool.interrupted
     for key, outcome in outcomes.items():
         summary.retries += outcome.retries
         summary.worker_deaths += outcome.worker_deaths

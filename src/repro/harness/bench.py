@@ -34,6 +34,7 @@ from repro.config import multiscalar_config, scalar_config
 from repro.core.processor import MultiscalarProcessor
 from repro.core.scalar import ScalarProcessor
 from repro.harness.paper_data import ROW_ORDER
+from repro.resilience import atomio
 
 #: Bump when the payload layout changes shape.
 BENCH_SCHEMA_VERSION = 1
@@ -232,11 +233,29 @@ def compare_to_baseline(payload: dict, baseline: dict,
 
 
 def load_baseline(path: str | Path) -> dict | None:
+    """A stored bench payload, or None when absent or corrupt.
+
+    Payloads carry a checksum over everything else in the file; a
+    mismatch (truncation, bit rot, hand edits) warns once and reads as
+    absent rather than gating against garbage. Checksum-less files from
+    before the field existed still load.
+    """
     path = Path(path)
-    if not path.exists():
+    payload = atomio.read_json(path)
+    if not isinstance(payload, dict):
         return None
-    return json.loads(path.read_text())
+    checksum = payload.get("checksum")
+    if checksum is not None:
+        body = {k: v for k, v in payload.items() if k != "checksum"}
+        if atomio.payload_checksum(body) != checksum:
+            atomio.warn_corrupt_once(path, "checksum mismatch")
+            return None
+    return payload
 
 
 def write_payload(payload: dict, path: str | Path) -> None:
-    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+    """Persist a bench payload (atomic replace, fsync, checksum)."""
+    body = {k: v for k, v in payload.items() if k != "checksum"}
+    body["checksum"] = atomio.payload_checksum(body)
+    atomio.atomic_write_text(
+        Path(path), json.dumps(body, indent=2) + "\n")

@@ -10,6 +10,7 @@ matches the struct codes used for the float images.)
 
 from __future__ import annotations
 
+import base64
 import struct
 
 PAGE_BITS = 12
@@ -120,3 +121,16 @@ class SparseMemory:
     def touched_pages(self) -> int:
         """Number of pages allocated so far (diagnostics only)."""
         return len(self._pages)
+
+    def state_dict(self) -> dict:
+        """JSON-able full contents (pages as base64)."""
+        return {"pages": [
+            [index, base64.b64encode(bytes(page)).decode("ascii")]
+            for index, page in sorted(self._pages.items())]}
+
+    def load_state(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output *in place* (holders of a
+        reference to this object — the ARB, pipeline contexts — keep
+        seeing the restored contents)."""
+        self._pages = {int(index): bytearray(base64.b64decode(data))
+                       for index, data in state["pages"]}

@@ -10,7 +10,7 @@ occupancy of the bus itself.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 
 @dataclass
@@ -56,3 +56,11 @@ class SplitTransactionBus:
     def reset(self) -> None:
         self._busy_until = 0
         self.stats = BusStats()
+
+    def state_dict(self) -> dict:
+        return {"busy_until": self._busy_until,
+                "stats": asdict(self.stats)}
+
+    def load_state(self, state: dict) -> None:
+        self._busy_until = state["busy_until"]
+        self.stats = BusStats(**state["stats"])

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 
 @dataclass
@@ -60,6 +60,13 @@ class DirectMappedCache:
 
     def invalidate_all(self) -> None:
         self._tags = [None] * self.num_sets
+
+    def state_dict(self) -> dict:
+        return {"tags": list(self._tags), "stats": asdict(self.stats)}
+
+    def load_state(self, state: dict) -> None:
+        self._tags = list(state["tags"])
+        self.stats = CacheStats(**state["stats"])
 
     @property
     def words_per_block(self) -> int:

@@ -11,7 +11,7 @@ configurations in the paper.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 from repro.config import MemoryConfig
 from repro.memory.bus import SplitTransactionBus
@@ -67,6 +67,17 @@ class BankedDataCache:
         done = self.bus.request(start, bank.words_per_block)
         return done + self.hit_time
 
+    def state_dict(self) -> dict:
+        return {"banks": [bank.state_dict() for bank in self.banks],
+                "bank_free": list(self._bank_free),
+                "stats": asdict(self.stats)}
+
+    def load_state(self, state: dict) -> None:
+        for bank, bank_state in zip(self.banks, state["banks"]):
+            bank.load_state(bank_state)
+        self._bank_free = list(state["bank_free"])
+        self.stats = DCacheStats(**state["stats"])
+
 
 class ScalarDataCache:
     """The scalar baseline's single data cache (1-cycle hit)."""
@@ -90,3 +101,13 @@ class ScalarDataCache:
         self.stats.misses += 1
         done = self.bus.request(start, self.cache.words_per_block)
         return done + self.hit_time
+
+    def state_dict(self) -> dict:
+        return {"cache": self.cache.state_dict(),
+                "port_free": self._port_free,
+                "stats": asdict(self.stats)}
+
+    def load_state(self, state: dict) -> None:
+        self.cache.load_state(state["cache"])
+        self._port_free = state["port_free"]
+        self.stats = DCacheStats(**state["stats"])

@@ -48,3 +48,9 @@ class InstructionCache:
     @property
     def stats(self):
         return self.cache.stats
+
+    def state_dict(self) -> dict:
+        return {"cache": self.cache.state_dict()}
+
+    def load_state(self, state: dict) -> None:
+        self.cache.load_state(state["cache"])

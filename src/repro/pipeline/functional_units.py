@@ -66,6 +66,18 @@ class FUPool:
     def latency(self, key: str) -> int:
         return self.latencies[key]
 
+    def state_dict(self) -> dict:
+        return {"free": sorted([fu.name, list(slots)]
+                               for fu, slots in self._free.items())}
+
+    def load_state(self, state: dict) -> None:
+        # In-place slice assignment: shared-class slot lists are aliased
+        # across pools (and by _free_by_val); rebinding would break the
+        # sharing. Shared lists are written once per aliasing pool with
+        # identical values, which is idempotent.
+        for name, values in state["free"]:
+            self._free[FUClass[name]][:] = values
+
     def reset(self) -> None:
         # Shared instance lists are intentionally reset too: a unit
         # reset (task reassignment) does not physically change another

@@ -17,7 +17,7 @@ hardware's tag-bit-aware instruction cache would (Section 2.2).
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 from repro.config import UnitConfig
 from repro.isa import semantics
@@ -707,3 +707,105 @@ class UnitPipeline:
                                    and not self.fetch_buffer):
             return StallReason.WAIT_RETIRE
         return StallReason.FETCH
+
+    # ------------------------------------------------------- persistence
+
+    @staticmethod
+    def _rec_state(rec: _InFlight) -> dict:
+        return {
+            "pc": rec.pc, "idx": rec.idx,
+            "issuable_at": rec.issuable_at,
+            # Producer order must survive the round trip: issue gathers
+            # sources in dict insertion order.
+            "producers": [[reg, None if p is None else p.idx]
+                          for reg, p in rec.producers.items()],
+            "issued": rec.issued, "done_cycle": rec.done_cycle,
+            "result": rec.result, "ea": rec.ea,
+            "store_value": rec.store_value, "taken": rec.taken,
+            "next_pc": rec.next_pc, "resolved": rec.resolved,
+            "stalled_fetch": rec.stalled_fetch,
+        }
+
+    def state_dict(self) -> dict:
+        # "Ghosts" are committed records still referenced as producers by
+        # ROB entries. Only their issued/done_cycle/result are ever read
+        # again, so a stub rebuilt from (idx, pc, done_cycle, result) is
+        # behaviour-identical.
+        in_rob = {rec.idx for rec in self.rob}
+        ghosts: dict[int, _InFlight] = {}
+        for rec in self.rob:
+            for producer in rec.producers.values():
+                if producer is not None and producer.idx not in in_rob:
+                    ghosts[producer.idx] = producer
+        return {
+            "pc": self.pc,
+            "rob": [self._rec_state(rec) for rec in self.rob],
+            "ghosts": [{"idx": g.idx, "pc": g.pc,
+                        "done_cycle": g.done_cycle, "result": g.result}
+                       for g in sorted(ghosts.values(),
+                                       key=lambda g: g.idx)],
+            "fetch_buffer": [pc for _uop, pc in self.fetch_buffer],
+            "fetch_pending_until": self.fetch_pending_until,
+            "fetch_pending_pc": self.fetch_pending_pc,
+            "last_writer": sorted([reg, rec.idx] for reg, rec
+                                  in self.last_writer.items()),
+            "unresolved": [rec.idx for rec in self.unresolved],
+            "pending_stores": self.pending_stores,
+            "dispatch_idx": self._dispatch_idx,
+            "stop_committed": self.stop_committed,
+            "last_stall": self._last_stall.name,
+            "activity": self._activity,
+            "unissued": self._unissued,
+            "stats": asdict(self.stats),
+            "fus": self.fus.state_dict(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        # reset() first: it recomputes the derived caches (_fast, _width,
+        # _suppress, ...) and zeroes the shared FU issue ports; every
+        # field it touches is then overwritten from the snapshot, with
+        # the FU pool restored last.
+        self.reset(pc=None)
+        uop_at = self.ctx.uop_at
+        by_idx: dict[int, _InFlight] = {}
+        for g in state["ghosts"]:
+            rec = _InFlight(uop_at(g["pc"]), g["pc"], g["idx"], 0)
+            rec.issued = True
+            rec.done_cycle = g["done_cycle"]
+            rec.result = g["result"]
+            by_idx[rec.idx] = rec
+        rob: list[_InFlight] = []
+        for rs in state["rob"]:
+            rec = _InFlight(uop_at(rs["pc"]), rs["pc"], rs["idx"],
+                            rs["issuable_at"])
+            rec.issued = rs["issued"]
+            rec.done_cycle = rs["done_cycle"]
+            rec.result = rs["result"]
+            rec.ea = rs["ea"]
+            rec.store_value = rs["store_value"]
+            rec.taken = rs["taken"]
+            rec.next_pc = rs["next_pc"]
+            rec.resolved = rs["resolved"]
+            rec.stalled_fetch = rs["stalled_fetch"]
+            rob.append(rec)
+            by_idx[rec.idx] = rec
+        for rec, rs in zip(rob, state["rob"]):
+            rec.producers = {reg: None if idx is None else by_idx[idx]
+                             for reg, idx in rs["producers"]}
+        self.pc = state["pc"]
+        self.rob = rob
+        self.fetch_buffer = deque(
+            (uop_at(pc), pc) for pc in state["fetch_buffer"])
+        self.fetch_pending_until = state["fetch_pending_until"]
+        self.fetch_pending_pc = state["fetch_pending_pc"]
+        self.last_writer = {reg: by_idx[idx]
+                            for reg, idx in state["last_writer"]}
+        self.unresolved = [by_idx[idx] for idx in state["unresolved"]]
+        self.pending_stores = state["pending_stores"]
+        self._dispatch_idx = state["dispatch_idx"]
+        self.stop_committed = state["stop_committed"]
+        self._last_stall = StallReason[state["last_stall"]]
+        self._activity = state["activity"]
+        self._unissued = state["unissued"]
+        self.stats = PipelineStats(**state["stats"])
+        self.fus.load_state(state["fus"])

@@ -1,0 +1,53 @@
+"""``repro.resilience`` — crash-tolerant simulation.
+
+Layers:
+
+* :mod:`repro.resilience.failures` — the typed ``SimulationFailure``
+  taxonomy (cycle/instruction/memory budgets, ``LivelockError``);
+* :mod:`repro.resilience.atomio` — the one shared atomic
+  write+fsync+checksum helper behind every persistent file;
+* :mod:`repro.resilience.snapshot` — deterministic machine-state
+  capture/restore for both simulators;
+* :mod:`repro.resilience.watchdog` — forward-progress and budget
+  guards hooked into the run loops;
+* :mod:`repro.resilience.checkpoint` — periodic on-disk checkpoints
+  and the resume protocol used by the job engine;
+* :mod:`repro.resilience.chaos` — the fault-injection harness behind
+  ``python -m repro chaos``.
+"""
+
+from __future__ import annotations
+
+from repro.resilience.checkpoint import (
+    CheckpointManager,
+    CheckpointPolicy,
+)
+from repro.resilience.failures import (
+    CycleBudgetError,
+    InstructionBudgetError,
+    LivelockError,
+    MemoryBudgetError,
+    SimulationFailure,
+)
+from repro.resilience.snapshot import (
+    SNAPSHOT_SCHEMA_VERSION,
+    SnapshotError,
+    capture_state,
+    restore_state,
+)
+from repro.resilience.watchdog import Watchdog
+
+__all__ = [
+    "CheckpointManager",
+    "CheckpointPolicy",
+    "CycleBudgetError",
+    "InstructionBudgetError",
+    "LivelockError",
+    "MemoryBudgetError",
+    "SNAPSHOT_SCHEMA_VERSION",
+    "SimulationFailure",
+    "SnapshotError",
+    "Watchdog",
+    "capture_state",
+    "restore_state",
+]

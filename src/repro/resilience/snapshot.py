@@ -1,0 +1,93 @@
+"""Deterministic machine-state snapshots.
+
+:func:`capture_state` serializes a running :class:`ScalarProcessor` or
+:class:`MultiscalarProcessor` — every unit pipeline and task instance,
+the ARB, the forwarding ring and register reservations, the caches and
+bus, the sequencer's predictor/RAS, and every stats bucket — into a
+versioned JSON-able envelope. :func:`restore_state` rebuilds the same
+machine onto a freshly constructed processor (same program, same
+configuration) such that the resumed run is **bit-identical** to one
+that never stopped: same final cycle count, stall distributions,
+output, and memory image.
+
+Capture is read-only: snapshotting a processor never perturbs the
+simulation, so checkpoints may be taken at any cycle (mid-squash, with
+the ARB occupied, with messages in flight on the ring).
+
+The heavy lifting lives in each component's ``state_dict`` /
+``load_state`` pair; this module adds the envelope (schema version,
+machine kind) and the validation that turns a mismatched or mangled
+snapshot into a typed :class:`SnapshotError` instead of a deep
+``KeyError``.
+"""
+
+from __future__ import annotations
+
+from repro.resilience.failures import SimulationFailure
+
+#: Bump when any component's state layout changes incompatibly.
+SNAPSHOT_SCHEMA_VERSION = 1
+
+
+class SnapshotError(SimulationFailure):
+    """A machine snapshot could not be captured or restored."""
+
+
+def _machine_kind(processor) -> str:
+    # Imported lazily: the processors import repro.resilience.failures,
+    # so a module-level import here would be circular.
+    from repro.core.processor import MultiscalarProcessor
+    from repro.core.scalar import ScalarProcessor
+
+    if isinstance(processor, MultiscalarProcessor):
+        return "multiscalar"
+    if isinstance(processor, ScalarProcessor):
+        return "scalar"
+    raise SnapshotError(
+        f"cannot snapshot a {type(processor).__name__}")
+
+
+def capture_state(processor) -> dict:
+    """Serialize ``processor`` into a JSON-able snapshot envelope."""
+    return {
+        "schema": SNAPSHOT_SCHEMA_VERSION,
+        "machine": _machine_kind(processor),
+        "cycle": processor.cycle,
+        "state": processor.state_dict(),
+    }
+
+
+def restore_state(processor, snapshot: dict) -> None:
+    """Restore ``processor`` from a :func:`capture_state` envelope.
+
+    The processor must have been constructed with the same program and
+    configuration that produced the snapshot; raises
+    :class:`SnapshotError` on any structural mismatch.
+    """
+    if not isinstance(snapshot, dict):
+        raise SnapshotError("snapshot is not a mapping")
+    schema = snapshot.get("schema")
+    if schema != SNAPSHOT_SCHEMA_VERSION:
+        raise SnapshotError(f"unsupported snapshot schema {schema!r} "
+                            f"(expected {SNAPSHOT_SCHEMA_VERSION})")
+    kind = _machine_kind(processor)
+    if snapshot.get("machine") != kind:
+        raise SnapshotError(
+            f"snapshot is for a {snapshot.get('machine')!r} machine, "
+            f"processor is {kind!r}")
+    state = snapshot.get("state")
+    if not isinstance(state, dict):
+        raise SnapshotError("snapshot carries no state")
+    units = state.get("units")
+    if units is not None and len(units) != len(
+            getattr(processor, "units", units)):
+        raise SnapshotError(
+            f"snapshot has {len(units)} units, processor has "
+            f"{len(processor.units)} (configuration mismatch)")
+    try:
+        processor.load_state(state)
+    except SnapshotError:
+        raise
+    except Exception as exc:
+        raise SnapshotError(f"snapshot restore failed: "
+                            f"{type(exc).__name__}: {exc}") from exc
