@@ -18,6 +18,10 @@ Subcommands:
 * ``chaos``          — fault-injection harness: SIGKILL workers, plant
   truncated checkpoints, corrupt cache files, and plant a livelock,
   then require bit-identical results (exit 1 on any surprise);
+* ``trace``          — run one workload or program with the structured
+  event bus attached and export a Chrome trace-event JSON file
+  (Perfetto/``chrome://tracing``) plus a terminal cycle-attribution
+  flamegraph;
 * ``cache``          — inspect or purge the persistent result store.
 
 Examples::
@@ -30,6 +34,8 @@ Examples::
     python -m repro sweep --workloads wc,cmp --units 1,4 --jobs 4
     python -m repro bench --quick --check
     python -m repro chaos --self-test
+    python -m repro trace wc --units 8 --out trace.json
+    python -m repro trace wc --categories task,ring,arb --window 0:5000
     python -m repro cache --purge
 """
 
@@ -49,6 +55,8 @@ from repro.minic import compile_and_annotate, compile_minic, compile_scalar
 
 def _load_program(path: str, multiscalar: bool,
                   entries: list[str], auto_loops: bool) -> Program:
+    """Compile/assemble ``path`` (.mc/.minc or assembly) into a
+    Program, annotated for multiscalar execution when requested."""
     text = Path(path).read_text()
     if path.endswith(".mc") or path.endswith(".minc"):
         if multiscalar:
@@ -63,6 +71,8 @@ def _load_program(path: str, multiscalar: bool,
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    """Entry point for ``repro run``: simulate one program on
+    the scalar baseline or a multiscalar machine."""
     multiscalar = args.units > 1 or args.multiscalar
     program = _load_program(args.file, multiscalar, args.entries,
                             args.auto_loops)
@@ -105,6 +115,7 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_compile(args: argparse.Namespace) -> int:
+    """Entry point for ``repro compile``: MinC to assembly text."""
     unit = compile_minic(Path(args.file).read_text(), args.file)
     output = unit.asm
     if unit.task_labels:
@@ -118,6 +129,8 @@ def cmd_compile(args: argparse.Namespace) -> int:
 
 
 def cmd_disasm(args: argparse.Namespace) -> int:
+    """Entry point for ``repro disasm``: print the annotated
+    listing and task descriptors of a program."""
     program = _load_program(args.file, args.multiscalar, args.entries,
                             args.auto_loops)
     print(program.listing())
@@ -125,6 +138,8 @@ def cmd_disasm(args: argparse.Namespace) -> int:
 
 
 def cmd_workloads(args: argparse.Namespace) -> int:
+    """Entry point for ``repro workloads``: list the paper's
+    benchmark stand-ins, or run one against its scalar baseline."""
     from repro.workloads import WORKLOADS
 
     if not args.run:
@@ -151,6 +166,8 @@ def cmd_workloads(args: argparse.Namespace) -> int:
 
 
 def _apply_cache_flags(args: argparse.Namespace) -> None:
+    """Apply --cache-dir/--purge-cache/--no-cache before a
+    harness command touches the store."""
     from repro.harness import runner
 
     if getattr(args, "cache_dir", None):
@@ -166,6 +183,8 @@ def _apply_cache_flags(args: argparse.Namespace) -> None:
 
 
 def cmd_tables(args: argparse.Namespace) -> int:
+    """Entry point for ``repro tables``: regenerate one of the
+    paper's evaluation tables (1-4)."""
     from repro.harness import (
         format_table1,
         format_table2,
@@ -189,6 +208,8 @@ def cmd_tables(args: argparse.Namespace) -> int:
 
 
 def cmd_report(args: argparse.Namespace) -> int:
+    """Entry point for ``repro report``: run the whole
+    evaluation and write the paper-vs-measured report."""
     from repro.harness.report import generate_report
 
     _apply_cache_flags(args)
@@ -202,6 +223,8 @@ def cmd_report(args: argparse.Namespace) -> int:
 
 
 def cmd_fuzz(args: argparse.Namespace) -> int:
+    """Entry point for ``repro fuzz``: differential fuzzing of
+    every backend; exits non-zero on a divergence."""
     from repro.difftest import FuzzCampaign, inject_opcode_bug
     from repro.difftest.generator import generator_for
     from repro.isa.opcodes import Op
@@ -249,6 +272,8 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
+    """Entry point for ``repro sweep``: run a workload x config
+    grid through the job engine with persistent caching."""
     from repro.engine import ResultStore, persistent_cache_enabled
     from repro.engine.sweep import SweepRequest, render_timelines, run_sweep
     from repro.harness.paper_data import ROW_ORDER
@@ -283,6 +308,10 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         progress=lambda message: print(f"sweep: {message}",
                                        file=sys.stderr))
     print(summary.render())
+    if args.metrics and summary.metrics is not None:
+        print()
+        print("aggregated metrics (all grid cells, cached + fresh):")
+        print(summary.metrics.render())
     if summary.interrupted:
         print("sweep: interrupted; completed results were persisted",
               file=sys.stderr)
@@ -307,6 +336,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
+    """Entry point for ``repro bench``: measure simulator
+    throughput and optionally gate against the committed baseline."""
     from repro.harness import bench
 
     progress = (lambda message: print(f"bench: {message}",
@@ -322,6 +353,14 @@ def cmd_bench(args: argparse.Namespace) -> int:
           f"{total['cycles_per_second']:,.0f} cycles/sec "
           f"({'fast path' if payload['fast_path'] else 'reference path'})")
     print(f"bench: wrote {args.output}", file=sys.stderr)
+    overhead = payload.get("trace_overhead")
+    if args.check and overhead is not None \
+            and overhead["overhead"] > args.max_trace_overhead:
+        print(f"bench: tracing-disabled overhead "
+              f"{overhead['overhead']:+.2%} on {overhead['case']} "
+              f"exceeds the {args.max_trace_overhead:.0%} budget",
+              file=sys.stderr)
+        return 1
     baseline = bench.load_baseline(args.baseline)
     if baseline is None:
         if args.check:
@@ -340,6 +379,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
 
 def cmd_chaos(args: argparse.Namespace) -> int:
+    """Entry point for ``repro chaos``: sabotage a sweep (killed
+    workers, corrupt state) and require bit-identical results."""
     from repro.resilience.chaos import (
         ChaosRequest,
         run_chaos,
@@ -369,7 +410,91 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Entry point for ``repro trace``: run one workload or program
+    with the structured event bus attached, write a Chrome trace-event
+    JSON file, and print a cycle-attribution flamegraph."""
+    from repro.observability import (
+        Category,
+        EventBus,
+        chrome_trace,
+        collect_metrics,
+        render_flamegraph,
+        validate_chrome_trace,
+        write_chrome_trace,
+    )
+
+    try:
+        categories = Category.parse(args.categories)
+    except ValueError as error:
+        print(f"repro trace: error: {error}", file=sys.stderr)
+        return 2
+    window = None
+    if args.window:
+        start_text, sep, end_text = args.window.partition(":")
+        try:
+            if not sep:
+                raise ValueError
+            window = (int(start_text) if start_text else 0,
+                      int(end_text) if end_text else 1 << 62)
+        except ValueError:
+            print("repro trace: error: --window takes START:END cycle "
+                  "bounds (either side may be empty)", file=sys.stderr)
+            return 2
+    multiscalar = args.units > 1 or args.multiscalar
+    from repro.workloads import WORKLOADS
+
+    if args.target in WORKLOADS:
+        spec = WORKLOADS[args.target]
+        program = spec.multiscalar_program() if multiscalar \
+            else spec.scalar_program()
+        label = f"{args.target}:" \
+            + (f"ms{args.units}" if multiscalar else "scalar")
+    elif not Path(args.target).exists():
+        print(f"repro trace: error: {args.target!r} is neither a "
+              f"workload ({', '.join(sorted(WORKLOADS))}) nor a "
+              f"program file", file=sys.stderr)
+        return 2
+    else:
+        program = _load_program(args.target, multiscalar, args.entries,
+                                args.auto_loops)
+        label = Path(args.target).name
+    fast_path = not args.no_fast_path
+    if multiscalar:
+        processor = MultiscalarProcessor(
+            program, multiscalar_config(args.units, args.issue, args.ooo,
+                                        fast_path=fast_path))
+    else:
+        processor = ScalarProcessor(
+            program, scalar_config(args.issue, args.ooo,
+                                   fast_path=fast_path))
+    bus = EventBus(categories, window=window).attach(processor)
+    result = processor.run(max_cycles=args.max_cycles)
+    trace = chrome_trace(bus, num_units=args.units if multiscalar else 1,
+                         total_cycles=result.cycles, label=label)
+    problems = validate_chrome_trace(trace)
+    if problems:
+        for problem in problems[:10]:
+            print(f"repro trace: invalid trace: {problem}",
+                  file=sys.stderr)
+        return 1
+    write_chrome_trace(args.out, trace)
+    print(f"trace: {len(bus.events)} events ({bus.dropped} filtered) "
+          f"over {result.cycles} cycles -> {args.out}", file=sys.stderr)
+    print("trace: load it in https://ui.perfetto.dev or chrome://tracing",
+          file=sys.stderr)
+    if multiscalar:
+        print(render_flamegraph(result))
+    else:
+        print(f"{result.cycles} cycles, IPC {result.ipc:.2f}")
+    if args.metrics:
+        print(collect_metrics(processor).render())
+    return 0
+
+
 def cmd_cache(args: argparse.Namespace) -> int:
+    """Entry point for ``repro cache``: inspect or purge the
+    persistent result store."""
     from repro.engine import ResultStore
 
     _apply_cache_flags(args)
@@ -384,6 +509,7 @@ def cmd_cache(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """Build the full ``repro`` argparse tree (all subcommands)."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Multiscalar Processors (ISCA 1995) reproduction")
@@ -487,6 +613,9 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--self-test", action="store_true",
                        help="SIGKILL a worker mid-job and require the "
                             "grid to complete via retry")
+    sweep.add_argument("--metrics", action="store_true",
+                       help="print the metrics registry aggregated "
+                            "across every grid cell (cached and fresh)")
     sweep.add_argument("--no-fast-path", action="store_true",
                        help="run the reference per-cycle simulator "
                             "(cached separately from fast-path results)")
@@ -511,6 +640,10 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="FRACTION",
                        help="tolerated total-throughput regression "
                             "(default 0.30)")
+    bench.add_argument("--max-trace-overhead", type=float, default=0.02,
+                       metavar="FRACTION",
+                       help="tolerated tracing-disabled overhead under "
+                            "--check (default 0.02)")
     bench.add_argument("--no-fast-path", action="store_true",
                        help="benchmark the reference per-cycle path")
     bench.add_argument("--no-profile", action="store_true",
@@ -536,6 +669,32 @@ def build_parser() -> argparse.ArgumentParser:
                        help="cycles between checkpoints (small, so the "
                             "kill-after-checkpoint fault resumes mid-run)")
     chaos.set_defaults(fn=cmd_chaos)
+
+    trace = sub.add_parser(
+        "trace", help="run one workload/program with structured event "
+                      "tracing; export a Perfetto/Chrome trace and a "
+                      "cycle-attribution flamegraph")
+    trace.add_argument("target",
+                       help="a workload name (see `repro workloads`) or "
+                            "a .mc/.s program file")
+    trace.add_argument("--units", type=int, default=4,
+                       help="processing units (>1 implies multiscalar; "
+                            "default 4)")
+    add_machine_flags(trace, with_units=False)
+    trace.add_argument("--categories", default="all",
+                       help="comma-separated event categories to record "
+                            "(task,pipe,ring,arb,mem,seq,predict; "
+                            "default all)")
+    trace.add_argument("--window", default=None, metavar="START:END",
+                       help="record only events with START <= cycle < "
+                            "END (either bound may be empty)")
+    trace.add_argument("--out", default="trace.json",
+                       help="Chrome trace-event JSON output path "
+                            "(default trace.json)")
+    trace.add_argument("--metrics", action="store_true",
+                       help="print the full metrics registry afterwards")
+    trace.add_argument("--max-cycles", type=int, default=20_000_000)
+    trace.set_defaults(fn=cmd_trace)
 
     cache = sub.add_parser(
         "cache", help="inspect or purge the persistent result store")
@@ -580,6 +739,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    """Parse ``argv`` (default ``sys.argv[1:]``) and dispatch to the
+    selected subcommand; returns the process exit code."""
     args = build_parser().parse_args(argv)
     try:
         return args.fn(args)

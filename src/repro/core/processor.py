@@ -32,6 +32,7 @@ from repro.isa.memory_image import u32
 from repro.isa.program import Program, TargetKind, TaskDescriptor
 from repro.memory import BankedDataCache, InstructionCache, SplitTransactionBus
 from repro.isa.opcodes import FUClass
+from repro.observability.events import Category as _Cat
 from repro.pipeline import PipelineContext, UnitPipeline
 from repro.pipeline.functional_units import FUPool
 from repro.pipeline.unit import MemRetry
@@ -40,6 +41,13 @@ from repro.resilience.failures import CycleBudgetError, LivelockError
 
 #: Sentinel for "the walk ends here" predictions.
 PRED_HALT = -1
+
+# Event-category ints, bound once so emission sites pay no enum lookup.
+_TASK = int(_Cat.TASK)
+_RING = int(_Cat.RING)
+_ARB = int(_Cat.ARB)
+_SEQ = int(_Cat.SEQ)
+_PREDICT = int(_Cat.PREDICT)
 
 
 class MultiscalarError(Exception):
@@ -335,6 +343,11 @@ class MultiscalarProcessor:
         #: an object with task_assigned/task_stopped/task_retired/
         #: task_squashed(task, cycle) methods.
         self.observer = None
+        #: Optional structured event bus (repro.observability.EventBus),
+        #: planted by EventBus.attach and never serialized. Every
+        #: emission site guards on ``is not None``, so tracing is
+        #: zero-cost when disabled.
+        self.trace = None
 
     # ================================================== public interface
 
@@ -377,6 +390,11 @@ class MultiscalarProcessor:
             self.active.pop(0)
             if self.observer is not None:
                 self.observer.task_retired(head, self.cycle)
+            if self.trace is not None:
+                self.trace.emit(_TASK, "retire", self.cycle,
+                                head.unit_index, {"seq": head.seq})
+                self.trace.emit(_ARB, "occupancy", self.cycle, -1,
+                                {"entries": self.arb.entry_count()})
         for task in self.active:
             self._discard_task(task)
         self.active.clear()
@@ -534,6 +552,9 @@ class MultiscalarProcessor:
             # Fetch the descriptor (one 4-word transfer) before assigning.
             self.seq_busy_until = self.bus.request(cycle, 4)
             self._activity = True
+            if self.trace is not None:
+                self.trace.emit(_SEQ, "descriptor_fetch", cycle, -1,
+                                {"entry": entry})
             return
         task = self._build_task(descriptor, slot.index)
         slot.task = task
@@ -561,6 +582,13 @@ class MultiscalarProcessor:
         else:
             task.predicted_next = prediction.addr
             self.next_pc = prediction.addr
+        trace = self.trace
+        if trace is not None:
+            trace.emit(_TASK, "assign", cycle, task.unit_index,
+                       {"seq": task.seq,
+                        "task": descriptor.name or hex(entry)})
+            trace.emit(_PREDICT, "predict", cycle, task.unit_index,
+                       {"seq": task.seq, "next": task.predicted_next})
 
     def _build_task(self, descriptor: TaskDescriptor,
                     unit_index: int) -> TaskInstance:
@@ -620,6 +648,10 @@ class MultiscalarProcessor:
                         task.deferred.discard(message.reg)
                         self.forward_value(task, message.reg, message.value)
                     self.ring.stats.deliveries += 1
+                    if self.trace is not None:
+                        self.trace.emit(_RING, "deliver", cycle, dest,
+                                        {"seq": message.sender_seq,
+                                         "reg": message.reg})
                 if message.reg in task.create_mask:
                     stop_here = True  # this unit produces its own version
             if not stop_here:
@@ -636,6 +668,9 @@ class MultiscalarProcessor:
             return
         task.forwarded.add(reg)
         task.outgoing[reg] = value
+        if self.trace is not None:
+            self.trace.emit(_RING, "send", self.cycle, task.unit_index,
+                            {"seq": task.seq, "reg": reg})
         if self.num_units > 1:
             self.ring.send(self.cycle, from_unit=task.unit_index,
                            origin_unit=task.unit_index,
@@ -648,6 +683,9 @@ class MultiscalarProcessor:
         task.actual_next = next_pc
         if self.observer is not None:
             self.observer.task_stopped(task, self.cycle)
+        if self.trace is not None:
+            self.trace.emit(_TASK, "stop", self.cycle, task.unit_index,
+                            {"seq": task.seq, "next": next_pc})
         # End-of-task release: every create-mask register not yet sent is
         # released now so successors never deadlock (Section 2.2).
         for reg in sorted(task.create_mask - task.forwarded):
@@ -675,6 +713,10 @@ class MultiscalarProcessor:
             actual_index = return_index if return_index is not None else 0
         was_correct = task.predicted_next == actual
         self.predictor.update(descriptor, actual_index, was_correct)
+        if self.trace is not None:
+            self.trace.emit(_PREDICT, "validate", self.cycle,
+                            task.unit_index,
+                            {"seq": task.seq, "correct": was_correct})
         if was_correct:
             return
         self.squashes_mispredict += 1
@@ -697,6 +739,9 @@ class MultiscalarProcessor:
 
     def request_violation_squash(self, violator_seq: int) -> None:
         """A predecessor store hit a successor's earlier load."""
+        if self.trace is not None:
+            self.trace.emit(_ARB, "violation", self.cycle, -1,
+                            {"violator": violator_seq})
         current = self._squash_request
         if current is None or violator_seq < current[1]:
             self._squash_request = ("memory", violator_seq)
@@ -707,6 +752,9 @@ class MultiscalarProcessor:
             return  # all units but the head simply wait (Section 2.3)
         if self._squash_request is None:
             self._squash_request = ("arb", task.seq)
+            if self.trace is not None:
+                self.trace.emit(_ARB, "full", self.cycle, -1,
+                                {"seq": task.seq})
 
     def _apply_squash_request(self, cycle: int) -> None:
         kind, seq = self._squash_request
@@ -718,6 +766,9 @@ class MultiscalarProcessor:
                 return  # violator already squashed by an earlier event
             self.squashes_memory += 1
             victim = self.active[pos]
+            if self.trace is not None:
+                self.trace.emit(_ARB, "memory_squash", cycle, -1,
+                                {"victim": victim.seq})
             self.predictor.ras_restore(victim.ras_checkpoint)
             self._squash_from(pos, victim.entry)
         else:  # ARB overflow: free space by squashing the youngest task.
@@ -725,6 +776,9 @@ class MultiscalarProcessor:
                 return
             self.squashes_arb += 1
             victim = self.active[-1]
+            if self.trace is not None:
+                self.trace.emit(_ARB, "overflow_squash", cycle, -1,
+                                {"victim": victim.seq})
             self.predictor.ras_restore(victim.ras_checkpoint)
             self._squash_from(len(self.active) - 1, victim.entry)
 
@@ -763,6 +817,12 @@ class MultiscalarProcessor:
         self.distribution.fold_squashed(task.cycles)
         if self.observer is not None:
             self.observer.task_squashed(task, self.cycle)
+        trace = self.trace
+        if trace is not None:
+            trace.emit(_TASK, "squash", self.cycle, task.unit_index,
+                       {"seq": task.seq})
+            trace.emit(_ARB, "occupancy", self.cycle, -1,
+                       {"entries": self.arb.entry_count()})
 
     # =========================================================== retire
 
@@ -800,6 +860,12 @@ class MultiscalarProcessor:
         self._activity = True
         if self.observer is not None:
             self.observer.task_retired(head, cycle)
+        trace = self.trace
+        if trace is not None:
+            trace.emit(_TASK, "retire", cycle, head.unit_index,
+                       {"seq": head.seq})
+            trace.emit(_ARB, "occupancy", cycle, -1,
+                       {"entries": self.arb.entry_count()})
 
     # =========================================================== system
 

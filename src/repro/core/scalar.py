@@ -125,6 +125,9 @@ class ScalarProcessor:
         self.halted = False
         self.output: list[str] = []
         self.cycle = 0
+        #: Optional structured event bus (repro.observability.EventBus),
+        #: planted by EventBus.attach; never serialized.
+        self.trace = None
         self._last_progress = 0
         #: Cycles without an issue before run() declares livelock.
         self._progress_window = 200_000

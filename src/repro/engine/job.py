@@ -195,6 +195,7 @@ class SimJob:
 def scalar_job(name: str, issue_width: int = 1, out_of_order: bool = False,
                max_cycles: int = DEFAULT_MAX_CYCLES,
                fast_path: bool = True) -> SimJob:
+    """A scalar-baseline timing job for the named workload."""
     return SimJob(kind="scalar", workload=name, issue_width=issue_width,
                   out_of_order=out_of_order, max_cycles=max_cycles,
                   fast_path=fast_path)
@@ -204,12 +205,14 @@ def multiscalar_job(name: str, units: int, issue_width: int = 1,
                     out_of_order: bool = False,
                     max_cycles: int = DEFAULT_MAX_CYCLES,
                     fast_path: bool = True) -> SimJob:
+    """A multiscalar timing job for the named workload."""
     return SimJob(kind="multiscalar", workload=name, units=units,
                   issue_width=issue_width, out_of_order=out_of_order,
                   max_cycles=max_cycles, fast_path=fast_path)
 
 
 def count_job(name: str, annotated: bool) -> SimJob:
+    """A functional dynamic-instruction-count job (no timing)."""
     return SimJob(kind="count", workload=name, annotated=annotated)
 
 
@@ -267,7 +270,10 @@ def execute(job: SimJob, checkpoints=None, attempt: int = 0) -> dict:
     job._verify(result.output, expected)
     if manager is not None and not checkpoints.keep:
         manager.discard()
-    return {"type": job.kind, "result": result.to_dict()}
+    from repro.observability.metrics import collect_metrics
+
+    return {"type": job.kind, "result": result.to_dict(),
+            "metrics": collect_metrics(processor).to_dict()}
 
 
 def result_from_payload(payload: dict):
@@ -279,3 +285,15 @@ def result_from_payload(payload: dict):
     if payload["type"] == "count":
         return int(payload["count"])
     raise ValueError(f"unknown payload type {payload['type']!r}")
+
+
+def metrics_from_payload(payload: dict):
+    """Reconstruct the run's MetricsRegistry, or ``None`` for payloads
+    that predate metrics (old cache entries) or carry none (count
+    jobs)."""
+    data = payload.get("metrics")
+    if data is None:
+        return None
+    from repro.observability.metrics import MetricsRegistry
+
+    return MetricsRegistry.from_dict(data)

@@ -33,6 +33,7 @@ def default_cache_dir() -> Path:
 
 
 def persistent_cache_enabled() -> bool:
+    """False when ``REPRO_NO_DISK_CACHE`` is set (tests, hermetic CI)."""
     return not os.environ.get("REPRO_NO_DISK_CACHE")
 
 

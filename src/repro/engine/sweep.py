@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from repro.engine.job import (
     SimJob,
     execute,
+    metrics_from_payload,
     multiscalar_job,
     result_from_payload,
     scalar_job,
@@ -83,6 +84,10 @@ class SweepSummary:
     #: Ctrl-C cut the sweep short: completed cells are still tabulated
     #: and persisted, unfinished jobs read "interrupted".
     interrupted: bool = False
+    #: Per-run MetricsRegistry payloads merged across the whole grid
+    #: (cache hits and fresh runs alike); ``None`` until tabulation, or
+    #: when no payload carried metrics (pre-metrics cache entries).
+    metrics: "object | None" = None
 
     @property
     def hit_rate(self) -> float:
@@ -260,6 +265,14 @@ def _tabulate(summary: SweepSummary, by_key: dict[str, SimJob],
     request = summary.request
     results = {key: result_from_payload(payload)
                for key, payload in payloads.items()}
+    for payload in payloads.values():
+        registry = metrics_from_payload(payload)
+        if registry is None:
+            continue
+        if summary.metrics is None:
+            summary.metrics = registry
+        else:
+            summary.metrics.merge(registry)
     scalar_keys = {(job.workload, job.issue_width, job.out_of_order): key
                    for key, job in by_key.items() if job.kind == "scalar"}
     for name in request.workloads:

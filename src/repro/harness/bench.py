@@ -140,6 +140,66 @@ def profile_case(case: BenchCase, fast_path: bool = True,
     return {"case": case.label, "top": rows[:top]}
 
 
+def measure_trace_overhead(case: BenchCase | None = None,
+                           repeats: int = 6,
+                           budget: float = 0.02) -> dict:
+    """Wall-clock cost of the observability instrumentation when
+    tracing is off.
+
+    Runs one representative case ``repeats`` times in each state,
+    interleaved (so drift — thermal, GC, noisy neighbours — hits both
+    sides equally), and compares best-of-N wall times:
+
+    * **disabled** — the default state: every ``trace`` attribute is
+      ``None`` and each emission site costs one attribute load and an
+      ``is not None`` test.
+    * **masked** — an :class:`~repro.observability.EventBus` with an
+      empty category mask is attached, so every site additionally pays
+      its mask test (hot sites) or the ``emit()`` call that immediately
+      filters (cold sites).
+
+    The headline ``overhead`` number is masked-vs-disabled: it bounds
+    what attaching (but not recording) costs, and the ``repro bench
+    --check`` gate holds it under ``budget``. Best-of-N is deliberate —
+    minima converge on the true cost while means absorb scheduler
+    noise. If the first pass lands over budget the measurement
+    escalates once with twice the samples before reporting: a real
+    regression survives more data, timer jitter does not.
+    """
+    from repro.observability.events import EventBus
+
+    case = case or BenchCase("wc", "multiscalar", 4)
+    disabled_best = masked_best = float("inf")
+    cycles = 0
+    taken = 0
+    for escalation in range(2):
+        for _ in range(repeats * (1 + escalation)):
+            processor = _make_processor(case, fast_path=True)
+            start = time.perf_counter()
+            result = processor.run()
+            disabled_best = min(disabled_best,
+                                time.perf_counter() - start)
+            cycles = result.cycles
+            processor = _make_processor(case, fast_path=True)
+            EventBus(0).attach(processor)
+            start = time.perf_counter()
+            processor.run()
+            masked_best = min(masked_best, time.perf_counter() - start)
+            taken += 1
+        overhead = (masked_best / disabled_best - 1.0) \
+            if disabled_best > 0 else 0.0
+        if overhead <= budget:
+            break
+    return {
+        "case": case.label,
+        "repeats": taken,
+        "cycles": cycles,
+        "disabled_seconds": round(disabled_best, 6),
+        "masked_seconds": round(masked_best, 6),
+        "overhead": round(overhead, 4),
+    }
+
+
 def run_bench(quick: bool = False, fast_path: bool = True,
               profile: bool = True, progress=None) -> dict:
     """Run the whole suite; return the JSON-able payload."""
@@ -176,6 +236,12 @@ def run_bench(quick: bool = False, fast_path: bool = True,
                       suite[0])
         progress(f"profiling {target.label} under cProfile")
         payload["profile"] = profile_case(target, fast_path)
+    overhead = measure_trace_overhead()
+    progress(f"trace-off overhead ({overhead['case']}): "
+             f"{overhead['overhead']:+.2%} "
+             f"(disabled {overhead['disabled_seconds']:.3f}s, "
+             f"masked {overhead['masked_seconds']:.3f}s)")
+    payload["trace_overhead"] = overhead
     return payload
 
 

@@ -12,6 +12,11 @@ from __future__ import annotations
 
 from dataclasses import asdict, dataclass
 
+from repro.observability.events import Category as _Cat
+
+#: Event-category int, bound once for the emission site below.
+_MEM = int(_Cat.MEM)
+
 
 @dataclass
 class BusStats:
@@ -31,6 +36,9 @@ class SplitTransactionBus:
         self.width_words = width_words
         self._busy_until = 0
         self.stats = BusStats()
+        #: Structured event bus (repro.observability.EventBus), planted
+        #: by EventBus.attach; kept across reset().
+        self.trace = None
 
     def transfer_latency(self, words: int) -> int:
         """Pure latency of a transfer of ``words`` words (no contention)."""
@@ -51,6 +59,10 @@ class SplitTransactionBus:
         self.stats.wait_cycles += start - cycle
         self.stats.busy_cycles += beats
         self._busy_until = start + beats
+        if self.trace is not None:
+            self.trace.emit(_MEM, "bus", cycle, -1,
+                            {"words": words, "start": start,
+                             "beats": beats})
         return start + self.first + (beats - 1) * self.per_extra
 
     def reset(self) -> None:

@@ -16,6 +16,10 @@ from dataclasses import asdict, dataclass
 from repro.config import MemoryConfig
 from repro.memory.bus import SplitTransactionBus
 from repro.memory.cache import DirectMappedCache
+from repro.observability.events import Category as _Cat
+
+#: Event-category int, bound once for the emission sites below.
+_MEM = int(_Cat.MEM)
 
 
 @dataclass
@@ -44,6 +48,9 @@ class BankedDataCache:
         self._block_bits = config.dcache_block.bit_length() - 1
         self.stats = DCacheStats()
         self.hit_time = config.dcache_hit_multiscalar
+        #: Structured event bus (repro.observability.EventBus), planted
+        #: by EventBus.attach; every site guards on ``is not None``.
+        self.trace = None
 
     def bank_of(self, addr: int) -> int:
         """Block-interleaved bank selection."""
@@ -61,9 +68,15 @@ class BankedDataCache:
         self._bank_free[bank_index] = start + 1
         self.stats.accesses += 1
         self.stats.bank_wait_cycles += start - cycle
+        trace = self.trace
+        if trace is not None and start > cycle:
+            trace.emit(_MEM, "bank_conflict", cycle, -1,
+                       {"bank": bank_index, "wait": start - cycle})
         if bank.touch(addr):
             return start + self.hit_time
         self.stats.misses += 1
+        if trace is not None:
+            trace.emit(_MEM, "dcache_miss", cycle, -1, {"addr": addr})
         done = self.bus.request(start, bank.words_per_block)
         return done + self.hit_time
 
@@ -90,15 +103,23 @@ class ScalarDataCache:
         self._port_free = 0
         self.stats = DCacheStats()
         self.hit_time = config.dcache_hit_scalar
+        #: Structured event bus, planted by EventBus.attach.
+        self.trace = None
 
     def access(self, addr: int, cycle: int, is_store: bool) -> int:
         start = max(cycle, self._port_free)
         self._port_free = start + 1
         self.stats.accesses += 1
         self.stats.bank_wait_cycles += start - cycle
+        trace = self.trace
+        if trace is not None and start > cycle:
+            trace.emit(_MEM, "bank_conflict", cycle, -1,
+                       {"bank": 0, "wait": start - cycle})
         if self.cache.touch(addr):
             return start + self.hit_time
         self.stats.misses += 1
+        if trace is not None:
+            trace.emit(_MEM, "dcache_miss", cycle, -1, {"addr": addr})
         done = self.bus.request(start, self.cache.words_per_block)
         return done + self.hit_time
 

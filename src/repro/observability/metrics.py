@@ -1,0 +1,240 @@
+"""The metrics registry: counters, gauges, and histograms.
+
+One uniform, mergeable, JSON-round-trippable container for everything
+the simulator counts, superseding the ad-hoc per-subsystem stat dicts
+as the *aggregation* surface (the dataclass stats remain the hot-path
+tally sites; :func:`collect_metrics` folds them into a registry after
+a run). The registry serializes through the engine result envelope
+(``payload["metrics"]``), so ``repro sweep`` can aggregate metrics
+across cached runs without re-simulating — see
+:func:`repro.engine.job.metrics_from_payload`.
+
+Merge semantics: counters add, gauges keep the maximum (they record
+peaks: peak ARB entries, cycle counts), histograms add bucket-wise.
+Histograms use power-of-two buckets (bucket *k* holds values in
+``[2^(k-1), 2^k)``; bucket 0 holds zero), which are deterministic and
+merge without rebinning.
+"""
+
+from __future__ import annotations
+
+
+class Histogram:
+    """Power-of-two-bucketed histogram of non-negative integers."""
+
+    __slots__ = ("buckets", "count", "total")
+
+    def __init__(self) -> None:
+        self.buckets: dict[int, int] = {}
+        self.count = 0
+        self.total = 0
+
+    def observe(self, value: int) -> None:
+        """Record one observation (negative values clamp to 0)."""
+        value = max(0, int(value))
+        bucket = value.bit_length()
+        self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
+        self.count += 1
+        self.total += value
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the observations (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram's buckets into this one."""
+        for bucket, count in other.buckets.items():
+            self.buckets[bucket] = self.buckets.get(bucket, 0) + count
+        self.count += other.count
+        self.total += other.total
+
+    def to_dict(self) -> dict:
+        """JSON form: string bucket keys, sorted for stable dumps."""
+        return {"buckets": {str(k): v
+                            for k, v in sorted(self.buckets.items())},
+                "count": self.count, "total": self.total}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Histogram":
+        """Inverse of :meth:`to_dict`."""
+        hist = cls()
+        hist.buckets = {int(k): int(v)
+                        for k, v in data["buckets"].items()}
+        hist.count = int(data["count"])
+        hist.total = int(data["total"])
+        return hist
+
+    @staticmethod
+    def bucket_label(bucket: int) -> str:
+        """Human-readable value range covered by a bucket index."""
+        if bucket == 0:
+            return "0"
+        return f"{1 << (bucket - 1)}..{(1 << bucket) - 1}"
+
+
+class MetricsRegistry:
+    """Named counters, gauges, and histograms (flat dotted names)."""
+
+    __slots__ = ("counters", "gauges", "histograms")
+
+    def __init__(self) -> None:
+        self.counters: dict[str, int] = {}
+        self.gauges: dict[str, float] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to counter ``name`` (created at 0)."""
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def gauge(self, name: str, value) -> None:
+        """Set gauge ``name`` (a point-in-time or peak value)."""
+        self.gauges[name] = value
+
+    def observe(self, name: str, value: int) -> None:
+        """Record one observation into histogram ``name``."""
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram()
+        hist.observe(value)
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Aggregate another registry: counters add, gauges keep max,
+        histograms merge bucket-wise."""
+        for name, value in other.counters.items():
+            self.counters[name] = self.counters.get(name, 0) + value
+        for name, value in other.gauges.items():
+            current = self.gauges.get(name)
+            self.gauges[name] = value if current is None \
+                else max(current, value)
+        for name, hist in other.histograms.items():
+            mine = self.histograms.get(name)
+            if mine is None:
+                mine = self.histograms[name] = Histogram()
+            mine.merge(hist)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (sorted keys; inverse of
+        :meth:`from_dict`)."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+            "histograms": {name: hist.to_dict() for name, hist
+                           in sorted(self.histograms.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MetricsRegistry":
+        """Rebuild a registry from :meth:`to_dict` output."""
+        reg = cls()
+        reg.counters = {str(k): int(v)
+                        for k, v in data.get("counters", {}).items()}
+        reg.gauges = dict(data.get("gauges", {}))
+        reg.histograms = {str(k): Histogram.from_dict(v)
+                          for k, v in data.get("histograms", {}).items()}
+        return reg
+
+    def render(self) -> str:
+        """Plain-text table of every metric, grouped by kind."""
+        lines = []
+        if self.counters:
+            lines.append("counters:")
+            for name, value in sorted(self.counters.items()):
+                lines.append(f"  {name:<34} {value:>14,}")
+        if self.gauges:
+            lines.append("gauges:")
+            for name, value in sorted(self.gauges.items()):
+                shown = f"{value:,.3f}" if isinstance(value, float) \
+                    else f"{value:,}"
+                lines.append(f"  {name:<34} {shown:>14}")
+        if self.histograms:
+            lines.append("histograms:")
+            for name, hist in sorted(self.histograms.items()):
+                lines.append(f"  {name}: n={hist.count} "
+                             f"mean={hist.mean:.1f}")
+                peak = max(hist.buckets.values(), default=1)
+                for bucket, count in sorted(hist.buckets.items()):
+                    bar = "#" * max(1, round(20 * count / peak))
+                    lines.append(f"    {Histogram.bucket_label(bucket):>14} "
+                                 f"{count:>8} {bar}")
+        return "\n".join(lines) if lines else "(no metrics)"
+
+
+def collect_metrics(processor) -> MetricsRegistry:
+    """Fold a finished processor's stat objects into a registry.
+
+    Accepts a ``MultiscalarProcessor`` or a ``ScalarProcessor``
+    (duck-typed on the ``units`` attribute). Pure read: never touches
+    simulation state, so it can run any time after (or during) a run.
+    """
+    reg = MetricsRegistry()
+    reg.gauge("sim.cycles", processor.cycle)
+    bus = processor.bus.stats
+    reg.count("bus.requests", bus.requests)
+    reg.count("bus.words", bus.words)
+    reg.count("bus.busy_cycles", bus.busy_cycles)
+    reg.count("bus.wait_cycles", bus.wait_cycles)
+    dcache = processor.dcache.stats
+    reg.count("dcache.accesses", dcache.accesses)
+    reg.count("dcache.misses", dcache.misses)
+    reg.count("dcache.bank_wait_cycles", dcache.bank_wait_cycles)
+
+    units = getattr(processor, "units", None)
+    if units is None:
+        _collect_scalar(reg, processor)
+    else:
+        _collect_multiscalar(reg, processor, units)
+    return reg
+
+
+def _pipeline_counts(reg: MetricsRegistry, stats) -> None:
+    reg.count("pipe.fetched", stats.fetched)
+    reg.count("pipe.dispatched", stats.dispatched)
+    reg.count("pipe.issued", stats.issued)
+    reg.count("pipe.committed", stats.committed)
+    reg.count("pipe.flushed", stats.flushed)
+    reg.count("pipe.loads", stats.loads)
+    reg.count("pipe.stores", stats.stores)
+
+
+def _collect_scalar(reg: MetricsRegistry, processor) -> None:
+    reg.count("icache.accesses", processor.icache.stats.accesses)
+    reg.count("icache.misses", processor.icache.stats.misses)
+    _pipeline_counts(reg, processor.pipeline.stats)
+    for name, count in processor.stall_cycles.items():
+        reg.count(f"stall.{name.lower()}", count)
+
+
+def _collect_multiscalar(reg: MetricsRegistry, processor, units) -> None:
+    reg.count("task.retired", processor.tasks_retired)
+    reg.count("task.squashed", processor.tasks_squashed)
+    reg.count("task.squash_mispredict", processor.squashes_mispredict)
+    reg.count("task.squash_memory", processor.squashes_memory)
+    reg.count("task.squash_arb", processor.squashes_arb)
+    reg.count("sim.retired_instructions", processor.retired_instructions)
+    reg.count("sim.squashed_instructions", processor.squashed_instructions)
+    ring = processor.ring.stats
+    reg.count("ring.sends", ring.sends)
+    reg.count("ring.deliveries", ring.deliveries)
+    reg.count("ring.dropped_stale", ring.dropped_stale)
+    reg.count("ring.bandwidth_delay_cycles", ring.bandwidth_delay_cycles)
+    arb = processor.arb.stats
+    reg.count("arb.loads", arb.loads)
+    reg.count("arb.stores", arb.stores)
+    reg.count("arb.violations", arb.violations)
+    reg.count("arb.forwards", arb.forwards)
+    reg.count("arb.full_events", arb.full_events)
+    reg.gauge("arb.peak_entries", arb.peak_entries)
+    pred = processor.predictor.stats
+    reg.count("predict.predictions", pred.predictions)
+    reg.count("predict.validated", pred.validated)
+    reg.count("predict.correct", pred.correct)
+    for name, count in processor.distribution.as_dict().items():
+        reg.count(f"cycles.{name}", count)
+    for slot in units:
+        reg.count("icache.accesses", slot.icache.stats.accesses)
+        reg.count("icache.misses", slot.icache.stats.misses)
+        _pipeline_counts(reg, slot.pipeline.stats)
+        # Load imbalance across the unit queue: one observation per
+        # unit of the instructions it committed.
+        reg.observe("unit.committed", slot.pipeline.stats.committed)

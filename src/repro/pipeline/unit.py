@@ -25,8 +25,12 @@ from repro.isa.executor import next_pc as arch_next_pc
 from repro.isa.memory_image import u32
 from repro.isa.opcodes import FUClass, Kind, Op, StopKind
 from repro.isa.uop import MicroOp
+from repro.observability.events import Category as _Cat
 from repro.pipeline.context import PipelineContext, StallReason
 from repro.pipeline.functional_units import FUPool
+
+#: Event-category int, bound once for the stall-transition emission.
+_CAT_PIPE = int(_Cat.PIPE)
 
 #: Sentinel wake-up cycle meaning "no locally known event" — the unit is
 #: waiting on something external (a ring delivery, a predecessor's
@@ -100,6 +104,11 @@ class UnitPipeline:
         self.fus = fu_pool if fu_pool is not None else FUPool(config)
         self.stats = PipelineStats()
         self.fast_path = fast_path
+        #: Structured event bus (repro.observability.EventBus) and this
+        #: unit's track id, planted by EventBus.attach. Deliberately
+        #: not cleared by reset(): attachment outlives task changes.
+        self.trace = None
+        self.trace_tid = 0
         self.reset(pc=None)
 
     # ----------------------------------------------------------- control
@@ -186,7 +195,18 @@ class UnitPipeline:
             reason = StallReason.NONE
         else:
             reason = self._classify_stall(cycle)
-        self._last_stall = reason
+        if reason is not self._last_stall:
+            # Stall-reason transition. Emission here (and only here) is
+            # what keeps event streams identical under the cycle-skip
+            # fast path: skipped windows have a provably stable reason,
+            # so every transition happens on a stepped cycle. The mask
+            # is tested here, not in emit(): transitions are ~95% of
+            # all events, and the call-site test keeps a masked-out
+            # PIPE category down to one int AND per transition.
+            trace = self.trace
+            if trace is not None and trace.mask & _CAT_PIPE:
+                trace.emit(_CAT_PIPE, reason.name, cycle, self.trace_tid)
+            self._last_stall = reason
         # "Quiet" means no architectural state that could enable a future
         # local action changed this cycle: nothing issued, committed,
         # resolved, or dispatched, and the fetch engine neither started

@@ -1,0 +1,8 @@
+"""Repository hygiene tools, run as modules in CI.
+
+* ``python -m repro.tools.doccheck`` — fail when public API surfaces
+  (CLI entry points, ``repro.engine`` / ``repro.resilience`` /
+  ``repro.observability`` exports) or modules lack docstrings.
+* ``python -m repro.tools.validate_trace`` — validate a Chrome
+  trace-event JSON file produced by ``repro trace``.
+"""

@@ -1,0 +1,119 @@
+"""Docstring coverage gate (``python -m repro.tools.doccheck``).
+
+Three surfaces must be documented, and CI fails when any is not:
+
+1. **Every module** under ``repro`` needs a module docstring — the
+   one-paragraph "why does this file exist" that makes the package
+   browsable.
+2. **Every exported name** of the public packages (``repro.engine``,
+   ``repro.resilience``, ``repro.observability``) — everything their
+   ``__all__`` promises is API and gets a docstring.
+3. **Every CLI entry point** in ``repro.cli`` — each ``cmd_*``
+   function plus ``build_parser`` and ``main``.
+
+The check imports the real objects rather than parsing source, so it
+cannot drift from what users actually see in ``help()``. Exit status is
+the number of problems (0 = fully documented).
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pkgutil
+import sys
+
+#: Packages whose ``__all__`` constitutes a documented API contract.
+PUBLIC_PACKAGES = (
+    "repro.engine",
+    "repro.resilience",
+    "repro.observability",
+)
+
+
+def _has_doc(obj) -> bool:
+    doc = inspect.getdoc(obj)
+    return bool(doc and doc.strip())
+
+
+def iter_modules(root: str = "repro") -> list[str]:
+    """Importable names of every module under ``root``, root included."""
+    package = importlib.import_module(root)
+    names = [root]
+    for info in pkgutil.walk_packages(package.__path__,
+                                      prefix=root + "."):
+        names.append(info.name)
+    return sorted(names)
+
+
+def check_module_docstrings(problems: list[str]) -> None:
+    """Surface 1: every module under ``repro`` has a docstring."""
+    for name in iter_modules():
+        module = importlib.import_module(name)
+        if not _has_doc(module):
+            problems.append(f"{name}: missing module docstring")
+
+
+def check_public_exports(problems: list[str]) -> None:
+    """Surface 2: everything in the public packages' ``__all__``."""
+    for package_name in PUBLIC_PACKAGES:
+        package = importlib.import_module(package_name)
+        exported = getattr(package, "__all__", ())
+        if not exported:
+            problems.append(f"{package_name}: public package has no "
+                            f"__all__")
+            continue
+        for export in exported:
+            obj = getattr(package, export, None)
+            if obj is None:
+                problems.append(f"{package_name}.{export}: in __all__ "
+                                f"but not importable")
+                continue
+            if inspect.ismodule(obj) or not callable(obj) \
+                    and not inspect.isclass(obj):
+                continue       # constants (ints, tuples) need no doc
+            if not _has_doc(obj):
+                problems.append(f"{package_name}.{export}: missing "
+                                f"docstring")
+
+
+def check_cli_entry_points(problems: list[str]) -> None:
+    """Surface 3: ``cmd_*`` + ``build_parser`` + ``main`` in the CLI."""
+    cli = importlib.import_module("repro.cli")
+    names = sorted(name for name in vars(cli)
+                   if name.startswith("cmd_"))
+    names += ["build_parser", "main"]
+    for name in names:
+        func = getattr(cli, name, None)
+        if func is None:
+            problems.append(f"repro.cli.{name}: expected entry point "
+                            f"is missing")
+        elif not _has_doc(func):
+            problems.append(f"repro.cli.{name}: missing docstring")
+
+
+def run_doccheck() -> list[str]:
+    """All problems across the three surfaces (empty = pass)."""
+    problems: list[str] = []
+    check_module_docstrings(problems)
+    check_public_exports(problems)
+    check_cli_entry_points(problems)
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI wrapper: print each problem, exit 1 when any exist."""
+    problems = run_doccheck()
+    for problem in problems:
+        print(f"doccheck: {problem}", file=sys.stderr)
+    if problems:
+        print(f"doccheck: {len(problems)} problem(s)", file=sys.stderr)
+        return 1
+    modules = len(iter_modules())
+    print(f"doccheck: ok ({modules} modules, "
+          f"{len(PUBLIC_PACKAGES)} public packages, CLI entry points)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

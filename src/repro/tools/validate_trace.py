@@ -1,0 +1,65 @@
+"""Chrome trace-event file validator
+(``python -m repro.tools.validate_trace trace.json``).
+
+CI's ``trace-smoke`` job runs ``repro trace`` on a workload and then
+this tool on the output, so a malformed trace (one Perfetto would
+refuse or misrender) fails the build rather than a demo. Checks the
+trace-event schema rules via
+:func:`repro.observability.export.validate_chrome_trace` plus
+file-level expectations: the container object shape, at least one
+per-unit track, and non-empty event content.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from repro.observability.export import validate_chrome_trace
+
+
+def validate_file(path: str) -> list[str]:
+    """All problems with the trace file at ``path`` (empty = valid)."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"unreadable: {exc}"]
+    if not isinstance(data, dict):
+        return ["top level must be a JSON object"]
+    if not isinstance(data.get("traceEvents"), list):
+        return ["missing traceEvents array"]
+    problems = validate_chrome_trace(data)
+    events = data["traceEvents"]
+    if not any(e.get("ph") != "M" for e in events):
+        problems.append("no non-metadata events")
+    if not any(e.get("ph") == "M" and e.get("name") == "thread_name"
+               for e in events):
+        problems.append("no named tracks (thread_name metadata)")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI wrapper: validate each named file, exit 1 on any problem."""
+    argv = sys.argv[1:] if argv is None else argv
+    if not argv:
+        print("usage: python -m repro.tools.validate_trace "
+              "TRACE.json [...]", file=sys.stderr)
+        return 2
+    status = 0
+    for path in argv:
+        problems = validate_file(path)
+        if problems:
+            status = 1
+            for problem in problems:
+                print(f"validate_trace: {path}: {problem}",
+                      file=sys.stderr)
+        else:
+            with open(path, encoding="utf-8") as handle:
+                count = len(json.load(handle)["traceEvents"])
+            print(f"validate_trace: {path}: ok ({count} events)")
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,30 @@
+"""Regenerate ``tests/data/golden_trace.json``.
+
+Run after an *intentional* change to simulator timing or trace export:
+
+    PYTHONPATH=src python tests/make_golden_trace.py
+
+then review the diff — the golden file is the pinned observable
+behaviour of the tracer on a tiny hand-annotated program.
+"""
+
+from pathlib import Path
+import sys
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from test_observability import GOLDEN_PATH, _golden_trace  # noqa: E402
+
+from repro.observability import write_chrome_trace  # noqa: E402
+
+
+def main() -> None:
+    """Write the golden trace file and report its size."""
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    write_chrome_trace(GOLDEN_PATH, _golden_trace())
+    events = len(_golden_trace()["traceEvents"])
+    print(f"wrote {GOLDEN_PATH} ({events} events)")
+
+
+if __name__ == "__main__":
+    main()
