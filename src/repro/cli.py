@@ -77,9 +77,10 @@ def cmd_run(args: argparse.Namespace) -> int:
     program = _load_program(args.file, multiscalar, args.entries,
                             args.auto_loops)
     fast_path = not args.no_fast_path
+    jit = not args.no_jit
     if multiscalar:
         config = multiscalar_config(args.units, args.issue, args.ooo,
-                                    fast_path=fast_path)
+                                    fast_path=fast_path, jit=jit)
         processor = MultiscalarProcessor(program, config)
         tracer = TaskTracer().attach(processor) if args.timeline else None
         result = processor.run(max_cycles=args.max_cycles)
@@ -103,7 +104,8 @@ def cmd_run(args: argparse.Namespace) -> int:
             print(tracer.render(), file=sys.stderr)
             print("-- " + tracer.summary(), file=sys.stderr)
     else:
-        config = scalar_config(args.issue, args.ooo, fast_path=fast_path)
+        config = scalar_config(args.issue, args.ooo, fast_path=fast_path,
+                               jit=jit)
         result = ScalarProcessor(program, config).run(
             max_cycles=args.max_cycles)
         print(result.output, end="")
@@ -225,10 +227,16 @@ def cmd_report(args: argparse.Namespace) -> int:
 def cmd_fuzz(args: argparse.Namespace) -> int:
     """Entry point for ``repro fuzz``: differential fuzzing of
     every backend; exits non-zero on a divergence."""
-    from repro.difftest import FuzzCampaign, inject_opcode_bug
+    from repro.difftest import (
+        FuzzCampaign,
+        inject_jit_guard_miss,
+        inject_opcode_bug,
+    )
     from repro.difftest.generator import generator_for
     from repro.isa.opcodes import Op
 
+    jit_guard_modes = {"jit-stop": "stop",
+                       "jit-taken-branch": "taken-branch"}
     try:
         for language in args.languages:
             generator_for(language)
@@ -239,21 +247,36 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
             orders=(False, True) if args.ooo == "both"
             else (args.ooo == "ooo",),
             fast_paths=(True, False) if args.no_fast_path else (True,),
+            # A JIT guard-miss self-test needs the no-jit axis in the
+            # grid: the same-machine interpreter is the reference the
+            # buggy compiled code diverges from.
+            jits=(True, False)
+            if args.no_jit or args.self_test in jit_guard_modes
+            else (True,),
             max_shrink_checks=args.max_shrink_checks,
             jobs=args.jobs,
             progress=lambda message: print(f"fuzz: {message}",
                                            file=sys.stderr))
-        if args.self_test and args.self_test.upper() not in Op.__members__:
+        if args.self_test \
+                and args.self_test not in jit_guard_modes \
+                and args.self_test.upper() not in Op.__members__:
             raise ValueError(
-                f"unknown opcode {args.self_test!r} for --self-test")
+                f"unknown opcode {args.self_test!r} for --self-test "
+                f"(or one of: {', '.join(sorted(jit_guard_modes))})")
     except ValueError as error:
         print(f"repro fuzz: error: {error}", file=sys.stderr)
         return 2
     if args.self_test:
-        # Plant a semantics bug in the multiscalar backend only and
-        # demand the campaign catches it — a check that the oracle
-        # itself still has teeth.
-        with inject_opcode_bug(Op[args.self_test.upper()]):
+        # Plant a bug — a semantics bug in the multiscalar backend, or
+        # a guard miss in the JIT's compiled bodies — and demand the
+        # campaign catches it: a check that the oracle itself still has
+        # teeth.
+        if args.self_test in jit_guard_modes:
+            injector = inject_jit_guard_miss(
+                jit_guard_modes[args.self_test])
+        else:
+            injector = inject_opcode_bug(Op[args.self_test.upper()])
+        with injector:
             result = campaign.run()
         print(result.render())
         if result.ok:
@@ -299,6 +322,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         self_test=args.self_test,
         max_cycles=args.max_cycles,
         fast_path=not args.no_fast_path,
+        jit=not args.no_jit,
     )
     store = None
     if request.use_cache and persistent_cache_enabled():
@@ -335,6 +359,12 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0 if summary.ok else 1
 
 
+def _bench_mode(payload: dict) -> str:
+    if not payload.get("fast_path", True):
+        return "reference path"
+    return "jit" if payload.get("jit") else "fast path, no jit"
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     """Entry point for ``repro bench``: measure simulator
     throughput and optionally gate against the committed baseline."""
@@ -344,6 +374,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
                                       file=sys.stderr))
     payload = bench.run_bench(quick=args.quick,
                               fast_path=not args.no_fast_path,
+                              jit=not args.no_jit,
                               profile=not args.no_profile,
                               progress=progress)
     bench.write_payload(payload, args.output)
@@ -351,7 +382,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
     print(f"bench: {total['cycles']} simulated cycles in "
           f"{total['wall_seconds']:.2f}s -- "
           f"{total['cycles_per_second']:,.0f} cycles/sec "
-          f"({'fast path' if payload['fast_path'] else 'reference path'})")
+          f"({_bench_mode(payload)})")
     print(f"bench: wrote {args.output}", file=sys.stderr)
     overhead = payload.get("trace_overhead")
     if args.check and overhead is not None \
@@ -460,14 +491,15 @@ def cmd_trace(args: argparse.Namespace) -> int:
                                 args.auto_loops)
         label = Path(args.target).name
     fast_path = not args.no_fast_path
+    jit = not args.no_jit
     if multiscalar:
         processor = MultiscalarProcessor(
             program, multiscalar_config(args.units, args.issue, args.ooo,
-                                        fast_path=fast_path))
+                                        fast_path=fast_path, jit=jit))
     else:
         processor = ScalarProcessor(
             program, scalar_config(args.issue, args.ooo,
-                                   fast_path=fast_path))
+                                   fast_path=fast_path, jit=jit))
     bus = EventBus(categories, window=window).attach(processor)
     result = processor.run(max_cycles=args.max_cycles)
     trace = chrome_trace(bus, num_units=args.units if multiscalar else 1,
@@ -531,6 +563,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--no-fast-path", action="store_true",
                        help="force the reference per-cycle simulator "
                             "(results are identical, just slower)")
+        p.add_argument("--no-jit", action="store_true",
+                       help="disable the trace-JIT and run the fast-path "
+                            "interpreter (results are identical)")
 
     run = sub.add_parser("run", help="run a .mc or .s program")
     run.add_argument("file")
@@ -619,6 +654,9 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--no-fast-path", action="store_true",
                        help="run the reference per-cycle simulator "
                             "(cached separately from fast-path results)")
+    sweep.add_argument("--no-jit", action="store_true",
+                       help="disable the trace-JIT (cached separately "
+                            "from jit results)")
     add_cache_flags(sweep)
     sweep.set_defaults(fn=cmd_sweep)
 
@@ -646,6 +684,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "--check (default 0.02)")
     bench.add_argument("--no-fast-path", action="store_true",
                        help="benchmark the reference per-cycle path")
+    bench.add_argument("--no-jit", action="store_true",
+                       help="benchmark the fast-path interpreter "
+                            "without the trace-JIT")
     bench.add_argument("--no-profile", action="store_true",
                        help="skip the cProfile pass")
     bench.set_defaults(fn=cmd_bench)
@@ -728,12 +769,17 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--no-fast-path", action="store_true",
                       help="also rotate reference (per-cycle) simulator "
                            "configs into the oracle grid")
+    fuzz.add_argument("--no-jit", action="store_true",
+                      help="also rotate no-jit (fast-path interpreter) "
+                           "configs into the oracle grid")
     fuzz.add_argument("--max-shrink-checks", type=int, default=400,
                       help="delta-debugging budget per divergence")
     fuzz.add_argument("--self-test", metavar="OP", default=None,
                       help="inject a semantics bug for this opcode into "
-                           "the multiscalar backend and require the "
-                           "campaign to catch it (e.g. --self-test xor)")
+                           "the multiscalar backend (e.g. --self-test "
+                           "xor), or a JIT guard miss (--self-test "
+                           "jit-stop / jit-taken-branch), and require "
+                           "the campaign to catch it")
     fuzz.set_defaults(fn=cmd_fuzz)
     return parser
 

@@ -115,6 +115,13 @@ class MachineConfig:
     #: either way; False forces the reference per-cycle path (the
     #: ``--no-fast-path`` escape hatch, used by the differential tests).
     fast_path: bool = True
+    #: Simulator knob: compile hot straight-line uop regions into
+    #: generated per-cycle executors (repro.jit) that deopt back to the
+    #: interpreter at every irregular boundary. Results are cycle-exact
+    #: either way; requires ``fast_path`` (the JIT builds on the
+    #: pre-decoded closures) and only engages for in-order 1-wide units
+    #: (the paper's default shape). ``--no-jit`` is the escape hatch.
+    jit: bool = True
 
     @property
     def num_banks(self) -> int:
@@ -130,16 +137,17 @@ class MachineConfig:
 
 def scalar_config(issue_width: int = 1,
                   out_of_order: bool = False,
-                  fast_path: bool = True) -> MachineConfig:
+                  fast_path: bool = True,
+                  jit: bool = True) -> MachineConfig:
     """The paper's scalar baseline: one aggressive processing unit."""
-    return MachineConfig(num_units=1, fast_path=fast_path).with_issue(
-        issue_width, out_of_order)
+    return MachineConfig(num_units=1, fast_path=fast_path,
+                         jit=jit).with_issue(issue_width, out_of_order)
 
 
 def multiscalar_config(num_units: int = 4, issue_width: int = 1,
                        out_of_order: bool = False,
-                       fast_path: bool = True) -> MachineConfig:
+                       fast_path: bool = True,
+                       jit: bool = True) -> MachineConfig:
     """A multiscalar processor with the paper's Section-5.1 parameters."""
-    return MachineConfig(num_units=num_units,
-                         fast_path=fast_path).with_issue(
-        issue_width, out_of_order)
+    return MachineConfig(num_units=num_units, fast_path=fast_path,
+                         jit=jit).with_issue(issue_width, out_of_order)

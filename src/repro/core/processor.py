@@ -30,10 +30,13 @@ from repro.isa.executor import (
 from repro.isa.instruction import Instruction
 from repro.isa.memory_image import u32
 from repro.isa.program import Program, TargetKind, TaskDescriptor
+from repro.jit.blocks import EV_SQUASH
+from repro.jit.engine import engine_for
 from repro.memory import BankedDataCache, InstructionCache, SplitTransactionBus
 from repro.isa.opcodes import FUClass
 from repro.observability.events import Category as _Cat
 from repro.pipeline import PipelineContext, UnitPipeline
+from repro.pipeline.context import StallReason
 from repro.pipeline.functional_units import FUPool
 from repro.pipeline.unit import MemRetry
 from repro.pipeline.unit import NEVER as PIPELINE_NEVER
@@ -348,6 +351,16 @@ class MultiscalarProcessor:
         #: emission site guards on ``is not None``, so tracing is
         #: zero-cost when disabled.
         self.trace = None
+        #: Lazily built trace-JIT engine (repro.jit), shared by all
+        #: units; None until run() first needs it. A bound watchdog
+        #: caps compiled-window length to keep its check cadence.
+        self._jit = None
+        self._jit_cap = None
+        #: Active checkpointer while run() is live: compiled windows,
+        #: machine frames, and the quiescence skip all stop at its
+        #: next_cycle so snapshots land exactly on the requested cycle
+        #: in every execution mode (jit, fast path, reference).
+        self._checkpointer = None
 
     # ================================================== public interface
 
@@ -361,6 +374,13 @@ class MultiscalarProcessor:
         if watchdog is not None:
             watchdog.bind(self, max_cycles)
         self._cycle_horizon = max_cycles
+        self._jit_cap = (watchdog.check_interval
+                         if watchdog is not None else None)
+        self._checkpointer = checkpointer
+        if self.config.jit and (self._jit is None
+                                or not self._jit.fresh()):
+            self._jit = engine_for(self.program, self.config,
+                                   suppress=False)
         while not self.halted:
             self.step()
             if self.cycle >= max_cycles:
@@ -404,6 +424,11 @@ class MultiscalarProcessor:
 
     def step(self) -> None:
         cycle = self.cycle
+        jit = self._jit
+        if jit is not None and not jit.dead \
+                and (self._jit_step(cycle)
+                     or self._jit_machine_step(cycle)):
+            return
         self._activity = False
         self._deliver_ring(cycle)
         self._try_assign(cycle)
@@ -433,7 +458,8 @@ class MultiscalarProcessor:
                 task.cycles.stall_cycles[slot.pipeline._last_stall] += 1
                 noted += 1
                 continue
-            issued, reason = slot.pipeline.step(cycle)
+            pipeline = slot.pipeline
+            issued, reason = pipeline.step(cycle)
             # Inlined TaskCycleRecord.note (hot: once per unit-cycle).
             cycles = task.cycles
             if issued:
@@ -441,18 +467,18 @@ class MultiscalarProcessor:
             else:
                 cycles.stall_cycles[reason] += 1
             noted += 1
-            if slot.pipeline._activity:
+            if pipeline._activity:
                 self._activity = True
             if issued:
                 self._last_progress = cycle
             if self._squash_request is not None:
                 self._apply_squash_request(cycle)
                 self._activity = True
-            elif fast and not issued and not slot.pipeline._activity:
+            elif fast and not issued and not pipeline._activity:
                 # Quiet step: put the unit to sleep until its earliest
                 # locally known event. NEVER (purely external waits) is
                 # fine — the unblocking event itself clears the sleep.
-                wake = slot.pipeline.wake_cycle(cycle)
+                wake = pipeline.wake_cycle(cycle)
                 if wake > cycle + 1:
                     task.sleep_until = wake
         self.distribution.idle += self.num_units - noted
@@ -465,12 +491,178 @@ class MultiscalarProcessor:
                 horizon = min(self._cycle_horizon,
                               self._last_progress
                               + self._progress_window + 1)
+                ckpt = self._checkpointer
+                if ckpt is not None and cycle < ckpt.next_cycle < horizon:
+                    horizon = ckpt.next_cycle
                 if wake > horizon:
                     wake = horizon
                 if wake > next_cycle:
                     self._account_skip(next_cycle, wake)
                     next_cycle = wake
         self.cycle = next_cycle
+
+    def _jit_step(self, cycle: int) -> bool:
+        """Run one compiled multi-cycle window; False declines the step.
+
+        A window is sound only while the machine-level events the
+        per-cycle loop interleaves — ring deliveries, task assignment,
+        retirement, squash application — provably cannot occur, so this
+        entry check refuses whenever one could act inside the window and
+        otherwise bounds the window at the first cycle one could. The
+        single-unit window only runs with exactly one unit awake (every
+        other active task asleep past the window end — the scalar-like
+        steady state); with several awake the compiled machine frame
+        (:meth:`_jit_machine_step`) takes over instead.
+        """
+        if self.halted or self._squash_request is not None:
+            return False
+        active = self.active
+        if not active or active[0].stopped:
+            # An empty machine has nothing to run; a stopped head can
+            # retire mid-window (which reshapes every gate below).
+            return False
+        end = min(self._cycle_horizon,
+                  self._last_progress + self._progress_window + 1)
+        if self._jit_cap is not None:
+            cap = cycle + self._jit_cap
+            if cap < end:
+                end = cap
+        ckpt = self._checkpointer
+        if ckpt is not None and cycle < ckpt.next_cycle < end:
+            end = ckpt.next_cycle
+        # Ring: no message may arrive inside the window (and none can be
+        # sent: forwards/releases/stops are ring events and all deopt).
+        ring_next = self.ring.next_arrival()
+        if ring_next is not None:
+            if ring_next <= cycle:
+                return False
+            if ring_next < end:
+                end = ring_next
+        # Sequencer: an assignment (or descriptor fetch) must not
+        # happen mid-window. Blocked on an occupied unit slot is a
+        # stable refusal — no task can retire while the head is not
+        # stopped, and stops never commit inside a window.
+        if self.next_pc is not None:
+            if len(active) >= self.num_units \
+                    or self.units[self._next_unit].task is not None:
+                pass
+            elif cycle < self.seq_busy_until:
+                if self.seq_busy_until < end:
+                    end = self.seq_busy_until
+            else:
+                return False
+        units = self.units
+        awake = -1
+        for pos, task in enumerate(active):
+            if task.squashed or units[task.unit_index].task is not task:
+                return False  # inconsistent mid-squash state
+            if task.sleep_until > cycle:
+                if task.sleep_until < end:
+                    end = task.sleep_until
+            else:
+                if awake >= 0:
+                    return False  # two units awake: not a unit window
+                awake = pos
+        if awake < 0 or end - cycle < 2:
+            return False
+        running = active[awake]
+        slot = units[running.unit_index]
+        window = self._jit.try_run(slot.pipeline, slot.context, cycle, end)
+        if window is None:
+            return False
+        next_cycle, code, last_issue, busy = window
+        squashing = code == EV_SQUASH
+        executed = next_cycle - cycle
+        record = running.cycles
+        record.busy_cycles += busy
+        counts = self._jit.counts
+        for reason in StallReason:
+            stalled = counts[reason]
+            if stalled:
+                record.stall_cycles[reason] += stalled
+                counts[reason] = 0
+        if last_issue >= 0:
+            self._last_progress = last_issue
+        # Sleeping tasks are charged exactly as per-cycle stepping
+        # would: their (stable) last stall reason each full cycle. On a
+        # squash cycle the interpreter's walk charges a sleeper only if
+        # it is walked before the squashing unit or survives the squash.
+        span = executed - 1 if squashing else executed
+        upos = active.index(running)
+        cut = len(active)
+        if squashing:
+            kind, seq = self._squash_request
+            if kind == "memory":
+                cut = next((i for i, t in enumerate(active)
+                            if t.seq == seq), len(active))
+            elif len(active) > 1:
+                cut = len(active) - 1
+        noted = 1
+        for index, task in enumerate(active):
+            if task is running:
+                continue
+            charged = span
+            if squashing and (index < upos or index < cut):
+                charged += 1
+                noted += 1
+            if charged:
+                record = task.cycles
+                record.stall_cycles[
+                    units[task.unit_index].pipeline._last_stall] += charged
+        self.distribution.idle += span * (self.num_units - len(active))
+        if squashing:
+            self.distribution.idle += self.num_units - noted
+            self._apply_squash_request(next_cycle - 1)
+            self._activity = True
+        else:
+            pipeline = slot.pipeline
+            self._activity = pipeline._activity
+            if not pipeline._activity:
+                # Mirror the post-step sleep decision for the final
+                # executed cycle (the window already consumed the skip).
+                wake = pipeline.wake_cycle(next_cycle - 1)
+                if wake > next_cycle:
+                    running.sleep_until = wake
+        # _try_retire is skipped: it requires a stopped head, and the
+        # head neither starts nor becomes stopped inside a window.
+        self.cycle = next_cycle
+        return True
+
+    def _jit_machine_step(self, cycle: int) -> bool:
+        """Run the compiled machine frame; False declines the step.
+
+        The frame transcribes the machine loop itself (ring delivery,
+        the walk, squash application, retirement, the quiescence
+        skip), running compiled phases for units whose in-flight state
+        is regular and ``pipeline.step()`` for the rest, so no
+        machine-level event needs an entry refusal here: each is
+        either handled in-frame or exits the frame with the cycle
+        unexecuted (task assignment) or just executed (halt). The
+        budget caps the frame exactly where the run loop's timeout,
+        livelock, checkpoint, and watchdog checks need control back.
+        """
+        if self.halted or self._squash_request is not None:
+            return False
+        end = min(self._cycle_horizon,
+                  self._last_progress + self._progress_window + 1)
+        if self._jit_cap is not None:
+            cap = cycle + self._jit_cap
+            if cap < end:
+                end = cap
+        ckpt = self._checkpointer
+        if ckpt is not None and cycle < ckpt.next_cycle < end:
+            end = ckpt.next_cycle
+        if end - cycle < 2:
+            return False
+        frame = self._jit.try_machine(self, cycle, end)
+        if frame is None:
+            return False
+        next_cycle, _code, last_issue, lastact = frame[:4]
+        if last_issue > self._last_progress:
+            self._last_progress = last_issue
+        self._activity = lastact
+        self.cycle = next_cycle
+        return True
 
     def _wake_cycle(self, cycle: int) -> int:
         """Earliest cycle at which any machine component could act.

@@ -24,6 +24,7 @@ from repro.isa.executor import (
 from repro.isa.instruction import Instruction
 from repro.isa.memory_image import u32
 from repro.isa.program import Program
+from repro.jit.engine import engine_for
 from repro.memory import InstructionCache, ScalarDataCache, SplitTransactionBus
 from repro.pipeline import PipelineContext, UnitPipeline
 from repro.pipeline.context import StallReason
@@ -137,6 +138,10 @@ class ScalarProcessor:
         self.pipeline = UnitPipeline(self.config.unit, ctx,
                                      fast_path=self.config.fast_path)
         self.pipeline.reset(pc=program.entry)
+        #: Lazily built trace-JIT engine (repro.jit); None until run()
+        #: first needs it, and rebuilt if the program's uop list is
+        #: replaced (annotation passes call Program.invalidate_uops).
+        self._jit = None
 
     def syscall(self) -> None:
         code = self.regs[2]   # $v0
@@ -160,31 +165,70 @@ class ScalarProcessor:
         stall_cycles = self.stall_cycles
         if watchdog is not None:
             watchdog.bind(self, max_cycles)
+        jit = self._jit
+        if self.config.jit and (jit is None or not jit.fresh()):
+            jit = self._jit = engine_for(self.program, self.config,
+                                         suppress=True)
         while not self.halted:
             cycle = self.cycle
-            issued, reason = pipeline.step(cycle)
-            if issued:
-                self._last_progress = cycle
+            window = None
+            if jit is not None:
+                # Compiled window: runs whole cycles up to the same
+                # horizon the skip below uses (so the timeout and
+                # livelock checks raise at identical cycles), further
+                # capped so a bound watchdog keeps its check cadence.
+                budget = min(max_cycles + 1,
+                             self._last_progress
+                             + self._progress_window + 1)
+                if watchdog is not None:
+                    cap = cycle + watchdog.check_interval
+                    if cap < budget:
+                        budget = cap
+                if checkpointer is not None \
+                        and cycle < checkpointer.next_cycle < budget:
+                    # Snapshots land exactly on the requested cycle.
+                    budget = checkpointer.next_cycle
+                window = jit.try_run(pipeline, pipeline.ctx, cycle,
+                                     budget)
+            if window is not None:
+                next_cycle, _code, last_issue, _busy = window
+                if last_issue >= 0:
+                    self._last_progress = last_issue
+                counts = jit.counts
+                for reason in StallReason:
+                    stalled = counts[reason]
+                    if stalled:
+                        stall_cycles[reason.name] += stalled
+                        counts[reason] = 0
             else:
-                stall_cycles[reason.name] += 1
-            next_cycle = cycle + 1
-            if fast and not issued and not self.halted:
-                # Quiescence-aware cycle skipping: with nothing issued
-                # and no local state change, jump to the unit's next
-                # known event, charging the skipped cycles to the same
-                # (stable) stall reason per-cycle ticking would have.
-                wake = pipeline.wake_cycle(cycle)
-                if wake > next_cycle:
-                    # Cap so the timeout and livelock checks below raise
-                    # at the same cycle as per-cycle ticking would.
-                    horizon = min(max_cycles + 1,
-                                  self._last_progress
-                                  + self._progress_window + 1)
-                    if wake > horizon:
-                        wake = horizon
+                issued, reason = pipeline.step(cycle)
+                if issued:
+                    self._last_progress = cycle
+                else:
+                    stall_cycles[reason.name] += 1
+                next_cycle = cycle + 1
+                if fast and not issued and not self.halted:
+                    # Quiescence-aware cycle skipping: with nothing
+                    # issued and no local state change, jump to the
+                    # unit's next known event, charging the skipped
+                    # cycles to the same (stable) stall reason
+                    # per-cycle ticking would have.
+                    wake = pipeline.wake_cycle(cycle)
                     if wake > next_cycle:
-                        stall_cycles[reason.name] += wake - next_cycle
-                        next_cycle = wake
+                        # Cap so the timeout and livelock checks below
+                        # raise at the same cycle as per-cycle ticking.
+                        horizon = min(max_cycles + 1,
+                                      self._last_progress
+                                      + self._progress_window + 1)
+                        if checkpointer is not None \
+                                and cycle < checkpointer.next_cycle \
+                                < horizon:
+                            horizon = checkpointer.next_cycle
+                        if wake > horizon:
+                            wake = horizon
+                        if wake > next_cycle:
+                            stall_cycles[reason.name] += wake - next_cycle
+                            next_cycle = wake
             self.cycle = next_cycle
             if self.cycle > max_cycles:
                 raise SimulationTimeout(

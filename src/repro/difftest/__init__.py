@@ -29,7 +29,12 @@ from repro.difftest.generator import (
     MinicProgramGenerator,
     generator_for,
 )
-from repro.difftest.injection import current_backend, inject_opcode_bug
+from repro.difftest.injection import (
+    current_backend,
+    inject_jit_guard_miss,
+    inject_livelock,
+    inject_opcode_bug,
+)
 from repro.difftest.oracle import (
     BackendSpec,
     DiffReport,
@@ -52,6 +57,8 @@ __all__ = [
     "current_backend",
     "full_grid",
     "generator_for",
+    "inject_jit_guard_miss",
+    "inject_livelock",
     "inject_opcode_bug",
     "shrink",
 ]

@@ -126,6 +126,7 @@ class FuzzCampaign:
                  widths: tuple[int, ...] = (1, 2),
                  orders: tuple[bool, ...] = (False, True),
                  fast_paths: tuple[bool, ...] = (True,),
+                 jits: tuple[bool, ...] = (True,),
                  max_shrink_checks: int = 400,
                  max_cycles: int | None = None,
                  jobs: int = 1,
@@ -135,7 +136,7 @@ class FuzzCampaign:
         self.seed = seed
         self.budget = budget
         self.languages = tuple(languages)
-        self.ms_grid = full_grid(units, widths, orders, fast_paths)
+        self.ms_grid = full_grid(units, widths, orders, fast_paths, jits)
         self.scalar_baseline = BackendSpec("scalar", 1, 1, False)
         self.max_shrink_checks = max_shrink_checks
         self.max_cycles = max_cycles
@@ -282,7 +283,7 @@ class FuzzCampaign:
             "index": index,
             "languages": self.languages,
             "grid": [(s.kind, s.units, s.issue_width, s.out_of_order,
-                      s.fast_path)
+                      s.fast_path, s.jit)
                      for s in self.grid_for(index)],
             "max_cycles": self.max_cycles,
         }

@@ -64,12 +64,18 @@ class BackendSpec:
     #: — the same machine, so it must produce identical results; the
     #: oracle treats it as just another backend axis.
     fast_path: bool = True
+    #: False disables the trace-JIT (``--no-jit``) so the fast-path
+    #: interpreter runs every cycle itself; yet another same-machine
+    #: backend axis that must be bit-identical.
+    jit: bool = True
 
     @property
     def label(self) -> str:
         issue = f"{self.issue_width}w-" \
             + ("ooo" if self.out_of_order else "io")
         suffix = "" if self.fast_path else "-ref"
+        if self.fast_path and not self.jit:
+            suffix = "-nojit"
         if self.kind == "scalar":
             return f"scalar:{issue}{suffix}"
         return f"ms:{self.units}u-{issue}{suffix}"
@@ -77,11 +83,12 @@ class BackendSpec:
 
 def full_grid(units=(1, 2, 4, 8), widths=(1, 2),
               orders=(False, True),
-              fast_paths=(True,)) -> list[BackendSpec]:
+              fast_paths=(True,),
+              jits=(True,)) -> list[BackendSpec]:
     """Every multiscalar configuration of the paper's evaluation grid."""
-    return [BackendSpec("multiscalar", u, w, o, fp)
+    return [BackendSpec("multiscalar", u, w, o, fp, j)
             for u in units for w in widths for o in orders
-            for fp in fast_paths]
+            for fp in fast_paths for j in jits]
 
 
 #: Default per-program grid: the scalar baseline plus three multiscalar
@@ -157,6 +164,12 @@ class Outcome:
     regs: tuple = ()
     memory: tuple = ()            # sorted (addr, byte) committed delta
     instructions: int = 0
+    #: Timing backends only. Never diffed against the functional
+    #: reference (which has no clock); diffed across backends that
+    #: model the *same machine* under different simulator knobs
+    #: (fast-path vs reference, jit vs interpreter), which must agree
+    #: cycle-for-cycle.
+    cycles: int = 0
     error: str = ""
     invariant_failures: tuple = ()
 
@@ -200,7 +213,8 @@ def run_scalar_backend(program: Program, spec: BackendSpec,
     with use_backend("scalar"):
         processor = ScalarProcessor(
             program, scalar_config(spec.issue_width, spec.out_of_order,
-                                   fast_path=spec.fast_path))
+                                   fast_path=spec.fast_path,
+                                   jit=spec.jit))
         try:
             result = processor.run(max_cycles=max_cycles)
         except Exception as exc:
@@ -209,7 +223,8 @@ def run_scalar_backend(program: Program, spec: BackendSpec,
             output=result.output,
             regs=tuple(processor.regs),
             memory=memory_delta(program.initial_memory(), processor.memory),
-            instructions=result.instructions)
+            instructions=result.instructions,
+            cycles=result.cycles)
 
 
 class _InvariantObserver:
@@ -282,7 +297,8 @@ def run_multiscalar_backend(program: Program, spec: BackendSpec,
         processor = MultiscalarProcessor(
             program, multiscalar_config(spec.units, spec.issue_width,
                                         spec.out_of_order,
-                                        fast_path=spec.fast_path))
+                                        fast_path=spec.fast_path,
+                                        jit=spec.jit))
         observer = _InvariantObserver()
         processor.observer = observer
         try:
@@ -294,6 +310,7 @@ def run_multiscalar_backend(program: Program, spec: BackendSpec,
             regs=tuple(processor.arch_regs),
             memory=memory_delta(program.initial_memory(), processor.memory),
             instructions=result.instructions,
+            cycles=result.cycles,
             invariant_failures=_check_invariants(processor, result,
                                                  observer))
 
@@ -359,6 +376,11 @@ def check_program(generated: GeneratedProgram,
         report.divergences.append(Divergence(
             "functional:annotated", "output", repr(ref_scalar.output),
             repr(ref_multi.output)))
+    # Backends that model the same machine under different simulator
+    # knobs (fast-path vs reference, jit vs interpreter) must agree on
+    # the cycle count too — the functional reference has no clock, so
+    # this is the only check that can catch a timing-only JIT bug.
+    machine_cycles: dict[tuple, tuple[str, int]] = {}
     for spec in grid:
         report.backends_run.append(spec.label)
         if spec.kind == "scalar":
@@ -369,4 +391,15 @@ def check_program(generated: GeneratedProgram,
             outcome = run_multiscalar_backend(multi_bin, spec, max_cycles)
             report.divergences.extend(
                 _compare(spec.label, ref_multi, outcome, check_regs=False))
+        if outcome.error:
+            continue
+        machine = (spec.kind, spec.units, spec.issue_width,
+                   spec.out_of_order)
+        seen = machine_cycles.get(machine)
+        if seen is None:
+            machine_cycles[machine] = (spec.label, outcome.cycles)
+        elif seen[1] != outcome.cycles:
+            report.divergences.append(Divergence(
+                spec.label, "cycles",
+                f"{seen[1]} (as {seen[0]})", str(outcome.cycles)))
     return report

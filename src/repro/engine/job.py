@@ -94,6 +94,10 @@ class SimJob:
     #: still separates the two so ``--no-fast-path`` runs never serve
     #: (or pollute) fast-path cache entries.
     fast_path: bool = True
+    #: Simulator knob: False disables the trace-JIT (``--no-jit``).
+    #: Cycle-exact either way, but keyed separately for the same
+    #: reason as ``fast_path``.
+    jit: bool = True
 
     def __post_init__(self) -> None:
         if self.kind not in ("scalar", "multiscalar", "count"):
@@ -131,6 +135,7 @@ class SimJob:
             "out_of_order": self.out_of_order,
             "max_cycles": self.max_cycles,
             "fast_path": self.fast_path,
+            "jit": self.jit,
         }
         blob = json.dumps(material, sort_keys=True).encode()
         return hashlib.sha256(blob).hexdigest()
@@ -194,21 +199,21 @@ class SimJob:
 
 def scalar_job(name: str, issue_width: int = 1, out_of_order: bool = False,
                max_cycles: int = DEFAULT_MAX_CYCLES,
-               fast_path: bool = True) -> SimJob:
+               fast_path: bool = True, jit: bool = True) -> SimJob:
     """A scalar-baseline timing job for the named workload."""
     return SimJob(kind="scalar", workload=name, issue_width=issue_width,
                   out_of_order=out_of_order, max_cycles=max_cycles,
-                  fast_path=fast_path)
+                  fast_path=fast_path, jit=jit)
 
 
 def multiscalar_job(name: str, units: int, issue_width: int = 1,
                     out_of_order: bool = False,
                     max_cycles: int = DEFAULT_MAX_CYCLES,
-                    fast_path: bool = True) -> SimJob:
+                    fast_path: bool = True, jit: bool = True) -> SimJob:
     """A multiscalar timing job for the named workload."""
     return SimJob(kind="multiscalar", workload=name, units=units,
                   issue_width=issue_width, out_of_order=out_of_order,
-                  max_cycles=max_cycles, fast_path=fast_path)
+                  max_cycles=max_cycles, fast_path=fast_path, jit=jit)
 
 
 def count_job(name: str, annotated: bool) -> SimJob:
@@ -251,12 +256,13 @@ def execute(job: SimJob, checkpoints=None, attempt: int = 0) -> dict:
     if job.kind == "scalar":
         processor = ScalarProcessor(
             program, scalar_config(job.issue_width, job.out_of_order,
-                                   fast_path=job.fast_path))
+                                   fast_path=job.fast_path, jit=job.jit))
     elif job.kind == "multiscalar":
         processor = MultiscalarProcessor(
             program, multiscalar_config(job.units, job.issue_width,
                                         job.out_of_order,
-                                        fast_path=job.fast_path))
+                                        fast_path=job.fast_path,
+                                        jit=job.jit))
     else:
         from repro.isa import FunctionalCPU
 

@@ -48,6 +48,7 @@ class SweepRequest:
     self_test: bool = False        # kill one worker mid-job, require retry
     max_cycles: int = 20_000_000
     fast_path: bool = True         # False: reference per-cycle simulator
+    jit: bool = True               # False: fast path without the trace-JIT
     #: Simulated cycles between worker checkpoints (timing jobs only);
     #: long jobs killed mid-run resume from the last good checkpoint.
     checkpoint_every: int = 2_000_000
@@ -156,12 +157,14 @@ def build_grid(request: SweepRequest) -> list[SimJob]:
             for ooo in request.orders:
                 grid.append(scalar_job(name, width, ooo,
                                        max_cycles=request.max_cycles,
-                                       fast_path=request.fast_path))
+                                       fast_path=request.fast_path,
+                                       jit=request.jit))
                 for units in request.units:
                     grid.append(multiscalar_job(
                         name, units, width, ooo,
                         max_cycles=request.max_cycles,
-                        fast_path=request.fast_path))
+                        fast_path=request.fast_path,
+                        jit=request.jit))
     seen: set[str] = set()
     unique = []
     for job in grid:
@@ -288,7 +291,8 @@ def _tabulate(summary: SweepSummary, by_key: dict[str, SimJob],
                     key = multiscalar_job(
                         name, units, width, ooo,
                         max_cycles=request.max_cycles,
-                        fast_path=request.fast_path).key()
+                        fast_path=request.fast_path,
+                        jit=request.jit).key()
                     multi = results.get(key)
                     if multi is None:
                         cell.error = "job failed"

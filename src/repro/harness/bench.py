@@ -87,25 +87,26 @@ def calibrate() -> float:
     return _CALIBRATION_ITERS / elapsed if elapsed > 0 else float("inf")
 
 
-def _make_processor(case: BenchCase, fast_path: bool):
+def _make_processor(case: BenchCase, fast_path: bool, jit: bool = True):
     from repro.workloads import WORKLOADS
 
     spec = WORKLOADS[case.workload]
     if case.kind == "scalar":
         return ScalarProcessor(spec.scalar_program(),
-                               scalar_config(fast_path=fast_path))
+                               scalar_config(fast_path=fast_path, jit=jit))
     return MultiscalarProcessor(
         spec.multiscalar_program(),
-        multiscalar_config(case.units, fast_path=fast_path))
+        multiscalar_config(case.units, fast_path=fast_path, jit=jit))
 
 
-def run_case(case: BenchCase, fast_path: bool = True) -> dict:
+def run_case(case: BenchCase, fast_path: bool = True,
+             jit: bool = True) -> dict:
     """Build, run, and time one case (compilation excluded)."""
-    processor = _make_processor(case, fast_path)
+    processor = _make_processor(case, fast_path, jit)
     start = time.perf_counter()
     result = processor.run()
     wall = time.perf_counter() - start
-    return {
+    measured = {
         "case": case.label,
         "workload": case.workload,
         "kind": case.kind,
@@ -116,12 +117,16 @@ def run_case(case: BenchCase, fast_path: bool = True) -> dict:
         "cycles_per_second": round(result.cycles / wall, 1)
         if wall > 0 else float("inf"),
     }
+    engine = getattr(processor, "_jit", None)
+    if engine is not None:
+        measured["jit"] = engine.stats_dict(top=5)
+    return measured
 
 
 def profile_case(case: BenchCase, fast_path: bool = True,
-                 top: int = 20) -> dict:
+                 jit: bool = True, top: int = 20) -> dict:
     """Re-run one case under cProfile; return the hottest functions."""
-    processor = _make_processor(case, fast_path)
+    processor = _make_processor(case, fast_path, jit)
     profiler = cProfile.Profile()
     profiler.enable()
     processor.run()
@@ -165,27 +170,40 @@ def measure_trace_overhead(case: BenchCase | None = None,
     noise. If the first pass lands over budget the measurement
     escalates once with twice the samples before reporting: a real
     regression survives more data, timer jitter does not.
+
+    Both runs pin ``jit=False``: the quantity under the gate is the
+    cost of the *emission sites* in the interpreter, and under the JIT
+    an attached bus selects a structurally different compiled frame
+    variant, which would fold codegen differences (and far more timer
+    noise, the runs being much shorter) into the comparison.
     """
     from repro.observability.events import EventBus
 
+    import gc
+
     case = case or BenchCase("wc", "multiscalar", 4)
-    disabled_best = masked_best = float("inf")
+    best = {False: float("inf"), True: float("inf")}
     cycles = 0
     taken = 0
     for escalation in range(2):
-        for _ in range(repeats * (1 + escalation)):
-            processor = _make_processor(case, fast_path=True)
-            start = time.perf_counter()
-            result = processor.run()
-            disabled_best = min(disabled_best,
-                                time.perf_counter() - start)
-            cycles = result.cycles
-            processor = _make_processor(case, fast_path=True)
-            EventBus(0).attach(processor)
-            start = time.perf_counter()
-            processor.run()
-            masked_best = min(masked_best, time.perf_counter() - start)
+        for repeat in range(repeats * (1 + escalation)):
+            # Alternate which state samples first so periodic noise
+            # (GC from an earlier profile pass, a bursty neighbour)
+            # cannot systematically land on one side.
+            for masked in ((False, True) if repeat % 2 == 0
+                           else (True, False)):
+                processor = _make_processor(case, fast_path=True,
+                                            jit=False)
+                if masked:
+                    EventBus(0).attach(processor)
+                gc.collect()
+                start = time.perf_counter()
+                result = processor.run()
+                best[masked] = min(best[masked],
+                                   time.perf_counter() - start)
+                cycles = result.cycles
             taken += 1
+        disabled_best, masked_best = best[False], best[True]
         overhead = (masked_best / disabled_best - 1.0) \
             if disabled_best > 0 else 0.0
         if overhead <= budget:
@@ -201,7 +219,8 @@ def measure_trace_overhead(case: BenchCase | None = None,
 
 
 def run_bench(quick: bool = False, fast_path: bool = True,
-              profile: bool = True, progress=None) -> dict:
+              jit: bool = True, profile: bool = True,
+              progress=None) -> dict:
     """Run the whole suite; return the JSON-able payload."""
     progress = progress or (lambda message: None)
     suite = build_suite(quick)
@@ -211,7 +230,7 @@ def run_bench(quick: bool = False, fast_path: bool = True,
     total_cycles = 0
     total_wall = 0.0
     for case in suite:
-        measured = run_case(case, fast_path)
+        measured = run_case(case, fast_path, jit)
         cases.append(measured)
         total_cycles += measured["cycles"]
         total_wall += measured["wall_seconds"]
@@ -222,6 +241,7 @@ def run_bench(quick: bool = False, fast_path: bool = True,
         "schema": BENCH_SCHEMA_VERSION,
         "quick": quick,
         "fast_path": fast_path,
+        "jit": jit and fast_path,
         "calibration_score": round(calibration, 1),
         "cases": cases,
         "total": {
@@ -235,7 +255,7 @@ def run_bench(quick: bool = False, fast_path: bool = True,
         target = next((c for c in suite if c.kind == "multiscalar"),
                       suite[0])
         progress(f"profiling {target.label} under cProfile")
-        payload["profile"] = profile_case(target, fast_path)
+        payload["profile"] = profile_case(target, fast_path, jit)
     overhead = measure_trace_overhead()
     progress(f"trace-off overhead ({overhead['case']}): "
              f"{overhead['overhead']:+.2%} "
@@ -258,6 +278,24 @@ def compare_to_baseline(payload: dict, baseline: dict,
     ``max_regression``.
     """
     lines: list[str] = []
+    # Refuse cross-mode comparisons outright: an interpreter run gated
+    # against a JIT baseline (or vice versa) would measure the knob,
+    # not the code. Baselines from before the ``jit`` field existed
+    # were interpreter measurements, hence the False default.
+    mode = (bool(payload.get("fast_path", True)),
+            bool(payload.get("jit", False)))
+    base_mode = (bool(baseline.get("fast_path", True)),
+                 bool(baseline.get("jit", False)))
+    if mode != base_mode:
+        def _name(pair):
+            fast, jit = pair
+            if not fast:
+                return "reference (--no-fast-path)"
+            return "jit" if jit else "interpreter (--no-jit)"
+        return False, [
+            f"execution-mode mismatch: this run used {_name(mode)} but "
+            f"the baseline was recorded with {_name(base_mode)}; "
+            "re-run in the baseline's mode or record a new baseline"]
     base_score = baseline.get("calibration_score") or 0.0
     score = payload.get("calibration_score") or 0.0
     if not base_score or not score:

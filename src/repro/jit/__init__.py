@@ -1,0 +1,39 @@
+"""Trace-JIT for the simulator core (the PR-6 tentpole).
+
+The interpreter executes one uop stage per method call; this package
+compiles hot straight-line uop regions into generated Python functions
+that execute whole machine cycles per iteration of one flat loop,
+deopting back to the interpreter at every irregular boundary (control
+resolution, annotation side effects, syscalls/halt, squash requests).
+Results are bit-identical to the interpreter by construction — see
+docs/INTERNALS.md §12 for the discovery/guard/deopt protocol.
+
+Layout:
+
+* :mod:`repro.jit.blocks` — flat per-word decode tables, trace-region
+  and basic-block discovery, per-region statistics;
+* :mod:`repro.jit.codegen` — source generation for the specialized
+  per-cycle executors;
+* :mod:`repro.jit.engine` — window eligibility, the body cache, and
+  the ``engine_for`` factory the run loops call.
+"""
+
+from repro.jit.blocks import EXIT_NAMES, TraceTables, tables_for
+from repro.jit.engine import (
+    MIN_WINDOW,
+    UnitJIT,
+    current_injection,
+    engine_for,
+    set_injection,
+)
+
+__all__ = [
+    "EXIT_NAMES",
+    "MIN_WINDOW",
+    "TraceTables",
+    "UnitJIT",
+    "current_injection",
+    "engine_for",
+    "set_injection",
+    "tables_for",
+]

@@ -1,0 +1,1224 @@
+"""Source generation for the compiled trace executors.
+
+A generated executor runs whole machine cycles inside a single Python
+frame, against the units' real state objects (the same ROB lists,
+``_InFlight`` records, FU port lists, and caches the interpreter
+uses). It is a specialized, flattened transcription of
+``UnitPipeline.step()`` — same phase order (commit, resolve, issue,
+dispatch, fetch, stall classification, activity), same side effects,
+driven by the flat per-word tables of :mod:`repro.jit.blocks` instead
+of per-uop attribute chains.
+
+Two executor shapes share one phase transcription:
+
+* the **unit window** (:func:`build_source`) advances ONE unit for
+  many cycles — the scalar run loop, and the multiscalar steady state
+  where every other unit sleeps past the window end;
+* the **machine frame** (:func:`build_machine_source`) transcribes the
+  multiscalar machine loop itself — ring delivery, the task walk,
+  idle accounting, retirement, and the machine-level quiescence skip —
+  advancing every unit cycle-by-cycle in walk order inside one frame.
+  Units whose in-flight state is *regular* (every ROB word COMMIT_OK,
+  the next dispatch admitted) run the compiled phase transcription
+  against per-unit state slots; irregular units fall back to
+  ``pipeline.step()`` per cycle, so forwards, releases, stops,
+  syscalls, and squashes execute through the interpreter while their
+  neighbours stay compiled. Interleaving in walk order keeps the ARB
+  access order — and therefore memory-violation detection — identical
+  to the interpreter.
+
+Correctness rests on two structural invariants rather than per-effect
+guards:
+
+* **All-or-nothing cycles.** A unit-window deopt guard (the next word
+  the unit would dispatch, checked against the body's dispatch table)
+  is evaluated *before* any of a cycle's effects, so a guarded exit
+  returns with the flagged cycle completely unexecuted and the
+  interpreter simply runs that exact cycle — there is no
+  partial-cycle state to repair. In the machine frame the same check
+  demotes just that unit to its interpreter for the cycle; the only
+  whole-frame exits are the sequencer becoming ready to assign
+  (checked before any of the cycle's effects) and the machine halting
+  (checked after the cycle completes, which is when the run loop
+  would see it).
+* **No annotations in compiled state.** Compiled phases only ever run
+  over ROBs whose every record decodes to a COMMIT_OK word (plain
+  commits: no syscalls, halts, forwards, releases, or stop bits), and
+  the dispatch table admits only such words. Compiled control flow is
+  therefore *regular*: branch resolution is either a no-op or the
+  plain mispredict flush, jumps redirect fetch, and jr/jalr stall it —
+  all transcribed here — while every annotated form (task stops,
+  forwards, releases) and syscall/halt runs interpreted. In the
+  machine frame, machine-level events those commits raise — ring
+  sends, squash requests, mispredict squashes, retirement — happen
+  through the interpreter's own methods on the live machine object,
+  at exactly the walk position the machine loop would run them.
+
+Unit-window executors are specialized per machine variant (scalar vs
+multiscalar annotation suppression), per feature set of the live
+window (memory ops present, control flow present), and on whether an
+event bus is attached — a handful of compiled bodies per engine,
+cached by key. A body's dispatch table maps any word whose features it
+did not compile to an ``EV_TRACE`` deopt, so a window that branches
+into a region needing richer arms exits cleanly and re-enters under
+the right variant. Machine-frame bodies always compile the full
+feature set (several units rarely share a feature profile) and so
+specialize only on tracing.
+"""
+
+from __future__ import annotations
+
+from repro.isa.executor import next_pc as _arch_next_pc
+from repro.isa.memory_image import u32 as _u32
+from repro.jit.blocks import (
+    K_ALU,
+    K_BRANCH,
+    K_CALL,
+    K_JUMP,
+    K_JUMP_REG,
+    K_LOAD,
+    K_STORE,
+)
+from repro.observability.events import Category as _Cat
+from repro.pipeline.context import StallReason
+from repro.pipeline.unit import MemRetry as _MemRetry
+from repro.pipeline.unit import _InFlight
+
+#: Body-feature bits. F_MEM / F_BRANCH prune the issue arms and the
+#: memory / control-flow machinery for windows that provably contain
+#: no memory ops / no control flow; F_TRACED compiles in the
+#: stall-transition event emission.
+F_MEM = 1
+F_BRANCH = 2
+F_TRACED = 4
+
+_CAT_PIPE = int(_Cat.PIPE)
+
+#: StallReason members and names indexed by their IntEnum value (the
+#: executor tracks the current stall id as a small int).
+_RS_ENUM = (None,) + tuple(StallReason)
+_RS_NAME = (None,) + tuple(reason.name for reason in StallReason)
+
+_R_NONE = int(StallReason.NONE)
+_R_INTER = int(StallReason.INTER_TASK)
+_R_INTRA = int(StallReason.INTRA_TASK)
+_R_WAIT = int(StallReason.WAIT_RETIRE)
+_R_FETCH = int(StallReason.FETCH)
+
+#: Shared sources dict for uops with no register producers: their bound
+#: closures never index it (LUI/LI/LA ignore the argument), and gathered
+#: source dicts are never mutated after issue, so sharing is safe.
+_EMPTY_SRCS: dict = {}
+
+
+class _Lines:
+    """Tiny indented-source builder."""
+
+    def __init__(self) -> None:
+        self.parts: list[str] = []
+        self.depth = 0
+
+    def w(self, text: str = "") -> None:
+        self.parts.append("    " * self.depth + text if text else "")
+
+    def indent(self) -> None:
+        self.depth += 1
+
+    def dedent(self) -> None:
+        self.depth -= 1
+
+    def source(self) -> str:
+        return "\n".join(self.parts) + "\n"
+
+
+def _emit_tables(L: _Lines) -> None:
+    """Bind every flat table as a closure cell of the factory.
+
+    LOAD_DEREF beats LOAD_GLOBAL and attribute chains in the per-cycle
+    loop.
+    """
+    w = L.w
+    w("KIND = T.kind; LAT = T.lat; FUI = T.fui")
+    w("SRCS = T.srcs; DSTS = T.dsts; DST1 = T.dst1")
+    w("IMM = T.imm; TGT = T.target; ALUF = T.alu; BRF = T.branch")
+    w("EA = T.ea_base; SREG = T.store_reg; INSTR = T.instrs")
+    w("UOPS = T.uops; ISREL = T.is_release; ISJAL = T.is_jal")
+    w("BLOCK_OF = T.block_of; BENT = T.block_entries")
+    w("TB = T.text_base; NW = T.nwords")
+    w("IFNEW = _InFlight.__new__")
+
+
+def _emit_phases(L: _Lines, ms: bool, mem: bool, br: bool, traced: bool,
+                 inject_taken: bool,
+                 stall_line: str = "counts[rid] += 1") -> None:
+    """Emit one unit-cycle of phases (commit through activity).
+
+    The emitted block reads and writes ONLY local names — the callers
+    bind them from a pipeline (unit window) or from per-unit state
+    slots (machine frame) before the block runs, and store the
+    mutated scalars back after it. ``stall_line`` is the statement
+    charging a non-issue cycle's stall reason (the unit window defers
+    into a counts buffer; the machine frame charges the task's
+    stall-cycle dict eagerly):
+
+    in/out scalars   pc fpu fpp pstores unissued didx lsid cur_bid
+                     busy last_issue committed_t dispatched_t fetched_t
+                     loads_t stores_t
+    out scalars      issued rid act (plus scratch)
+    aliased state    rob fb lw unres fbv stats counts regs pending
+    bound callables  fetch_group mem_load mem_store store_prep
+    constants        window fetchq stopc cycle trace tid
+    """
+    w = L.w
+
+    # ------------------------------------------------------------ commit
+    w("# Commit (unguarded: COMMIT_OK entry scan + DISPATCH_OK-only")
+    w("# dispatch means only regular commits can reach the head).")
+    w("committed = 0")
+    w("while rob:")
+    L.indent()
+    w("r0 = rob[0]")
+    w("if not r0.issued or cycle < r0.done_cycle or not r0.resolved:")
+    L.indent()
+    w("break")
+    L.dedent()
+    w("rob.pop(0)")
+    w("committed += 1")
+    w("w0 = (r0.pc - TB) >> 2")
+    w("ds = DSTS[w0]")
+    w("if ds:")
+    L.indent()
+    w("res = r0.result")
+    w("if res is not None:")
+    L.indent()
+    w("d1 = DST1[w0]")
+    w("if d1:")
+    L.indent()
+    w("regs[d1] = res")
+    if ms:
+        w("pending.pop(d1, None)")
+    L.dedent()
+    L.dedent()
+    w("for d in ds:")
+    L.indent()
+    w("if lw.get(d) is r0:")
+    L.indent()
+    w("del lw[d]")
+    L.dedent()
+    L.dedent()
+    L.dedent()
+    if mem:
+        w(f"if KIND[w0] == {K_STORE}:")
+        L.indent()
+        w("mem_store(INSTR[w0], r0.ea, r0.store_value, cycle)")
+        w("pstores -= 1")
+        w("stores_t += 1")
+        L.dedent()
+    L.dedent()
+    w("committed_t += committed")
+
+    # ----------------------------------------------------------- resolve
+    if br:
+        w("# Resolve ready control (exact _resolve_branches +")
+        w("# _apply_resolution for unannotated records: a not-taken")
+        w("# branch is a no-op, a taken branch is the mispredict flush,")
+        w("# and jr/jalr always flush-and-redirect to the target).")
+        w("resolved = 0")
+        w("if unres:")
+        L.indent()
+        w("while True:")
+        L.indent()
+        w("cand = None")
+        w("for r in unres:")
+        L.indent()
+        w("if r.issued and cycle >= r.done_cycle:")
+        L.indent()
+        w("cand = r")
+        w("break")
+        L.dedent()
+        L.dedent()
+        w("if cand is None:")
+        L.indent()
+        w("break")
+        L.dedent()
+        w("unres.remove(cand)")
+        w("cand.resolved = True")
+        w("resolved += 1")
+        w("cut = -1")
+        w(f"if KIND[(cand.pc - TB) >> 2] == {K_BRANCH}:")
+        L.indent()
+        if inject_taken:
+            # Planted guard miss (difftest.inject_jit_guard_miss): taken
+            # branches resolve as no-ops, silently running the wrong path.
+            w("if 0:")
+        else:
+            w("if cand.taken:")
+        L.indent()
+        w("stats.taken_branch_flushes += 1")
+        w("cut = cand.idx")
+        L.dedent()
+        L.dedent()
+        w("else:  # jr / jalr (stop bits never reach a window)")
+        L.indent()
+        w("cut = cand.idx")
+        L.dedent()
+        w("if cut >= 0:")
+        L.indent()
+        w("keep = [r for r in rob if r.idx <= cut]")
+        w("dropped = len(rob) - len(keep)")
+        w("if dropped:")
+        L.indent()
+        w("stats.flushed += dropped")
+        w("rob[:] = keep  # in place: body-local aliases must survive")
+        w("unres[:] = [r for r in unres if r.idx <= cut]")
+        if mem:
+            w("pstores = 0")
+        w("unissued = 0")
+        w("lw.clear()")
+        w("for r in keep:")
+        L.indent()
+        w("wk = (r.pc - TB) >> 2")
+        if mem:
+            w(f"if KIND[wk] == {K_STORE}:")
+            L.indent()
+            w("pstores += 1")
+            L.dedent()
+        w("if not r.issued:")
+        L.indent()
+        w("unissued += 1")
+        L.dedent()
+        w("for d in DSTS[wk]:")
+        L.indent()
+        w("lw[d] = r")
+        L.dedent()
+        L.dedent()
+        L.dedent()
+        w("fb.clear()")
+        w("fpu = None")
+        w("fpp = None")
+        w("pc = cand.next_pc")
+        L.dedent()
+        L.dedent()
+        L.dedent()
+    else:
+        w("resolved = 0")
+
+    # ------------------------------------------------------------- issue
+    w("# Issue (in-order, width 1): exact _try_issue transcription.")
+    w("issued = 0")
+    w("if unissued:")
+    L.indent()
+    w("rec = rob[-unissued]")
+    w("if cycle >= rec.issuable_at:")
+    L.indent()
+    w("prod = rec.producers")
+    w("ok = True")
+    w("if prod:")
+    L.indent()
+    w("srcs = {}")
+    w("for reg, pr in prod.items():")
+    L.indent()
+    w("if pr is None:")
+    L.indent()
+    if ms:
+        w("if reg in pending:")
+        L.indent()
+        w("ok = False")
+        w("break")
+        L.dedent()
+    w("srcs[reg] = regs[reg]")
+    L.dedent()
+    w("elif pr.issued and cycle >= pr.done_cycle:")
+    L.indent()
+    w("srcs[reg] = pr.result")
+    L.dedent()
+    w("else:")
+    L.indent()
+    w("ok = False")
+    w("break")
+    L.dedent()
+    L.dedent()
+    L.dedent()
+    w("else:")
+    L.indent()
+    w("srcs = EMPTY")
+    L.dedent()
+    w("if ok:")
+    L.indent()
+    w("wq = (rec.pc - TB) >> 2")
+    w("k = KIND[wq]")
+    w("fail = False")
+    if mem:
+        # Load-ordering constraints (exact _older_unresolved_branch /
+        # _older_uncommitted_store transcription).
+        w(f"if k == {K_LOAD}:")
+        L.indent()
+        w("ri = rec.idx")
+        w("for b in unres:")
+        L.indent()
+        w("if b.idx < ri:")
+        L.indent()
+        w("fail = True")
+        w("break")
+        L.dedent()
+        L.dedent()
+        w("if not fail and pstores:")
+        L.indent()
+        w("for o in rob:")
+        L.indent()
+        w("if o.idx >= ri:")
+        L.indent()
+        w("break")
+        L.dedent()
+        w(f"if KIND[(o.pc - TB) >> 2] == {K_STORE}:")
+        L.indent()
+        w("fail = True")
+        w("break")
+        L.dedent()
+        L.dedent()
+        L.dedent()
+        L.dedent()
+    w("if not fail:")
+    L.indent()
+    w("slots = fbv[FUI[wq]]")
+    w("if slots[0] > cycle:")
+    L.indent()
+    w("fail = True  # single FU instance per class (Table 1)")
+    L.dedent()
+    w("else:")
+    L.indent()
+    w("done = cycle + LAT[wq]")
+    w(f"if k == {K_ALU}:")
+    L.indent()
+    w("fn = ALUF[wq]")
+    w("if fn is not None:")
+    L.indent()
+    w("rec.result = fn(srcs)")
+    L.dedent()
+    L.dedent()
+    if mem:
+        w(f"elif k == {K_LOAD}:")
+        L.indent()
+        w("rec.ea = ea = u32(srcs[EA[wq]] + IMM[wq])")
+        if ms:
+            w("try:")
+            L.indent()
+            w("v, done = mem_load(INSTR[wq], ea, cycle + 1)")
+            L.dedent()
+            w("except MemRetry:")
+            L.indent()
+            w("fail = True")
+            L.dedent()
+            w("else:")
+            L.indent()
+            w("rec.result = v")
+            w("loads_t += 1")
+            L.dedent()
+        else:
+            w("v, done = mem_load(INSTR[wq], ea, cycle + 1)")
+            w("rec.result = v")
+            w("loads_t += 1")
+        L.dedent()
+        w(f"elif k == {K_STORE}:")
+        L.indent()
+        w("rec.ea = ea = u32(srcs[EA[wq]] + IMM[wq])")
+        if ms:
+            w("try:")
+            L.indent()
+            w("store_prep(INSTR[wq], ea)")
+            L.dedent()
+            w("except MemRetry:")
+            L.indent()
+            w("fail = True")
+            L.dedent()
+            w("else:")
+            L.indent()
+            w("rec.store_value = srcs[SREG[wq]]")
+            L.dedent()
+        else:
+            w("rec.store_value = srcs[SREG[wq]]")
+        L.dedent()
+    if br:
+        w(f"elif k == {K_BRANCH}:")
+        L.indent()
+        w("t = BRF[wq](srcs)")
+        w("rec.taken = t")
+        w("rec.next_pc = TGT[wq] if t else rec.pc + 4")
+        L.dedent()
+    # Jumps/calls/jr are COMMIT_OK (their commits are regular) and may
+    # sit in the ROB at window entry, so their issue arms are always
+    # compiled even though the JIT never dispatches them.
+    w(f"elif k == {K_JUMP} or k == {K_CALL} or k == {K_JUMP_REG}:")
+    L.indent()
+    w("rec.next_pc = arch_next_pc(INSTR[wq], srcs, rec.pc)")
+    w(f"if k == {K_CALL}:")
+    L.indent()
+    w("rec.result = u32(rec.pc + 4)")
+    L.dedent()
+    L.dedent()
+    w("# SYSCALL / HALT / RELEASE carry no EX-stage result.")
+    w("if not fail:")
+    L.indent()
+    w("slots[0] = cycle + 1")
+    w("rec.issued = True")
+    w("rec.done_cycle = done")
+    w("issued = 1")
+    w("unissued -= 1")
+    w("busy += 1")
+    w("last_issue = cycle")
+    L.dedent()
+    L.dedent()
+    L.dedent()
+    L.dedent()
+    L.dedent()
+    L.dedent()
+
+    # ---------------------------------------------------------- dispatch
+    w("# Dispatch (width 1): the head word is DISPATCH_OK by guard.")
+    w("dispatched = 0")
+    w("if fb and len(rob) < window:")
+    L.indent()
+    w("uop, dpc = fb.popleft()")
+    w("wd = (dpc - TB) >> 2")
+    w("# Inlined _InFlight construction (one record per dispatched")
+    w("# instruction): __new__ plus direct slot stores skips the")
+    w("# __init__ call frame. Every slot is written — snapshot and")
+    w("# interpreter code read them all after a demotion.")
+    w("rec = IFNEW(_InFlight)")
+    w("rec.uop = uop")
+    w("rec.pc = dpc")
+    w("rec.idx = didx")
+    w("rec.issuable_at = cycle + 1")
+    w("rec.issued = False")
+    w("rec.done_cycle = 0")
+    w("rec.result = None")
+    w("rec.ea = 0")
+    w("rec.store_value = None")
+    w("rec.taken = False")
+    w("rec.resolved = True")
+    w("rec.stalled_fetch = False")
+    w("rec.next_pc = dpc + 4")
+    w("didx += 1")
+    w("st = SRCS[wd]")
+    w("prod = {}")
+    w("rec.producers = prod")
+    w("if st and not ISREL[wd]:")
+    L.indent()
+    w("for reg in st:")
+    L.indent()
+    w("prod[reg] = lw.get(reg)")
+    L.dedent()
+    L.dedent()
+    w("for dst in DSTS[wd]:")
+    L.indent()
+    w("lw[dst] = rec")
+    L.dedent()
+    if mem:
+        w(f"if KIND[wd] == {K_STORE}:")
+        L.indent()
+        w("pstores += 1")
+        L.dedent()
+    w("rob.append(rec)")
+    w("dispatched = 1")
+    w("unissued += 1")
+    if br:
+        w("# Decode-time fetch redirection (exact _dispatch_control")
+        w("# with stop = NONE: the dispatch table admits no annotated")
+        w("# control words).")
+        w("kd = KIND[wd]")
+        w(f"if kd == {K_BRANCH}:")
+        L.indent()
+        w("rec.resolved = False")
+        w("unres.append(rec)")
+        L.dedent()
+        w(f"elif kd == {K_JUMP}:")
+        L.indent()
+        w("pc = TGT[wd]")
+        w("fb.clear()")
+        w("fpu = None")
+        w("fpp = None")
+        L.dedent()
+        w(f"elif kd == {K_CALL}:")
+        L.indent()
+        w("if ISJAL[wd]:")
+        L.indent()
+        w("pc = TGT[wd]")
+        w("fb.clear()")
+        w("fpu = None")
+        w("fpp = None")
+        L.dedent()
+        w("else:  # jalr: resolve-time redirect, fetch stalls")
+        L.indent()
+        w("rec.resolved = False")
+        w("rec.stalled_fetch = True")
+        w("unres.append(rec)")
+        w("pc = None")
+        w("fb.clear()")
+        w("fpu = None")
+        w("fpp = None")
+        L.dedent()
+        L.dedent()
+        w(f"elif kd == {K_JUMP_REG}:")
+        L.indent()
+        w("rec.resolved = False")
+        w("rec.stalled_fetch = True")
+        w("unres.append(rec)")
+        w("pc = None")
+        w("fb.clear()")
+        w("fpu = None")
+        w("fpp = None")
+        L.dedent()
+    w("bid = BLOCK_OF[wd]")
+    w("if bid != cur_bid:")
+    L.indent()
+    w("BENT[bid] += 1")
+    w("cur_bid = bid")
+    L.dedent()
+    w("dispatched_t += 1")
+    L.dedent()
+
+    # ------------------------------------------------------------- fetch
+    w("# Fetch: deliver a due group and/or start the next request.")
+    w("fpu_b = fpu")
+    w("if fpu is not None:")
+    L.indent()
+    w("if cycle >= fpu:")
+    L.indent()
+    w("start_pc = fpp")
+    w("fpu = None")
+    w("fpp = None")
+    w("if start_pc is not None and start_pc == pc:")
+    L.indent()
+    w("cnt = ((start_pc & ~15) + 16 - start_pc) >> 2")
+    w("ws = (start_pc - TB) >> 2")
+    w("we = ws + cnt")
+    w("if we > NW:")
+    L.indent()
+    w("we = NW")
+    L.dedent()
+    w("npc = start_pc")
+    w("got = 0")
+    w("if ws < we:")
+    L.indent()
+    w("for fu in UOPS[ws:we]:")
+    L.indent()
+    w("fb.append((fu, npc))")
+    w("npc += 4")
+    L.dedent()
+    w("got = we - ws")
+    L.dedent()
+    w("fetched_t += got")
+    w("pc = npc if got == cnt else None")
+    L.dedent()
+    w("if pc is not None and len(fb) < fetchq:")
+    L.indent()
+    w("fpp = pc")
+    w("fpu = fetch_group(pc & ~15, cycle)")
+    L.dedent()
+    L.dedent()
+    L.dedent()
+    w("elif pc is not None and len(fb) < fetchq:")
+    L.indent()
+    w("fpp = pc")
+    w("fpu = fetch_group(pc & ~15, cycle)")
+    L.dedent()
+
+    # ------------------------------------- stall classification and tail
+    w("# Stall classification and transition (exact _classify_stall).")
+    w("if issued:")
+    L.indent()
+    w(f"rid = {_R_NONE}")
+    L.dedent()
+    w("elif unissued:")
+    L.indent()
+    if ms:
+        w(f"rid = {_R_INTRA}")
+        w("for reg, pr in rob[-unissued].producers.items():")
+        L.indent()
+        w("if pr is None and reg in pending:")
+        L.indent()
+        w(f"rid = {_R_INTER}")
+        w("break")
+        L.dedent()
+        L.dedent()
+    else:
+        w(f"rid = {_R_INTRA}")
+    L.dedent()
+    w("elif rob:")
+    L.indent()
+    w(f"rid = {_R_INTRA}  # a syscall head cannot occur in-window")
+    L.dedent()
+    w("elif stopc or (pc is None and fpu is None and not fb):")
+    L.indent()
+    w(f"rid = {_R_WAIT}")
+    L.dedent()
+    w("else:")
+    L.indent()
+    w(f"rid = {_R_FETCH}")
+    L.dedent()
+    w("if rid != lsid:")
+    L.indent()
+    if traced:
+        w(f"if trace is not None and trace.mask & {_CAT_PIPE}:")
+        L.indent()
+        w(f"trace.emit({_CAT_PIPE}, RSN[rid], cycle, tid)")
+        L.dedent()
+    w("lsid = rid")
+    L.dedent()
+    w("if not issued:")
+    L.indent()
+    w(stall_line)
+    L.dedent()
+    w("act = bool(issued or resolved or committed or dispatched) "
+      "or fpu != fpu_b")
+
+
+def build_source(ms: bool, feat: int, inject_taken: bool = False) -> str:
+    """Emit the ``_make(...)`` factory source for one unit-window body.
+
+    The executor advances one unit for many cycles in one flat loop,
+    with an in-frame quiescence skip, returning
+    ``(next_cycle, exit_code, last_issue_cycle, busy_cycles)``.
+    """
+    mem = bool(feat & F_MEM)
+    br = bool(feat & F_BRANCH)
+    traced = bool(feat & F_TRACED)
+    L = _Lines()
+    w = L.w
+
+    w("def _make(T, XV, DOK, RSE, RSN, EMPTY, u32, arch_next_pc,")
+    w("          _InFlight, MemRetry):")
+    L.indent()
+    _emit_tables(L)
+    w("def run(p, ctx, cycle, budget, counts):")
+    L.indent()
+    w("rob = p.rob")
+    w("fb = p.fetch_buffer")
+    w("lw = p.last_writer")
+    w("unres = p.unresolved")
+    w("fbv = p.fus._free_by_val")
+    w("stats = p.stats")
+    if traced:
+        w("trace = p.trace")
+        w("tid = p.trace_tid")
+    w("pc = p.pc")
+    w("fpu = p.fetch_pending_until")
+    w("fpp = p.fetch_pending_pc")
+    w("pstores = p.pending_stores")
+    w("unissued = p._unissued")
+    w("didx = p._dispatch_idx")
+    w("lsid = int(p._last_stall)")
+    w("window = p._window")
+    w("fetchq = p._fetchq")
+    w("stopc = p.stop_committed")
+    w("fetch_group = ctx.fetch_group")
+    if mem:
+        w("mem_load = ctx.mem_load")
+        w("mem_store = ctx.mem_store")
+        if ms:
+            w("store_prep = ctx.mem_store_prepare")
+    if ms:
+        w("machine = ctx.p")
+        w("regs = ctx.cur_regs")
+        w("pending = ctx.cur_pending")
+    else:
+        w("regs = ctx._regs")
+    w("cur_bid = -1")
+    w("busy = 0")
+    w("last_issue = -1")
+    w("committed_t = 0; dispatched_t = 0; fetched_t = 0")
+    w("loads_t = 0; stores_t = 0")
+    w("code = 0  # EV_LIMIT unless a guard or squash exits first")
+    w("act = True")
+    w("while cycle < budget:")
+    L.indent()
+
+    # ----------------------------------------------- pre-cycle guard
+    # The guard runs before any of the cycle's effects, so a deopt
+    # returns with `cycle` unexecuted and the interpreter replays it.
+    w("# Guard: the next word to dispatch must be admitted by this")
+    w("# body's dispatch table; annotated words, syscalls/halts, and")
+    w("# words needing uncompiled arms deopt by exit kind.")
+    w("if fb:")
+    L.indent()
+    w("x = XV[(fb[0][1] - TB) >> 2]")
+    w("if x >= 0:")
+    L.indent()
+    w("code = x")
+    w("break")
+    L.dedent()
+    L.dedent()
+
+    _emit_phases(L, ms, mem, br, traced, inject_taken)
+
+    if ms:
+        w("# A committed store may have requested a squash (ARB")
+        w("# memory violation) or an issue-time ARB overflow may")
+        w("# have; the machine applies it at end of cycle, so exit")
+        w("# with the cycle fully executed.")
+        w("if machine._squash_request is not None:")
+        L.indent()
+        w("cycle += 1")
+        w("code = 4  # EV_SQUASH")
+        w("break")
+        L.dedent()
+    w("nxt = cycle + 1")
+    w("if not act:")
+    L.indent()
+    w("# In-frame quiescence skip: identical to the run loops'")
+    w("# wake_cycle skip (budget already encodes every external")
+    w("# bound: horizon, ring, sequencer, sleeping units).")
+    w("p._activity = False")
+    w("p.fetch_pending_until = fpu")
+    w("p.pending_stores = pstores")
+    w("wake = p.wake_cycle(cycle)")
+    w("if wake > nxt:")
+    L.indent()
+    w("if wake > budget:")
+    L.indent()
+    w("wake = budget")
+    L.dedent()
+    w("if wake > nxt:")
+    L.indent()
+    w("counts[lsid] += wake - nxt")
+    w("nxt = wake")
+    L.dedent()
+    L.dedent()
+    L.dedent()
+    w("cycle = nxt")
+    L.dedent()  # end while
+
+    # --------------------------------------------------------- writeback
+    w("p.pc = pc")
+    w("p.fetch_pending_until = fpu")
+    w("p.fetch_pending_pc = fpp")
+    w("p.pending_stores = pstores")
+    w("p._unissued = unissued")
+    w("p._dispatch_idx = didx")
+    w("p._last_stall = RSE[lsid]")
+    w("p._activity = act")
+    w("stats.committed += committed_t")
+    w("stats.dispatched += dispatched_t")
+    w("stats.fetched += fetched_t")
+    w("stats.issued += busy")
+    w("stats.loads += loads_t")
+    w("stats.stores += stores_t")
+    w("return cycle, code, last_issue, busy")
+    L.dedent()
+    w("return run")
+    L.dedent()
+    return L.source()
+
+
+def build_machine_source(traced: bool, inject_taken: bool = False) -> str:
+    """Emit the ``_make(...)`` factory for the machine-frame body.
+
+    The executor transcribes the multiscalar machine loop: per cycle it
+    checks the sequencer's assign gate, delivers due ring messages,
+    walks the active tasks in order, accounts idle units, retires a
+    drained stopped head, and applies the machine-level quiescence
+    skip — all against the live machine object, calling its own
+    methods (``_deliver_ring``, ``_apply_squash_request``,
+    ``_try_retire``, ``_wake_cycle``, ``_account_skip``) for every
+    machine-level event so their effects are the interpreter's own.
+
+    Inside the walk, a unit whose in-flight state is regular (every
+    ROB word COMMIT_OK and the next dispatch admitted by the dispatch
+    table) becomes *resident*: its pipeline state is staged into two
+    per-unit slots — a tuple of per-residency constants (aliases and
+    bound methods) and a tuple of mutable scalars — and its cycles run
+    the compiled phase transcription, with stats and task accounting
+    folded eagerly every cycle so a squash or retirement observes
+    exact live values. Irregular units run ``pipeline.step()`` — so
+    annotated commits (forwards, releases, stops), syscalls, and
+    squash-raising events execute interpreted at their exact walk
+    position while other units stay compiled. Resident state is
+    written back whenever the unit's next dispatch stops being
+    admitted, and *dropped* (never written back) when the unit's task
+    changes under it — retirement or a squash reset the pipeline,
+    making staged scalars stale.
+
+    The frame exits only when the machine halts (``EV_HALT``) or at
+    the cycle budget (``EV_LIMIT``) — every machine-level event,
+    including task assignment, is handled in-frame by the
+    interpreter's own methods. Returns ``(next_cycle, exit_code,
+    last_issue_cycle, machine_activity, resident_unit_cycles,
+    interp_unit_cycles)`` — the two counters feed the engine's
+    adaptive residency policy.
+    """
+    L = _Lines()
+    w = L.w
+
+    w("def _make(T, XV, COK, RSE, RSN, EMPTY, u32, arch_next_pc,")
+    w("          _InFlight, MemRetry):")
+    L.indent()
+    _emit_tables(L)
+    w("def run(m, cycle, budget):")
+    L.indent()
+    w("UNITS = m.units")
+    w("ACT = m.active")
+    w("NU = m.num_units")
+    w("PIPES = []")
+    w("CTXS = []")
+    w("for slot in UNITS:")
+    L.indent()
+    w("PIPES.append(slot.pipeline)")
+    w("CTXS.append(slot.context)")
+    L.dedent()
+    w("RNA = m.ring.next_arrival")
+    w("dist = m.distribution")
+    w("p0 = PIPES[0]")
+    w("window = p0._window")
+    w("fetchq = p0._fetchq")
+    if traced:
+        w("trace = m.trace")
+    w("# Per-unit resident-state slots, indexed by unit number. A set")
+    w("# DIRTY flag means the slots hold the unit's live pipeline")
+    w("# state (the pipeline's own scalar fields are stale until")
+    w("# written back): SB is the per-residency constant tuple")
+    w("# (aliases, bound methods, task records), SM the mutable")
+    w("# scalar tuple. NCOK caches the count of non-COMMIT_OK ROB")
+    w("# words for non-resident units (-1 = unknown).")
+    w("DIRTY = [0] * NU")
+    w("NCOK = [-1] * NU")
+    w("TREF = [None] * NU")
+    w("SB = [None] * NU")
+    w("SM = [None] * NU")
+    w("ACTS = [False] * NU")
+    w("def ld(u, task):")
+    L.indent()
+    w("p = PIPES[u]")
+    w("c = CTXS[u]")
+    w("tc = task.cycles")
+    w("SB[u] = (p.rob, p.fetch_buffer, p.last_writer, p.unresolved,")
+    w("         p.fus._free_by_val, p.stats, c.fetch_group,")
+    w("         c.mem_load, c.mem_store, c.mem_store_prepare,")
+    w("         c.cur_regs, c.cur_pending, tc.stall_cycles, tc,")
+    if traced:
+        w("         p.stop_committed, p.trace_tid)")
+    else:
+        w("         p.stop_committed)")
+    w("SM[u] = (p.pc, p.fetch_pending_until, p.fetch_pending_pc,")
+    w("         p.pending_stores, p._unissued, p._dispatch_idx,")
+    w("         int(p._last_stall), -1)")
+    w("TREF[u] = task")
+    w("ACTS[u] = p._activity")
+    w("DIRTY[u] = 1")
+    L.dedent()
+    w("def wb(u):")
+    L.indent()
+    w("p = PIPES[u]")
+    w("(pc, fpu, fpp, pstores, unissued, didx, lsid, cur_bid) = SM[u]")
+    w("p.pc = pc")
+    w("p.fetch_pending_until = fpu")
+    w("p.fetch_pending_pc = fpp")
+    w("p.pending_stores = pstores")
+    w("p._unissued = unissued")
+    w("p._dispatch_idx = didx")
+    w("p._last_stall = RSE[lsid]")
+    w("p._activity = ACTS[u]")
+    w("DIRTY[u] = 0")
+    L.dedent()
+    w("def drop_stale():")
+    L.indent()
+    w("# A task changed under a resident unit (retired, or its")
+    w("# pipeline was reset by a squash — including the mispredict")
+    w("# path, which applies *during* an interpreter step): the")
+    w("# staged scalars are stale and must never be written back.")
+    w("# Eager accounting means there is nothing left to fold.")
+    w("j = 0")
+    w("while j < NU:")
+    L.indent()
+    w("if DIRTY[j] and UNITS[j].task is not TREF[j]:")
+    L.indent()
+    w("DIRTY[j] = 0")
+    w("NCOK[j] = -1")
+    L.dedent()
+    w("j += 1")
+    L.dedent()
+    L.dedent()
+    w("code = 0  # EV_LIMIT unless halt exits first")
+    w("last_issue = -1")
+    w("lastact = True")
+    w("nr = 0  # resident unit-cycles (compiled phases)")
+    w("ni = 0  # interpreter-fallback unit-cycles")
+    w("while cycle < budget:")
+    L.indent()
+    w("m.cycle = cycle  # machine methods read the live cycle")
+    w("m._activity = False")
+    w("m_act = False")
+    w("rn = RNA()")
+    w("if rn is not None and rn <= cycle:")
+    L.indent()
+    w("m._deliver_ring(cycle)")
+    L.dedent()
+    w("# Sequencer: the inline test is exactly _try_assign's refusal")
+    w("# conditions (hoisted so the common no-assign cycle skips the")
+    w("# call); the assignment itself — task build, pipeline reset,")
+    w("# prediction — is the interpreter's own method. The assigned")
+    w("# unit is never resident: its slot was freed by a retire or a")
+    w("# squash, both of which drop staged state.")
+    w("if m.next_pc is not None and cycle >= m.seq_busy_until \\")
+    w("        and len(ACT) < NU and UNITS[m._next_unit].task is None:")
+    L.indent()
+    w("m._try_assign(cycle)")
+    L.dedent()
+    w("noted = 0")
+    w("i = 0")
+    w("while i < len(ACT):")
+    L.indent()
+    w("task = ACT[i]")
+    w("i += 1")
+    w("if task.squashed:")
+    L.indent()
+    w("continue")
+    L.dedent()
+    w("u = task.unit_index")
+    w("if UNITS[u].task is not task:")
+    L.indent()
+    w("continue")
+    L.dedent()
+    w("if task.sleep_until > cycle:")
+    L.indent()
+    w("task.cycles.stall_cycles[PIPES[u]._last_stall] += 1")
+    w("noted += 1")
+    w("continue")
+    L.dedent()
+    w("if DIRTY[u]:")
+    L.indent()
+    w("sb = SB[u]")
+    w("fb = sb[1]")
+    w("if fb and XV[(fb[0][1] - TB) >> 2] >= 0:")
+    L.indent()
+    w("# Next dispatch not admitted (annotated word, syscall,")
+    w("# halt): demote this unit to its interpreter.")
+    w("wb(u)")
+    w("NCOK[u] = 0")
+    L.dedent()
+    L.dedent()
+    w("else:")
+    L.indent()
+    w("# Cheap test first: an inadmissible next dispatch (annotated")
+    w("# word — the common irregularity) declines without touching")
+    w("# the ROB; only an admissible head pays the COMMIT_OK scan.")
+    w("p = PIPES[u]")
+    w("fb = p.fetch_buffer")
+    w("if (not fb) or XV[(fb[0][1] - TB) >> 2] < 0:")
+    L.indent()
+    w("n2 = NCOK[u]")
+    w("if n2 < 0:")
+    L.indent()
+    w("n2 = 0")
+    w("for r in p.rob:")
+    L.indent()
+    w("wv = (r.pc - TB) >> 2")
+    w("if wv < 0 or wv >= NW or not COK[wv]:")
+    L.indent()
+    w("n2 += 1")
+    L.dedent()
+    L.dedent()
+    w("NCOK[u] = n2")
+    L.dedent()
+    w("if n2 == 0:")
+    L.indent()
+    w("ld(u, task)")
+    w("sb = SB[u]")
+    L.dedent()
+    L.dedent()
+    L.dedent()
+    w("if DIRTY[u]:")
+    L.indent()
+    if traced:
+        w("(rob, fb, lw, unres, fbv, stats, fetch_group, mem_load,")
+        w(" mem_store, store_prep, regs, pending, tsc, tcy, stopc,")
+        w(" tid) = sb")
+    else:
+        w("(rob, fb, lw, unres, fbv, stats, fetch_group, mem_load,")
+        w(" mem_store, store_prep, regs, pending, tsc, tcy,")
+        w(" stopc) = sb")
+    w("(pc, fpu, fpp, pstores, unissued, didx, lsid, cur_bid) = SM[u]")
+    w("busy = 0")
+    w("nr += 1")
+    w("committed_t = 0; dispatched_t = 0; fetched_t = 0")
+    w("loads_t = 0; stores_t = 0")
+
+    _emit_phases(L, ms=True, mem=True, br=True, traced=traced,
+                 inject_taken=inject_taken,
+                 stall_line="tsc[RSE[rid]] += 1")
+
+    w("SM[u] = (pc, fpu, fpp, pstores, unissued, didx, lsid, cur_bid)")
+    w("ACTS[u] = act")
+    w("# Eager accounting: stats and task cycles are always live,")
+    w("# so squash discard and retirement fold exact values.")
+    w("if committed_t:")
+    L.indent()
+    w("stats.committed += committed_t")
+    L.dedent()
+    w("if dispatched_t:")
+    L.indent()
+    w("stats.dispatched += dispatched_t")
+    L.dedent()
+    w("if fetched_t:")
+    L.indent()
+    w("stats.fetched += fetched_t")
+    L.dedent()
+    w("if loads_t:")
+    L.indent()
+    w("stats.loads += loads_t")
+    L.dedent()
+    w("if stores_t:")
+    L.indent()
+    w("stats.stores += stores_t")
+    L.dedent()
+    w("if issued:")
+    L.indent()
+    w("stats.issued += 1")
+    w("tcy.busy_cycles += 1")
+    L.dedent()
+    w("noted += 1")
+    w("if act:")
+    L.indent()
+    w("m_act = True")
+    L.dedent()
+    w("elif m._squash_request is None:")
+    L.indent()
+    w("# Mirror the machine walk's unit-level sleep decision.")
+    w("p = PIPES[u]")
+    w("p._activity = False")
+    w("p.fetch_pending_until = fpu")
+    w("p.pending_stores = pstores")
+    w("p._last_stall = RSE[lsid]")
+    w("wake = p.wake_cycle(cycle)")
+    w("if wake > cycle + 1:")
+    L.indent()
+    w("task.sleep_until = wake")
+    L.dedent()
+    L.dedent()
+    L.dedent()
+    w("else:")
+    L.indent()
+    w("p = PIPES[u]")
+    w("na = len(ACT)")
+    w("ni += 1")
+    w("issued, reason = p.step(cycle)")
+    w("tcy = task.cycles")
+    w("if issued:")
+    L.indent()
+    w("tcy.busy_cycles += 1")
+    w("last_issue = cycle")
+    L.dedent()
+    w("else:")
+    L.indent()
+    w("tcy.stall_cycles[reason] += 1")
+    L.dedent()
+    w("noted += 1")
+    w("if p._activity:")
+    L.indent()
+    w("m_act = True")
+    L.dedent()
+    w("NCOK[u] = -1")
+    w("if len(ACT) != na:")
+    L.indent()
+    w("# A mispredict squash applied in-step (task_stopped ->")
+    w("# _squash_from discards directly, without a request).")
+    w("drop_stale()")
+    L.dedent()
+    w("if m._squash_request is None and not issued \\")
+    w("        and not p._activity:")
+    L.indent()
+    w("wake = p.wake_cycle(cycle)")
+    w("if wake > cycle + 1:")
+    L.indent()
+    w("task.sleep_until = wake")
+    L.dedent()
+    L.dedent()
+    L.dedent()
+    w("if m._squash_request is not None:")
+    L.indent()
+    w("# Apply at this exact walk position, as the machine loop")
+    w("# does; the walk then continues over the survivors.")
+    w("m._apply_squash_request(cycle)")
+    w("m_act = True")
+    w("drop_stale()")
+    L.dedent()
+    L.dedent()  # end walk
+    w("dist.idle += NU - noted")
+    w("if ACT:")
+    L.indent()
+    w("h = ACT[0]")
+    w("if h.stopped and not h.pending and not h.deferred \\")
+    w("        and not PIPES[h.unit_index].rob:")
+    L.indent()
+    w("# Exact _try_retire gate (its refusal paths have no side")
+    w("# effects). Retirement sets _last_progress itself — the gate")
+    w("# passing is NOT progress (a refused retire must still trip")
+    w("# the livelock watchdog), so last_issue is left alone here.")
+    w("m._try_retire(cycle)")
+    w("drop_stale()")
+    L.dedent()
+    L.dedent()
+    w("lastact = m_act or m._activity")
+    w("cycle += 1")
+    w("if m.halted:")
+    L.indent()
+    w("code = 3  # EV_HALT")
+    w("break")
+    L.dedent()
+    w("if not lastact:")
+    L.indent()
+    w("# Machine-level quiescence skip, bounded by the entry budget")
+    w("# (always <= the live horizon: progress only moves it out).")
+    w("wkc = m._wake_cycle(cycle - 1)")
+    w("if wkc > cycle:")
+    L.indent()
+    w("if wkc > budget:")
+    L.indent()
+    w("wkc = budget")
+    L.dedent()
+    w("if wkc > cycle:")
+    L.indent()
+    w("m._account_skip(cycle, wkc)")
+    w("cycle = wkc")
+    L.dedent()
+    L.dedent()
+    L.dedent()
+    L.dedent()  # end while
+    w("u = 0")
+    w("while u < NU:")
+    L.indent()
+    w("if DIRTY[u]:")
+    L.indent()
+    w("wb(u)")
+    L.dedent()
+    w("u += 1")
+    L.dedent()
+    w("return (cycle, code, last_issue, lastact, nr, ni)")
+    L.dedent()
+    w("return run")
+    L.dedent()
+    return L.source()
+
+
+def compile_body(tables, xdok: list, dok: list, ms: bool, feat: int,
+                 inject_taken: bool = False):
+    """Compile one unit-window variant and bind it over ``tables``."""
+    label = "ms" if ms else "scalar"
+    src = build_source(ms, feat, inject_taken)
+    namespace: dict = {}
+    exec(compile(src, f"<jit:{label}:trace:feat{feat}>", "exec"),
+         namespace)
+    return namespace["_make"](tables, xdok, dok, _RS_ENUM, _RS_NAME,
+                              _EMPTY_SRCS, _u32, _arch_next_pc,
+                              _InFlight, _MemRetry)
+
+
+def compile_machine_body(tables, xdok: list, cok: list, traced: bool,
+                         inject_taken: bool = False):
+    """Compile one machine-frame variant and bind it over ``tables``."""
+    src = build_machine_source(traced, inject_taken)
+    namespace: dict = {}
+    exec(compile(src, f"<jit:ms:machine:traced{int(traced)}>", "exec"),
+         namespace)
+    return namespace["_make"](tables, xdok, cok, _RS_ENUM, _RS_NAME,
+                              _EMPTY_SRCS, _u32, _arch_next_pc,
+                              _InFlight, _MemRetry)

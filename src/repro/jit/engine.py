@@ -1,0 +1,347 @@
+"""Trace-JIT engine: window eligibility, the compiled-body cache, and
+per-region statistics.
+
+One :class:`UnitJIT` serves one processor (all units of a multiscalar
+machine share it — the generated executors read every mutable input
+from the pipeline they are handed). ``try_run`` is the single entry
+point: it decides whether the unit's *live* state is JIT-eligible
+(every ROB record decodes to a COMMIT_OK word), picks the compiled
+body variant for the window's feature set, runs it, and attributes the
+executed cycles to the trace region being streamed.
+
+Eligibility is deliberately re-checked on every entry rather than
+cached: fault injection can swap ``semantics.evaluate_alu`` mid-run,
+and annotation passes can replace the program's uop list (checked via
+``TraceTables.fresh_for`` by the run-loop integrations).
+"""
+
+from __future__ import annotations
+
+from repro.isa import semantics
+from repro.jit import codegen
+from repro.jit.blocks import (
+    EV_HALT,
+    EXIT_NAMES,
+    EV_RING,
+    EV_TRACE,
+    K_ALU,
+    K_BRANCH,
+    K_CALL,
+    K_HALT,
+    K_JUMP,
+    K_JUMP_REG,
+    K_LOAD,
+    K_RELEASE,
+    K_STORE,
+    K_SYSCALL,
+    S_NONE,
+    tables_for,
+)
+
+#: Minimum window span (in cycles) worth entering a compiled body for.
+MIN_WINDOW = 2
+
+#: Machine-frame budget chunk (cycles): frames return at least this
+#: often so the adaptive residency policy can re-evaluate.
+_MACHINE_CHUNK = 8192
+
+#: Unit-cycles of evidence before the residency policy may disable
+#: machine frames (measured break-even sits near 55% resident: below
+#: that the staging overhead outweighs the compiled-phase savings).
+_MACHINE_PROBE = 8_000
+
+#: Planted guard-miss mode (difftest.inject_jit_guard_miss): None, or
+#: "stop" (commit/dispatch masks ignore stop/forward annotation bits)
+#: or "taken-branch" (the resolve guard lets taken branches resolve as
+#: no-ops). Read at engine construction; engines are built per run.
+_INJECT: str | None = None
+
+
+def set_injection(mode: str | None) -> None:
+    global _INJECT
+    _INJECT = mode
+
+
+def current_injection() -> str | None:
+    return _INJECT
+
+
+#: Kinds whose commit is a plain register write/store with no machine
+#: side effects (given no annotation bits): safe at the ROB head inside
+#: a compiled window.
+_REGULAR_KINDS = frozenset((K_ALU, K_LOAD, K_STORE, K_BRANCH, K_JUMP,
+                            K_CALL, K_JUMP_REG))
+#: Kinds the JIT dispatches. All regular control flow is handled
+#: in-frame (taken-branch flushes, jump redirects, jr/jalr fetch
+#: stalls); only syscalls, halts, and annotated words deopt.
+_DISPATCH_KINDS = _REGULAR_KINDS
+
+
+class UnitJIT:
+    """Compiled-trace execution for the units of one processor."""
+
+    def __init__(self, program, config, suppress: bool) -> None:
+        self.program = program
+        self.suppress = suppress
+        self.inject = _INJECT
+        tables = self.tables = tables_for(program, suppress,
+                                          config.unit.latencies)
+        n = tables.nwords
+        kind = tables.kind
+        # "stop" guard-miss: pretend the annotation bits do not exist
+        # when computing the masks, so annotated instructions stream
+        # through compiled windows without their ring side effects.
+        ignore_bits = suppress or self.inject == "stop"
+        cok = [False] * n
+        dok = [False] * n
+        xdok = [-1] * n
+        feat = [0] * n
+        for w in range(n):
+            k = kind[w]
+            regular = k in _REGULAR_KINDS or (suppress and k == K_RELEASE)
+            annotated = not ignore_bits and (
+                tables.fwd[w] or tables.stop[w] != S_NONE
+                or k == K_RELEASE)
+            cok[w] = regular and not annotated
+            dok[w] = cok[w] and (k in _DISPATCH_KINDS
+                                 or (suppress and k == K_RELEASE))
+            if not dok[w]:
+                if k == K_SYSCALL or k == K_HALT:
+                    xdok[w] = EV_HALT
+                elif tables.ctl[w]:
+                    xdok[w] = EV_TRACE
+                else:
+                    xdok[w] = EV_RING
+            if k == K_LOAD or k == K_STORE:
+                feat[w] = codegen.F_MEM
+            elif k in (K_BRANCH, K_JUMP, K_CALL, K_JUMP_REG):
+                feat[w] = codegen.F_BRANCH
+        self._cok = cok
+        self._dok = dok
+        self._xdok = xdok
+        self._feat = feat
+        self._region_feat = [0] * len(tables.regions)
+        for rid, (start, end) in enumerate(tables.regions):
+            rf = 0
+            for w in range(start, end):
+                rf |= feat[w]
+            self._region_feat[rid] = rf
+        #: Per-word counts buffer for one window, indexed by the
+        #: StallReason int value; folded and re-zeroed by the caller.
+        self.counts = [0] * (len(codegen._RS_ENUM))
+        self._bodies: dict[int, object] = {}
+        self._machine_bodies: dict[bool, object] = {}
+        self.entries = 0
+        self.declines = 0
+        self.machine_entries = 0
+        self.machine_declines = 0
+        self.machine_cycles = 0
+        self.machine_exits = [0] * len(EXIT_NAMES)
+        # Adaptive residency policy: machine frames only pay off while
+        # most unit-cycles run the compiled phases. Frames report their
+        # resident/interpreter unit-cycle split; once enough evidence
+        # accumulates that the workload streams annotated words faster
+        # than the compiler can keep units resident, frames are
+        # disabled for the rest of the run (a pure perf decision — the
+        # frame and the interpreter are bit-identical either way).
+        self.machine_resident = 0
+        self.machine_interp = 0
+        self.machine_off = False
+        #: Fully disengaged: frames are off and unit windows never
+        #: fired, so the run loop stops paying the per-cycle entry
+        #: gates (a pure perf decision, like machine_off).
+        self.dead = False
+
+    # -------------------------------------------------------------- body
+
+    def _body(self, feat: int):
+        fn = self._bodies.get(feat)
+        if fn is None:
+            # Per-body dispatch table: words whose features this body
+            # did not compile (e.g. a jump lands in a region with
+            # memory ops under a no-F_MEM body) deopt as EV_TRACE, so
+            # the window exits cleanly and re-enters under a richer
+            # variant keyed off the landing word's region.
+            cover = feat & (codegen.F_MEM | codegen.F_BRANCH)
+            xv = self._xdok
+            if cover != codegen.F_MEM | codegen.F_BRANCH:
+                feats = self._feat
+                xv = list(xv)
+                for w in range(len(xv)):
+                    if xv[w] < 0 and feats[w] & ~cover:
+                        xv[w] = EV_TRACE
+            fn = self._bodies[feat] = codegen.compile_body(
+                self.tables, xv, self._dok, not self.suppress,
+                feat, inject_taken=self.inject == "taken-branch")
+        return fn
+
+    def _machine_body(self, traced: bool):
+        fn = self._machine_bodies.get(traced)
+        if fn is None:
+            # Machine frames always compile full feature cover (their
+            # per-unit eligibility check is the COMMIT_OK table), so
+            # one variant per traced-ness serves every mix of unit
+            # states.
+            fn = self._machine_bodies[traced] = codegen.compile_machine_body(
+                self.tables, self._xdok, self._cok, traced,
+                inject_taken=self.inject == "taken-branch")
+        return fn
+
+    # ------------------------------------------------------------- entry
+
+    def fresh(self) -> bool:
+        """True while the program's uop list is the one compiled here."""
+        return self.tables.fresh_for(self.program)
+
+    def try_run(self, pipeline, ctx, cycle: int, budget: int):
+        """Run compiled cycles for one unit; ``None`` declines the window.
+
+        On success returns ``(next_cycle, exit_code, last_issue_cycle,
+        busy_cycles)`` with ``next_cycle`` the first *unexecuted* cycle
+        (for ``EV_SQUASH`` the squash cycle itself *is* executed and the
+        pending request must then be applied at ``next_cycle - 1``).
+        Per-reason stall counts for the executed span accumulate into
+        ``self.counts`` and must be folded and zeroed by the caller.
+        """
+        if budget - cycle < MIN_WINDOW:
+            return None
+        if not pipeline._fast:
+            return None
+        if semantics.evaluate_alu is not semantics._GENUINE_EVALUATE_ALU:
+            # Fault injection swapped the ALU seam: the bound closures
+            # (and thus the JIT) must not be trusted.
+            return None
+        tables = self.tables
+        tb = tables.text_base
+        n = tables.nwords
+        cok = self._cok
+        feats = self._feat
+        feat = 0
+        for rec in pipeline.rob:
+            w = (rec.pc - tb) >> 2
+            if w < 0 or w >= n or not cok[w]:
+                self.declines += 1
+                return None
+            feat |= feats[w]
+        fb = pipeline.fetch_buffer
+        for _uop, dpc in fb:
+            feat |= feats[(dpc - tb) >> 2]
+        # The dispatch stream can reach at most the end of the current
+        # trace region (its terminator word is never DISPATCH_OK), so
+        # the region's features bound what the window can execute.
+        if fb:
+            w0 = (fb[0][1] - tb) >> 2
+        elif pipeline.fetch_pending_pc is not None:
+            w0 = (pipeline.fetch_pending_pc - tb) >> 2
+        elif pipeline.pc is not None:
+            w0 = (pipeline.pc - tb) >> 2
+        else:
+            w0 = -1
+        if 0 <= w0 < n:
+            rid = tables.region_of[w0]
+            feat |= self._region_feat[rid]
+        elif pipeline.rob:
+            rid = tables.region_of[(pipeline.rob[0].pc - tb) >> 2]
+        else:
+            return None  # inert pipeline: nothing to compile against
+        if pipeline.trace is not None:
+            feat |= codegen.F_TRACED
+        fn = self._body(feat)
+        result = fn(pipeline, ctx, cycle, budget, self.counts)
+        next_cycle = result[0]
+        if next_cycle == cycle:
+            # A pre-cycle guard fired immediately: nothing executed,
+            # nothing written; let the interpreter take this cycle.
+            self.declines += 1
+            return None
+        self.entries += 1
+        tables.region_calls[rid] += 1
+        tables.region_cycles[rid] += next_cycle - cycle
+        tables.region_uops[rid] += result[3]
+        tables.region_exits[rid][result[1]] += 1
+        return result
+
+    def try_machine(self, machine, cycle: int, budget: int):
+        """Run the compiled machine frame; ``None`` declines the step.
+
+        The frame transcribes the whole multiscalar machine loop —
+        per-cycle ring delivery, task assignment, the task walk
+        (compiled phases for regular units, ``pipeline.step()`` for
+        irregular ones), squash application, retirement, and the
+        quiescence skip — so unlike :meth:`try_run` it needs no
+        per-unit eligibility here: every unit falls back to its
+        interpreter inside the walk. On success
+        returns ``(next_cycle, exit_code, last_issue_cycle,
+        machine_activity)`` with every executed cycle fully accounted
+        in-frame (stats, task cycles, machine idle).
+        """
+        if self.machine_off:
+            self.machine_declines += 1
+            return None
+        if budget - cycle < MIN_WINDOW:
+            return None
+        if semantics.evaluate_alu is not semantics._GENUINE_EVALUATE_ALU:
+            return None
+        for slot in machine.units:
+            if not slot.pipeline._fast:
+                return None
+        # Chunk the budget so the residency policy gets a say at a
+        # bounded interval (re-entry costs only the frame prologue).
+        # Until the probe has its evidence, use a quarter chunk: a
+        # low-residency workload then pays a quarter of the probe cost
+        # before frames disengage, and a resident one just re-enters.
+        chunk = (_MACHINE_CHUNK
+                 if self.machine_resident + self.machine_interp
+                 > _MACHINE_PROBE else _MACHINE_CHUNK // 4)
+        cap = cycle + chunk
+        if cap < budget:
+            budget = cap
+        fn = self._machine_body(machine.trace is not None)
+        result = fn(machine, cycle, budget)
+        self.machine_entries += 1
+        self.machine_cycles += result[0] - cycle
+        self.machine_exits[result[1]] += 1
+        self.machine_resident += result[4]
+        self.machine_interp += result[5]
+        if (self.machine_resident + self.machine_interp > _MACHINE_PROBE
+                and self.machine_resident * 5 < self.machine_interp * 6):
+            self.machine_off = True
+            if self.entries == 0:
+                # On a multi-unit machine the single-awake gate almost
+                # never opens; if no unit window has fired by the time
+                # the frame probe concludes, none will pay its way.
+                self.dead = True
+        return result
+
+    # ------------------------------------------------------------- stats
+
+    def stats_dict(self, top: int = 10) -> dict:
+        """JSON-ready statistics for benches, the CLI, and CI artifacts."""
+        data = self.tables.stats_dict(top=top)
+        data["entries"] = self.entries
+        data["declines"] = self.declines
+        data["machine_entries"] = self.machine_entries
+        data["machine_declines"] = self.machine_declines
+        data["machine_cycles"] = self.machine_cycles
+        data["machine_exits"] = dict(zip(EXIT_NAMES, self.machine_exits))
+        data["machine_resident"] = self.machine_resident
+        data["machine_interp"] = self.machine_interp
+        data["machine_off"] = self.machine_off
+        data["bodies_compiled"] = sorted(self._bodies)
+        if self.inject is not None:
+            data["injected_guard_miss"] = self.inject
+        return data
+
+
+def engine_for(program, config, suppress: bool) -> UnitJIT | None:
+    """Build a JIT engine if the configured shape supports one.
+
+    The compiled bodies transcribe the width-1 in-order issue path (the
+    paper's default unit shape); any other shape — and any run with the
+    fast path or the JIT disabled — gets the pure interpreter.
+    """
+    if not (config.jit and config.fast_path):
+        return None
+    if config.unit.issue_width != 1 or config.unit.out_of_order:
+        return None
+    return UnitJIT(program, config, suppress)

@@ -60,6 +60,9 @@ class CheckpointManager:
         self.every = max(1, every)
         self.path = self.directory / f"{key}.ckpt.json"
         #: First cycle at or past which the run loop calls capture().
+        #: The run loops clamp cycle skips and compiled jit windows to
+        #: this boundary, so (unless the program halts first) capture
+        #: lands on exactly this cycle in every execution mode.
         self.next_cycle = self.every
         #: Cycle of the last persisted checkpoint (None before any).
         self.saved_cycle: int | None = None

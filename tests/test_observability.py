@@ -72,10 +72,10 @@ done:   lw $t2, 0($t9)
 """
 
 
-def _traced_multiscalar(program, units=4, fast_path=True,
+def _traced_multiscalar(program, units=4, fast_path=True, jit=True,
                         categories=Category.ALL, window=None):
     processor = MultiscalarProcessor(
-        program, multiscalar_config(units, fast_path=fast_path))
+        program, multiscalar_config(units, fast_path=fast_path, jit=jit))
     bus = EventBus(categories, window=window).attach(processor)
     result = processor.run()
     return processor, bus, result
@@ -131,6 +131,31 @@ def test_scalar_event_stream_identical_fast_vs_reference():
     for fast in (True, False):
         processor = ScalarProcessor(program,
                                     scalar_config(fast_path=fast))
+        bus = EventBus(Category.ALL).attach(processor)
+        processor.run()
+        streams.append([e.key() for e in bus])
+    assert streams[0] == streams[1] and streams[0]
+
+
+@pytest.mark.parametrize("name", ["cmp", "wc"])
+def test_event_stream_identical_jit_vs_interpreter(name):
+    # Three-way: compiled jit bodies, the no-jit fast path, and the
+    # per-cycle reference must emit byte-identical event streams.
+    program = WORKLOADS[name].multiscalar_program()
+    _, jit, _ = _traced_multiscalar(program, jit=True)
+    _, nojit, _ = _traced_multiscalar(program, jit=False)
+    _, ref, _ = _traced_multiscalar(program, jit=True, fast_path=False)
+    jit_keys = [e.key() for e in jit]
+    assert jit_keys == [e.key() for e in nojit]
+    assert jit_keys == [e.key() for e in ref]
+    assert jit_keys
+
+
+def test_scalar_event_stream_identical_jit_vs_interpreter():
+    program = WORKLOADS["wc"].scalar_program()
+    streams = []
+    for jit in (True, False):
+        processor = ScalarProcessor(program, scalar_config(jit=jit))
         bus = EventBus(Category.ALL).attach(processor)
         processor.run()
         streams.append([e.key() for e in bus])
@@ -221,6 +246,17 @@ def test_golden_trace_stable_under_fast_path_toggle():
                              total_cycles=ref_result.cycles,
                              label="golden")
     assert fast_trace == ref_trace
+
+
+def test_golden_trace_stable_under_jit_toggle():
+    # The committed golden file is produced with the jit on (the
+    # default); the interpreter must serialize the exact same bytes.
+    program = assemble(RECURRENCE)
+    _, bus, result = _traced_multiscalar(program, units=2, jit=False)
+    nojit_trace = chrome_trace(bus, num_units=2,
+                               total_cycles=result.cycles,
+                               label="golden")
+    assert nojit_trace == json.loads(GOLDEN_PATH.read_text())
 
 
 def test_flamegraph_renders_section3_rows():

@@ -26,17 +26,23 @@ from repro.workloads import WORKLOADS
 
 MACHINES = ("scalar", "ms4", "ms8")
 
+#: Execution modes: (fast_path, jit). The reference path never builds
+#: a jit engine regardless of the flag.
+MODES = {"jit": (True, True),
+         "no-jit": (True, False),
+         "reference": (False, True)}
 
-def build(machine: str, workload: str, fast: bool):
+
+def build(machine: str, workload: str, fast: bool, jit: bool = True):
     spec = WORKLOADS[workload]
     if machine == "scalar":
         return ScalarProcessor(
             spec.scalar_program(),
-            scalar_config(1, False, fast_path=fast))
+            scalar_config(1, False, fast_path=fast, jit=jit))
     units = int(machine[2:])
     return MultiscalarProcessor(
         spec.multiscalar_program(),
-        multiscalar_config(units, 1, False, fast_path=fast))
+        multiscalar_config(units, 1, False, fast_path=fast, jit=jit))
 
 
 class Probe:
@@ -73,15 +79,15 @@ class ConditionProbe:
             self.next_cycle = processor.cycle + 1
 
 
-def resume_and_compare(machine, workload, fast, probe):
+def resume_and_compare(machine, workload, fast, probe, jit=True):
     """Reference run with ``probe`` attached; resume a fresh machine
     from the captured snapshot; demand identical results and identical
     final machine state."""
-    reference = build(machine, workload, fast)
+    reference = build(machine, workload, fast, jit)
     ref_result = reference.run(checkpointer=probe)
     assert probe.snapshot is not None, "probe never captured"
 
-    resumed = build(machine, workload, fast)
+    resumed = build(machine, workload, fast, jit)
     restore_state(resumed, probe.snapshot)
     assert resumed.cycle == probe.cycle
     res_result = resumed.run()
@@ -91,13 +97,35 @@ def resume_and_compare(machine, workload, fast, probe):
     assert capture_state(resumed) == capture_state(reference)
 
 
-@pytest.mark.parametrize("fast", (True, False),
-                         ids=("fast-path", "reference-path"))
+@pytest.mark.parametrize("mode", tuple(MODES))
 @pytest.mark.parametrize("machine", MACHINES)
 @pytest.mark.parametrize("workload", ("wc", "cmp"))
-def test_resume_matrix(workload, machine, fast):
-    total = build(machine, workload, fast).run().cycles
-    resume_and_compare(machine, workload, fast, Probe(at=total // 2))
+def test_resume_matrix(workload, machine, mode):
+    fast, jit = MODES[mode]
+    total = build(machine, workload, fast, jit).run().cycles
+    resume_and_compare(machine, workload, fast, Probe(at=total // 2),
+                       jit=jit)
+
+
+@pytest.mark.parametrize("machine", ("scalar", "ms4"))
+def test_snapshots_are_mode_portable(machine):
+    """A snapshot captured mid-run under the jit lands on a deopt-safe
+    boundary: restoring it into a ``jit=False`` interpreter (and vice
+    versa) finishes with identical results. Compiled windows stop at
+    checkpoint cycles, so the capture cycle matches across modes."""
+    results = {}
+    for source_jit in (True, False):
+        total = build(machine, "wc", True, source_jit).run().cycles
+        probe = Probe(at=total // 2)
+        donor = build(machine, "wc", True, source_jit)
+        donor_result = donor.run(checkpointer=probe)
+        resumed = build(machine, "wc", True, not source_jit)
+        restore_state(resumed, probe.snapshot)
+        assert resumed.cycle == probe.cycle
+        assert resumed.run().to_dict() == donor_result.to_dict()
+        results[source_jit] = (probe.cycle, probe.snapshot)
+    # The two donors captured the same state at the same cycle.
+    assert results[True] == results[False]
 
 
 @pytest.mark.parametrize("quarter", (1, 2, 3))
