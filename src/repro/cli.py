@@ -22,7 +22,12 @@ Subcommands:
   event bus attached and export a Chrome trace-event JSON file
   (Perfetto/``chrome://tracing``) plus a terminal cycle-attribution
   flamegraph;
-* ``cache``          — inspect or purge the persistent result store.
+* ``cache``          — inspect or purge the persistent result store
+  (``--stats`` prints entry count, bytes, and hit/miss tallies);
+* ``serve``          — run the simulation-as-a-service HTTP server: a
+  persistent leased worker daemon behind a JSON job API, sharing the
+  content-addressed result store with standalone runs (``sweep`` and
+  ``fuzz`` accept ``--server URL`` to run as thin clients of it).
 
 Examples::
 
@@ -37,6 +42,10 @@ Examples::
     python -m repro trace wc --units 8 --out trace.json
     python -m repro trace wc --categories task,ring,arb --window 0:5000
     python -m repro cache --purge
+    python -m repro cache --stats
+    python -m repro serve --port 8642 --jobs 4
+    python -m repro sweep --server http://127.0.0.1:8642 --workloads wc
+    python -m repro fuzz --server http://127.0.0.1:8642 --budget 50
 """
 
 from __future__ import annotations
@@ -255,8 +264,13 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
             else (True,),
             max_shrink_checks=args.max_shrink_checks,
             jobs=args.jobs,
+            server=args.server,
             progress=lambda message: print(f"fuzz: {message}",
                                            file=sys.stderr))
+        if args.self_test and args.server:
+            # The injected bug lives in this process; server workers
+            # would run the un-sabotaged simulator and "miss" it.
+            raise ValueError("--self-test cannot run against --server")
         if args.self_test \
                 and args.self_test not in jit_guard_modes \
                 and args.self_test.upper() not in Op.__members__:
@@ -286,7 +300,16 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         print(f"fuzz: self-test ok -- injected {args.self_test} bug "
               "was caught and shrunk", file=sys.stderr)
         return 0
-    result = campaign.run()
+    if args.server:
+        from repro.server import ServerError
+
+        try:
+            result = campaign.run()
+        except ServerError as error:
+            print(f"repro fuzz: server error: {error}", file=sys.stderr)
+            return 2
+    else:
+        result = campaign.run()
     print(result.render())
     if result.interrupted:
         print("fuzz: interrupted; partial results above", file=sys.stderr)
@@ -324,13 +347,23 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         fast_path=not args.no_fast_path,
         jit=not args.no_jit,
     )
-    store = None
-    if request.use_cache and persistent_cache_enabled():
-        store = ResultStore()
-    summary = run_sweep(
-        request, store,
-        progress=lambda message: print(f"sweep: {message}",
-                                       file=sys.stderr))
+    progress = (lambda message: print(f"sweep: {message}",
+                                      file=sys.stderr))
+    if args.server:
+        from repro.engine.sweep import run_sweep_via_server
+        from repro.server import ServerError
+
+        try:
+            summary = run_sweep_via_server(request, args.server,
+                                           progress=progress)
+        except ServerError as error:
+            print(f"repro sweep: server error: {error}", file=sys.stderr)
+            return 2
+    else:
+        store = None
+        if request.use_cache and persistent_cache_enabled():
+            store = ResultStore()
+        summary = run_sweep(request, store, progress=progress)
     print(summary.render())
     if args.metrics and summary.metrics is not None:
         print()
@@ -536,7 +569,60 @@ def cmd_cache(args: argparse.Namespace) -> int:
         print(f"cache: purged {removed} stored results "
               f"from {store.root}")
         return 0
+    if args.stats:
+        stats = store.stats()
+        reads = stats["hits"] + stats["misses"]
+        rate = stats["hits"] / reads if reads else 0.0
+        print(f"cache: {stats['entries']} entries, "
+              f"{stats['bytes']:,} bytes under {store.root}")
+        print(f"cache: lifetime {stats['hits']} hits / "
+              f"{stats['misses']} misses "
+              f"(hit rate {100.0 * rate:.1f}%), "
+              f"{stats['writes']} writes")
+        return 0
     print(f"cache: {len(store)} stored results under {store.root}")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Entry point for ``repro serve``: run the simulation job
+    server — an asyncio HTTP API over the leased worker daemon — until
+    interrupted (Ctrl-C drains the queue and exits 130)."""
+    from repro.engine import ResultStore, persistent_cache_enabled
+    from repro.server import ReproServer
+
+    _apply_cache_flags(args)
+    store = None
+    if not args.no_cache and persistent_cache_enabled():
+        store = ResultStore()
+    server = ReproServer(
+        workers=args.jobs, lease_ttl=args.lease_ttl,
+        timeout=args.timeout, retries=args.retries,
+        max_queue=args.max_queue, quota=args.quota,
+        checkpoint_every=args.checkpoint_every,
+        chaos=args.chaos, store=store)
+
+    def ready(port: int) -> None:
+        where = "no persistent store" if store is None \
+            else f"store {store.root}"
+        print(f"serve: listening on http://{args.host}:{port} -- "
+              f"{args.jobs} workers, lease ttl {args.lease_ttl:.0f}s, "
+              f"{where}", file=sys.stderr)
+
+    # A server launched as a shell background job inherits SIGINT
+    # ignored (POSIX job control); restore it so `kill -INT` still
+    # triggers the drain-and-exit-130 path.
+    import signal
+
+    signal.signal(signal.SIGINT, signal.default_int_handler)
+    try:
+        server.run(host=args.host, port=args.port, ready=ready)
+    except KeyboardInterrupt:
+        drained = server.shutdown()
+        print(f"serve: interrupted; drained {len(drained)} unfinished "
+              "job(s), workers stopped", file=sys.stderr)
+        return 130
+    server.shutdown()
     return 0
 
 
@@ -657,6 +743,10 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--no-jit", action="store_true",
                        help="disable the trace-JIT (cached separately "
                             "from jit results)")
+    sweep.add_argument("--server", default=None, metavar="URL",
+                       help="run as a thin client of a `repro serve` "
+                            "instance instead of a local worker pool "
+                            "(e.g. http://127.0.0.1:8642)")
     add_cache_flags(sweep)
     sweep.set_defaults(fn=cmd_sweep)
 
@@ -741,9 +831,51 @@ def build_parser() -> argparse.ArgumentParser:
         "cache", help="inspect or purge the persistent result store")
     cache.add_argument("--purge", action="store_true",
                        help="delete every stored result")
+    cache.add_argument("--stats", action="store_true",
+                       help="print entry count, bytes on disk, and the "
+                            "lifetime hit/miss/write tallies")
     cache.add_argument("--cache-dir", default=None,
                        help="result-store directory")
     cache.set_defaults(fn=cmd_cache)
+
+    serve = sub.add_parser(
+        "serve", help="run the simulation job server: an HTTP API over "
+                      "a persistent leased worker daemon sharing the "
+                      "result store")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8642,
+                       help="TCP port (default 8642; 0 = ephemeral)")
+    serve.add_argument("--jobs", type=int, default=2,
+                       help="persistent worker processes (default 2)")
+    serve.add_argument("--lease-ttl", type=float, default=30.0,
+                       help="seconds before an unheartbeated lease "
+                            "expires and its job is re-queued")
+    serve.add_argument("--timeout", type=float, default=600.0,
+                       help="per-attempt wall-clock budget in seconds")
+    serve.add_argument("--retries", type=int, default=2,
+                       help="re-queue budget per job for worker deaths "
+                            "and timeouts")
+    serve.add_argument("--max-queue", type=int, default=256,
+                       help="pending-queue depth before submissions "
+                            "get 429 + Retry-After")
+    serve.add_argument("--quota", type=int, default=None,
+                       help="max in-flight jobs per client id "
+                            "(default unlimited)")
+    serve.add_argument("--checkpoint-every", type=int,
+                       default=2_000_000,
+                       help="simulated cycles between worker "
+                            "checkpoints for sim jobs")
+    serve.add_argument("--chaos", action="store_true",
+                       help="accept fault-injection fields on "
+                            "submissions (worker-kill drills)")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="serve without the persistent result store "
+                            "(results held in memory only)")
+    serve.add_argument("--cache-dir", default=None,
+                       help="result-store directory "
+                            "(default .repro-cache or $REPRO_CACHE_DIR)")
+    serve.set_defaults(fn=cmd_serve)
 
     fuzz = sub.add_parser(
         "fuzz", help="differential fuzzing across all backends")
@@ -780,6 +912,9 @@ def build_parser() -> argparse.ArgumentParser:
                            "xor), or a JIT guard miss (--self-test "
                            "jit-stop / jit-taken-branch), and require "
                            "the campaign to catch it")
+    fuzz.add_argument("--server", default=None, metavar="URL",
+                      help="ship program checks to a `repro serve` "
+                           "instance instead of forking a local pool")
     fuzz.set_defaults(fn=cmd_fuzz)
     return parser
 

@@ -16,7 +16,9 @@ With ``jobs > 1`` the campaign shards program checks across the
 engine's fault-tolerant worker pool in waves, scanning each wave's
 results in generation order — so the reported divergence is the same
 one the serial campaign would find, and a crashed worker costs a retry
-rather than the campaign.
+rather than the campaign. With ``server=URL`` the same waves are
+submitted as ``fuzz`` jobs to a running ``repro serve`` fleet instead
+of a private pool (``repro fuzz --server URL``).
 """
 
 from __future__ import annotations
@@ -90,12 +92,15 @@ class CampaignResult:
         return "\n".join(lines)
 
 
-def _check_entry(payload: dict, attempt: int) -> dict:
+def check_entry(payload: dict, attempt: int) -> dict:
     """Worker-side oracle check (module-level, hence picklable).
 
     Regenerates the program from its seed — cheaper than shipping it —
     and reduces the report to a small result dict; the parent re-derives
-    the full report deterministically if it needs to shrink.
+    the full report deterministically if it needs to shrink. Also the
+    execution body of a ``repro.server`` *fuzz* job, which is how
+    ``repro fuzz --server URL`` multiplexes a campaign onto a shared
+    worker fleet.
     """
     language = payload["languages"][payload["index"]
                                     % len(payload["languages"])]
@@ -130,6 +135,7 @@ class FuzzCampaign:
                  max_shrink_checks: int = 400,
                  max_cycles: int | None = None,
                  jobs: int = 1,
+                 server: str | None = None,
                  progress=None) -> None:
         if budget < 1:
             raise ValueError("fuzz budget must be at least 1")
@@ -141,6 +147,9 @@ class FuzzCampaign:
         self.max_shrink_checks = max_shrink_checks
         self.max_cycles = max_cycles
         self.jobs = max(1, jobs)
+        #: Base URL of a ``repro serve`` instance; when set the
+        #: campaign ships its checks there instead of forking a pool.
+        self.server = server
         self.progress = progress or (lambda message: None)
 
     # ------------------------------------------------------------- parts
@@ -166,6 +175,8 @@ class FuzzCampaign:
     # --------------------------------------------------------------- run
 
     def run(self) -> CampaignResult:
+        if self.server:
+            return self._run_server()
         if self.jobs > 1:
             return self._run_parallel()
         return self._run_serial()
@@ -208,7 +219,7 @@ class FuzzCampaign:
         """
         from repro.engine.scheduler import PoolJob, WorkerPool
 
-        pool = WorkerPool(_check_entry, jobs=self.jobs,
+        pool = WorkerPool(check_entry, jobs=self.jobs,
                           retries=2, progress=self.progress)
         result = CampaignResult(seed=self.seed)
         index = 0
@@ -274,6 +285,80 @@ class FuzzCampaign:
             # Raised between waves or during in-process shrinking; the
             # pool has already drained its workers by the time run()
             # returns, so there is nothing left to kill.
+            result.interrupted = True
+        return result
+
+    def _run_server(self) -> CampaignResult:
+        """Ship checks to a ``repro serve`` fleet, wave by wave.
+
+        Each wave's programs become ``fuzz`` job envelopes (the same
+        seeded payloads the pool workers get); outcomes are scanned in
+        generation order, so the first divergence matches the serial
+        campaign. Shrinking stays client-side. Because the server's
+        keys are content-addressed, re-running a campaign against a
+        warm server replays from cache instead of re-simulating.
+        """
+        from repro.server.client import ServerClient, ServerError
+
+        client = ServerClient(self.server, client_id="fuzz")
+        result = CampaignResult(seed=self.seed)
+        index = 0
+        try:
+            while result.programs_run < self.budget:
+                wave = min(4 * self.jobs,
+                           self.budget - result.programs_run)
+                submitted: list[tuple[int, str | None, str]] = []
+                for offset in range(wave):
+                    envelope = {"type": "fuzz",
+                                "spec": self._payload_for(index + offset)}
+                    try:
+                        answer = client.submit(envelope,
+                                               priority="background")
+                        submitted.append((index + offset,
+                                          answer["key"], ""))
+                    except ServerError as exc:
+                        if exc.status == 0:  # unreachable, not a bad job
+                            raise
+                        submitted.append((index + offset, None, str(exc)))
+                keys = [key for _, key, _ in submitted if key]
+                records = client.wait(keys, timeout=600.0)
+                stop = False
+                for at, key, error in submitted:
+                    if result.programs_run >= self.budget:
+                        stop = True
+                        break
+                    if key is None or records[key]["status"] != "done":
+                        message = error or records[key].get("error", "?")
+                        self.progress(f"program {at} lost: {message}")
+                        result.programs_skipped += 1
+                        continue
+                    checked = client.result(key)["check"]
+                    if checked["status"] == "invalid":
+                        result.programs_skipped += 1
+                        continue
+                    result.programs_run += 1
+                    result.by_language[checked["language"]] = \
+                        result.by_language.get(checked["language"], 0) + 1
+                    result.backends_used.update(checked["backends"])
+                    if result.programs_run % 25 == 0:
+                        self.progress(
+                            f"{result.programs_run}/{self.budget} "
+                            "programs, no divergences")
+                    if checked["status"] == "divergence":
+                        program = self.generate(at)
+                        grid = self.grid_for(at)
+                        report = self._check(program, grid)
+                        result.report = report
+                        result.shrunk = self._shrink(program, report,
+                                                     grid)
+                        stop = True
+                        break
+                index += wave
+                if stop or result.report is not None:
+                    break
+        except KeyboardInterrupt:
+            # The server and its workers keep running; only this
+            # client stops early.
             result.interrupted = True
         return result
 

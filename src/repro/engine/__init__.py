@@ -5,8 +5,14 @@ Layers:
 * :mod:`repro.engine.job` — the content-addressed job model
   (:class:`SimJob`) and in-process execution;
 * :mod:`repro.engine.store` — the persistent on-disk result store;
-* :mod:`repro.engine.scheduler` — the fault-tolerant worker pool;
-* :mod:`repro.engine.sweep` — grid sweeps combining all three.
+* :mod:`repro.engine.scheduler` — the fault-tolerant one-shot worker
+  pool, plus the long-lived discipline behind ``repro serve``: the
+  priority :class:`LeaseQueue` and the persistent
+  :class:`WorkerDaemon` fleet that drains it under heartbeat-renewed
+  leases;
+* :mod:`repro.engine.sweep` — grid sweeps combining all three (and
+  :func:`~repro.engine.sweep.run_sweep_via_server`, the thin-client
+  variant).
 
 The one-job convenience path used by the harness runner lives here:
 :func:`execute_cached` consults the persistent store, simulates on a
@@ -29,9 +35,16 @@ from repro.engine.job import (
 from repro.engine.scheduler import (
     InjectedWorkerDeath,
     JobOutcome,
+    Lease,
+    LeaseQueue,
     PoolJob,
+    QueuedJob,
+    QueueFullError,
+    QuotaExceededError,
     RetryableJobError,
+    WorkerDaemon,
     WorkerPool,
+    priority_value,
 )
 from repro.engine.store import (
     ResultStore,
@@ -42,11 +55,17 @@ from repro.engine.store import (
 __all__ = [
     "InjectedWorkerDeath",
     "JobOutcome",
+    "Lease",
+    "LeaseQueue",
     "PoolJob",
+    "QueueFullError",
+    "QueuedJob",
+    "QuotaExceededError",
     "ResultStore",
     "RetryableJobError",
     "SimJob",
     "SimulationMismatchError",
+    "WorkerDaemon",
     "WorkerPool",
     "code_fingerprint",
     "count_job",
@@ -55,6 +74,7 @@ __all__ = [
     "execute_cached",
     "multiscalar_job",
     "persistent_cache_enabled",
+    "priority_value",
     "result_from_payload",
     "scalar_job",
 ]

@@ -148,6 +148,22 @@ class SimJob:
             data["source"] = data["source"][:200] + "..."
         return data
 
+    def spec(self) -> dict:
+        """Full, lossless JSON form (unlike :meth:`describe`, which
+        truncates inline sources); inverse of :meth:`from_spec`. This
+        is the wire format ``repro.server`` clients submit."""
+        data = asdict(self)
+        data["entries"] = list(self.entries)
+        return data
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "SimJob":
+        """Rebuild a job from :meth:`spec` output (unknown fields are
+        rejected, so a malformed submission fails loudly)."""
+        fields = dict(spec)
+        fields["entries"] = tuple(fields.get("entries", ()))
+        return cls(**fields)
+
     def label(self) -> str:
         name = self.workload or f"<inline {self.language}>"
         if self.kind == "scalar":
@@ -242,7 +258,8 @@ def _checkpoint_manager(job: SimJob, checkpoints, attempt: int):
     return manager
 
 
-def execute(job: SimJob, checkpoints=None, attempt: int = 0) -> dict:
+def execute(job: SimJob, checkpoints=None, attempt: int = 0,
+            progress=None) -> dict:
     """Run one job to completion, returning its JSON-able payload.
 
     With a :class:`~repro.resilience.checkpoint.CheckpointPolicy`, a
@@ -250,9 +267,16 @@ def execute(job: SimJob, checkpoints=None, attempt: int = 0) -> dict:
     checkpoint from a previous (crashed/killed) attempt survives —
     resumes from it instead of re-simulating from cycle 0. Either way
     the payload is bit-identical to an uncheckpointed run.
+
+    ``progress`` (optional) is called as ``progress({"cycle": n})``
+    whenever a checkpoint lands; the server daemon uses it as both a
+    lease heartbeat and a client-visible progress event.
     """
     program, expected = job._build()
     manager = _checkpoint_manager(job, checkpoints, attempt)
+    if manager is not None and progress is not None:
+        manager.on_capture = \
+            lambda cycle: progress({"cycle": cycle})
     if job.kind == "scalar":
         processor = ScalarProcessor(
             program, scalar_config(job.issue_width, job.out_of_order,

@@ -1,4 +1,24 @@
-"""A fault-tolerant worker pool for simulation jobs.
+"""Job scheduling: the one-shot worker pool and the long-lived daemon.
+
+Two execution disciplines share this module (and the same worker-death
+taxonomy):
+
+* :class:`WorkerPool` — the original one-shot pool: hand it a finite
+  job list, it shards the list across child processes and returns when
+  every job reached an outcome. ``repro sweep``/``repro fuzz`` use it
+  standalone.
+* :class:`WorkerDaemon` over a :class:`LeaseQueue` — the long-lived
+  form behind ``python -m repro serve``: jobs arrive continuously,
+  wait in a priority queue (``interactive`` < ``batch`` <
+  ``background``), and are handed to a persistent fleet of worker
+  processes under *leases*. A lease is renewed by heartbeats (worker
+  liveness plus explicit progress messages, e.g. at every durable
+  checkpoint); when its worker dies or its heartbeat goes stale the
+  lease expires and the job is re-queued, so the next worker resumes
+  it from the last good checkpoint. The queue enforces per-client
+  quotas and a global depth bound (backpressure), and a daemon
+  shutdown drains it cleanly — leases revoked, workers joined, nothing
+  orphaned.
 
 The pool runs a generic entrypoint ``fn(payload, attempt) -> value``
 for each submitted job, sharding up to ``jobs`` of them across child
@@ -26,8 +46,10 @@ only process would take the harness down with it).
 
 from __future__ import annotations
 
+import heapq
 import os
 import signal
+import threading
 import time
 from dataclasses import dataclass
 from typing import Any, Callable
@@ -337,3 +359,619 @@ class WorkerPool:
                         job_id=job.job_id, error="interrupted")
             return outcomes
         return self._run_parallel(pool_jobs)
+
+
+# =====================================================================
+# The long-lived form: a priority lease queue + a persistent daemon.
+# =====================================================================
+
+#: Priority classes, best first. Lower number = served earlier.
+PRIORITY_CLASSES = ("interactive", "batch", "background")
+DEFAULT_PRIORITY = "batch"
+
+
+def priority_value(priority: str | int) -> int:
+    """Normalize a priority class name (or raw int) to its rank."""
+    if isinstance(priority, int):
+        if not 0 <= priority < len(PRIORITY_CLASSES):
+            raise ValueError(f"priority rank {priority} out of range")
+        return priority
+    try:
+        return PRIORITY_CLASSES.index(priority)
+    except ValueError:
+        raise ValueError(
+            f"unknown priority {priority!r} "
+            f"(one of: {', '.join(PRIORITY_CLASSES)})") from None
+
+
+class QueueFullError(Exception):
+    """The queue is at its depth bound; retry after ``retry_after``."""
+
+    def __init__(self, depth: int, retry_after: float = 1.0) -> None:
+        super().__init__(f"queue full ({depth} jobs pending)")
+        self.depth = depth
+        self.retry_after = retry_after
+
+
+class QuotaExceededError(Exception):
+    """One client has too many jobs in flight; retry after
+    ``retry_after``."""
+
+    def __init__(self, client: str, in_flight: int,
+                 retry_after: float = 1.0) -> None:
+        super().__init__(
+            f"client {client!r} has {in_flight} jobs in flight")
+        self.client = client
+        self.in_flight = in_flight
+        self.retry_after = retry_after
+
+
+@dataclass
+class QueuedJob:
+    """One daemon job: an opaque payload plus queueing metadata."""
+
+    job_id: str
+    payload: Any
+    priority: int = 1
+    client: str = "anon"
+    kill_on_attempts: tuple[int, ...] = ()
+    #: Attempts already started (leased); the next lease runs this one.
+    attempts: int = 0
+    requeues: int = 0
+    worker_deaths: int = 0
+    timeouts: int = 0
+
+
+@dataclass
+class Lease:
+    """One worker's claim on one job, kept alive by heartbeats."""
+
+    job_id: str
+    worker_id: int
+    attempt: int
+    granted_at: float
+    expires_at: float
+    heartbeats: int = 0
+
+    def to_dict(self) -> dict:
+        """JSON-able form for status endpoints."""
+        return {"worker": self.worker_id, "attempt": self.attempt,
+                "granted_at": self.granted_at,
+                "expires_at": self.expires_at,
+                "heartbeats": self.heartbeats}
+
+
+@dataclass
+class _Expiry:
+    """What :meth:`LeaseQueue.expire` decided for one broken lease."""
+
+    job_id: str
+    requeued: bool
+    reason: str
+    error: str = ""
+
+
+class LeaseQueue:
+    """A thread-safe persistent job queue with priorities and leases.
+
+    Jobs wait in priority order (FIFO within a class), are handed out
+    under time-limited leases, and come back — via :meth:`heartbeat`
+    renewals, :meth:`complete`, or expiry-driven :meth:`expire` /
+    :meth:`expire_stale` re-queues — until they settle or exhaust
+    their attempt budget. :meth:`submit` applies backpressure: a global
+    depth bound (:class:`QueueFullError`) and a per-client in-flight
+    quota (:class:`QuotaExceededError`).
+    """
+
+    def __init__(self, *, lease_ttl: float = 30.0, max_depth: int = 1024,
+                 retries: int = 2, quota: int | None = None) -> None:
+        self.lease_ttl = lease_ttl
+        self.max_depth = max_depth
+        self.retries = max(0, retries)
+        self.quota = quota
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._heap: list[tuple[int, int, str]] = []   # (priority, seq, id)
+        self._jobs: dict[str, QueuedJob] = {}         # pending + leased
+        self._leases: dict[str, Lease] = {}
+
+    # ------------------------------------------------------------ submit
+
+    def submit(self, job: QueuedJob) -> None:
+        """Enqueue ``job``; raises :class:`QueueFullError` /
+        :class:`QuotaExceededError` (backpressure) or ``ValueError``
+        on a duplicate id."""
+        with self._lock:
+            if job.job_id in self._jobs:
+                raise ValueError(f"duplicate job id {job.job_id!r}")
+            depth = len(self._jobs) - len(self._leases)
+            if depth >= self.max_depth:
+                raise QueueFullError(depth)
+            if self.quota is not None:
+                in_flight = sum(1 for j in self._jobs.values()
+                                if j.client == job.client)
+                if in_flight >= self.quota:
+                    raise QuotaExceededError(job.client, in_flight)
+            self._jobs[job.job_id] = job
+            self._push(job)
+
+    def _push(self, job: QueuedJob) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (job.priority, self._seq, job.job_id))
+
+    # ------------------------------------------------------------- lease
+
+    def lease(self, worker_id: int,
+              now: float | None = None) -> tuple[QueuedJob, Lease] | None:
+        """Grant the best pending job to ``worker_id``, or ``None``."""
+        now = time.monotonic() if now is None else now
+        with self._lock:
+            while self._heap:
+                _, _, job_id = heapq.heappop(self._heap)
+                job = self._jobs.get(job_id)
+                if job is None or job_id in self._leases:
+                    continue            # settled or already re-leased
+                lease = Lease(job_id=job_id, worker_id=worker_id,
+                              attempt=job.attempts, granted_at=now,
+                              expires_at=now + self.lease_ttl)
+                job.attempts += 1
+                self._leases[job_id] = lease
+                return job, lease
+            return None
+
+    def heartbeat(self, job_id: str, now: float | None = None) -> bool:
+        """Renew the lease on ``job_id``; False when there is none."""
+        now = time.monotonic() if now is None else now
+        with self._lock:
+            lease = self._leases.get(job_id)
+            if lease is None:
+                return False
+            lease.heartbeats += 1
+            lease.expires_at = now + self.lease_ttl
+            return True
+
+    # ------------------------------------------------------------ settle
+
+    def complete(self, job_id: str) -> None:
+        """The job settled (result or deterministic failure): forget it."""
+        with self._lock:
+            self._jobs.pop(job_id, None)
+            self._leases.pop(job_id, None)
+
+    def expire(self, job_id: str, reason: str) -> _Expiry | None:
+        """Break the lease on ``job_id`` (dead worker, timeout, stale
+        heartbeat) and re-queue the job — unless its attempt budget is
+        exhausted, in which case it is dropped and the expiry reads
+        ``requeued=False``."""
+        with self._lock:
+            lease = self._leases.pop(job_id, None)
+            job = self._jobs.get(job_id)
+            if lease is None or job is None:
+                return None
+            job.requeues += 1
+            if reason == "timeout":
+                job.timeouts += 1
+            else:
+                job.worker_deaths += 1
+            if job.attempts <= self.retries:
+                self._push(job)
+                return _Expiry(job_id, True, reason)
+            self._jobs.pop(job_id, None)
+            return _Expiry(
+                job_id, False, reason,
+                error=f"lease expired ({reason}) and the attempt budget "
+                      f"({self.retries + 1}) is exhausted")
+
+    def expire_stale(self, now: float | None = None) -> list[_Expiry]:
+        """Expire every lease whose heartbeat deadline has passed."""
+        now = time.monotonic() if now is None else now
+        with self._lock:
+            stale = [lease.job_id for lease in self._leases.values()
+                     if lease.expires_at <= now]
+        return [expiry for job_id in stale
+                for expiry in [self.expire(job_id, "stale-heartbeat")]
+                if expiry is not None]
+
+    # ----------------------------------------------------------- inspect
+
+    def depth(self) -> int:
+        """Jobs waiting for a lease (excludes leased jobs)."""
+        with self._lock:
+            return len(self._jobs) - len(self._leases)
+
+    def in_flight(self, client: str | None = None) -> int:
+        """Pending + leased jobs, optionally for one client."""
+        with self._lock:
+            if client is None:
+                return len(self._jobs)
+            return sum(1 for j in self._jobs.values()
+                       if j.client == client)
+
+    def lease_of(self, job_id: str) -> Lease | None:
+        """The live lease on ``job_id``, if any."""
+        with self._lock:
+            return self._leases.get(job_id)
+
+    def snapshot(self) -> dict:
+        """JSON-able queue overview for the ``/v1/queue`` endpoint."""
+        with self._lock:
+            by_class = {name: 0 for name in PRIORITY_CLASSES}
+            for job in self._jobs.values():
+                if job.job_id not in self._leases:
+                    by_class[PRIORITY_CLASSES[job.priority]] += 1
+            return {
+                "depth": len(self._jobs) - len(self._leases),
+                "pending": by_class,
+                "leased": [lease.to_dict() | {"job": job_id}
+                           for job_id, lease in self._leases.items()],
+                "max_depth": self.max_depth,
+                "lease_ttl": self.lease_ttl,
+            }
+
+    # ------------------------------------------------------------- drain
+
+    def drain(self) -> list[str]:
+        """Empty the queue (shutdown): every pending and leased job is
+        forgotten and its id returned so the owner can mark it
+        interrupted."""
+        with self._lock:
+            drained = list(self._jobs)
+            self._jobs.clear()
+            self._leases.clear()
+            self._heap.clear()
+            return drained
+
+
+# ------------------------------------------------------------ the daemon
+
+def _daemon_worker_main(conn, entrypoint) -> None:
+    """Long-lived worker loop: execute assignments until told to stop.
+
+    Protocol (over one duplex pipe): the parent sends
+    ``("run", job_id, payload, attempt, kill_on_attempts)`` or
+    ``("stop",)``; the child answers each run with zero or more
+    ``("progress", job_id, data)`` messages followed by exactly one of
+    ``("ok", job_id, value, "")``, ``("retry", job_id, None, error)``
+    or ``("fatal", job_id, None, error)`` — unless it SIGKILLs itself
+    (injected fault or genuine crash), in which case the parent sees
+    the pipe die instead.
+    """
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            return
+        if not message or message[0] == "stop":
+            return
+        _, job_id, payload, attempt, kill_on_attempts = message
+
+        def report(data, job_id=job_id):
+            try:
+                conn.send(("progress", job_id, data))
+            except (BrokenPipeError, OSError):
+                pass
+
+        if attempt in kill_on_attempts:
+            os.kill(os.getpid(), signal.SIGKILL)
+        try:
+            value = entrypoint(payload, attempt, report)
+            conn.send(("ok", job_id, value, ""))
+        except RetryableJobError as exc:
+            conn.send(("retry", job_id, None,
+                       f"{type(exc).__name__}: {exc}"))
+        except BaseException as exc:
+            conn.send(("fatal", job_id, None,
+                       f"{type(exc).__name__}: {exc}"))
+
+
+@dataclass
+class _Slot:
+    """Parent-side state of one persistent worker process."""
+
+    worker_id: int
+    process: Any = None
+    conn: Any = None
+    job: QueuedJob | None = None
+    deadline: float = 0.0
+
+
+class WorkerDaemon:
+    """A persistent worker fleet draining a :class:`LeaseQueue`.
+
+    Unlike :class:`WorkerPool`, the daemon never returns: jobs are
+    :meth:`submit`\\ ted continuously and settle through callbacks.
+    Its entrypoint takes a third argument — ``fn(payload, attempt,
+    progress)`` — where ``progress(data)`` both streams a progress
+    event to the owner and renews the job's lease (a heartbeat).
+
+    Supervision (one background thread, ~20 ms ticks): grant leases to
+    idle workers, relay progress, renew the lease of every worker that
+    is demonstrably alive, and expire the lease of any worker that
+    died or overran the per-job ``timeout`` — the job re-queues and
+    the next attempt resumes from its last checkpoint (the entrypoint
+    decides what resuming means). Workers that die are respawned, so
+    the fleet stays at strength. In serial mode (no multiprocessing)
+    a single thread runs jobs in-process; injected worker deaths
+    degrade to retryable errors exactly like the pool's serial mode.
+    """
+
+    def __init__(self, entrypoint, *, workers: int = 2,
+                 queue: LeaseQueue | None = None, timeout: float = 600.0,
+                 force_serial: bool = False,
+                 on_event: Callable[[str, dict], None] | None = None,
+                 on_settled: Callable[[str, JobOutcome], None] | None = None,
+                 ) -> None:
+        self.entrypoint = entrypoint
+        self.workers = max(1, workers)
+        self.queue = queue or LeaseQueue()
+        self.timeout = timeout
+        self.on_event = on_event or (lambda job_id, event: None)
+        self.on_settled = on_settled or (lambda job_id, outcome: None)
+        self.serial = (force_serial or _mp is None
+                       or os.environ.get("REPRO_FORCE_SERIAL") == "1")
+        self._slots: list[_Slot] = []
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._idle = threading.Event()
+        self._idle.set()
+        self.interrupted = False
+
+    # --------------------------------------------------------- lifecycle
+
+    def start(self) -> "WorkerDaemon":
+        """Spawn the worker fleet and the supervision thread."""
+        if self._thread is not None:
+            return self
+        self._stop.clear()
+        if not self.serial:
+            self._slots = [_Slot(worker_id=i) for i in range(self.workers)]
+            for slot in self._slots:
+                self._spawn(slot)
+        target = self._supervise_serial if self.serial else self._supervise
+        self._thread = threading.Thread(target=target,
+                                        name="repro-daemon", daemon=True)
+        self._thread.start()
+        return self
+
+    def shutdown(self) -> list[str]:
+        """Stop supervision, kill-and-join every worker, and drain the
+        lease queue. Returns the drained (interrupted) job ids — the
+        'no orphan workers, no orphan leases' guarantee behind
+        ``repro serve`` exiting 130 on Ctrl-C."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+            self._thread = None
+        for slot in self._slots:
+            process = slot.process
+            if process is None:
+                continue
+            try:
+                if slot.job is None and slot.conn is not None:
+                    slot.conn.send(("stop",))
+                    process.join(timeout=1)
+                if process.is_alive():
+                    process.kill()
+                    process.join(timeout=5)
+            except (OSError, ValueError):
+                pass
+            try:
+                if slot.conn is not None:
+                    slot.conn.close()
+            except OSError:
+                pass
+            slot.process = slot.conn = None
+            slot.job = None
+        self._slots = []
+        drained = self.queue.drain()
+        if drained:
+            self.interrupted = True
+        for job_id in drained:
+            self.on_event(job_id, {"type": "interrupted"})
+        return drained
+
+    # ------------------------------------------------------------ submit
+
+    def submit(self, job: QueuedJob) -> None:
+        """Enqueue one job (propagates queue backpressure errors)."""
+        self.queue.submit(job)
+        self._idle.clear()
+        self.on_event(job.job_id,
+                      {"type": "queued",
+                       "priority": PRIORITY_CLASSES[job.priority],
+                       "attempt": job.attempts})
+
+    def wait_idle(self, timeout: float | None = None) -> bool:
+        """Block until no job is queued or running (tests, clients)."""
+        return self._idle.wait(timeout)
+
+    # ------------------------------------------------------- supervision
+
+    def _spawn(self, slot: _Slot) -> None:
+        ctx = _mp.get_context()
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        slot.process = ctx.Process(
+            target=_daemon_worker_main,
+            args=(child_conn, self.entrypoint), daemon=True)
+        slot.process.start()
+        child_conn.close()
+        slot.conn = parent_conn
+        slot.job = None
+
+    def _grant(self, slot: _Slot, now: float) -> bool:
+        leased = self.queue.lease(slot.worker_id, now)
+        if leased is None:
+            return False
+        job, lease = leased
+        try:
+            slot.conn.send(("run", job.job_id, job.payload, lease.attempt,
+                            job.kill_on_attempts))
+        except (BrokenPipeError, OSError):
+            # Worker vanished between ticks; give the lease back.
+            self.queue.expire(job.job_id, "worker-died")
+            self._spawn(slot)
+            return False
+        slot.job = job
+        slot.deadline = now + self.timeout
+        self.on_event(job.job_id,
+                      {"type": "lease", "worker": slot.worker_id,
+                       "attempt": lease.attempt})
+        return True
+
+    def _expire_slot(self, slot: _Slot, reason: str) -> None:
+        """A busy worker died / timed out: break the lease, re-queue
+        (or fail) the job, and put a fresh worker in the slot."""
+        job = slot.job
+        slot.job = None
+        expiry = self.queue.expire(job.job_id, reason)
+        try:
+            if slot.process.is_alive():
+                slot.process.kill()
+            slot.process.join(timeout=5)
+            slot.conn.close()
+        except (OSError, ValueError):
+            pass
+        self._spawn(slot)
+        if expiry is None:
+            return
+        if expiry.requeued:
+            self.on_event(job.job_id,
+                          {"type": "requeue", "reason": reason,
+                           "attempt": job.attempts})
+        else:
+            outcome = JobOutcome(job_id=job.job_id, ok=False,
+                                 error=expiry.error,
+                                 attempts=job.attempts,
+                                 worker_deaths=job.worker_deaths,
+                                 timeouts=job.timeouts)
+            self.on_event(job.job_id,
+                          {"type": "failed", "error": expiry.error})
+            self.on_settled(job.job_id, outcome)
+
+    def _settle_slot(self, slot: _Slot, status: str, value: Any,
+                     error: str) -> None:
+        job = slot.job
+        slot.job = None
+        if status == "retry" and job.attempts <= self.queue.retries:
+            expiry = self.queue.expire(job.job_id, "retryable-error")
+            if expiry is not None and expiry.requeued:
+                self.on_event(job.job_id,
+                              {"type": "requeue", "reason": error,
+                               "attempt": job.attempts})
+                return
+        self.queue.complete(job.job_id)
+        outcome = JobOutcome(job_id=job.job_id, ok=(status == "ok"),
+                             value=value, error=error,
+                             attempts=job.attempts,
+                             worker_deaths=job.worker_deaths,
+                             timeouts=job.timeouts)
+        self.on_event(job.job_id,
+                      {"type": "done" if outcome.ok else "failed",
+                       "error": error})
+        self.on_settled(job.job_id, outcome)
+
+    def _poll_slot(self, slot: _Slot, now: float) -> None:
+        """Relay messages from one busy worker; detect death/timeout."""
+        while True:
+            try:
+                if not slot.conn.poll(0):
+                    break
+                message = slot.conn.recv()
+            except (EOFError, OSError):
+                self._expire_slot(slot, "worker-died")
+                return
+            kind = message[0]
+            if kind == "progress":
+                _, job_id, data = message
+                self.queue.heartbeat(job_id, now)
+                self.on_event(job_id, {"type": "progress", **data})
+                continue
+            status, _, value, error = message
+            self._settle_slot(slot, status, value, error)
+            return
+        if slot.job is None:
+            return
+        if not slot.process.is_alive():
+            self._expire_slot(slot, "worker-died")
+        elif now > slot.deadline:
+            self._expire_slot(slot, "timeout")
+        else:
+            # The worker is demonstrably alive: that is a heartbeat.
+            self.queue.heartbeat(slot.job.job_id, now)
+
+    def _supervise(self) -> None:
+        while not self._stop.is_set():
+            now = time.monotonic()
+            for expiry in self.queue.expire_stale(now):
+                event = {"type": "requeue" if expiry.requeued
+                         else "failed", "reason": expiry.reason}
+                self.on_event(expiry.job_id, event)
+            busy = False
+            for slot in self._slots:
+                if slot.job is None:
+                    if not slot.process.is_alive():
+                        self._spawn(slot)
+                    if self._grant(slot, now):
+                        busy = True
+                if slot.job is not None:
+                    self._poll_slot(slot, now)
+                    busy = busy or slot.job is not None
+            if not busy and self.queue.depth() == 0 \
+                    and self.queue.in_flight() == 0:
+                self._idle.set()
+                self._stop.wait(0.02)
+            else:
+                self._idle.clear()
+                time.sleep(0.005)
+
+    # ------------------------------------------------------------ serial
+
+    def _supervise_serial(self) -> None:
+        """In-process fallback: one job at a time, no child processes.
+
+        Injected deaths surface as :class:`InjectedWorkerDeath`
+        (retryable) so the expiry/re-queue path still runs.
+        """
+        while not self._stop.is_set():
+            now = time.monotonic()
+            leased = self.queue.lease(0, now)
+            if leased is None:
+                self._idle.set()
+                self._stop.wait(0.02)
+                continue
+            self._idle.clear()
+            job, lease = leased
+            self.on_event(job.job_id, {"type": "lease", "worker": 0,
+                                       "attempt": lease.attempt})
+
+            def report(data, job_id=job.job_id):
+                self.queue.heartbeat(job_id)
+                self.on_event(job_id, {"type": "progress", **data})
+
+            slot = _Slot(worker_id=0, job=job)
+            try:
+                if lease.attempt in job.kill_on_attempts:
+                    raise InjectedWorkerDeath(
+                        f"injected worker death on attempt {lease.attempt}")
+                value = self.entrypoint(job.payload, lease.attempt, report)
+            except InjectedWorkerDeath as exc:
+                slot.job = job
+                expiry = self.queue.expire(job.job_id, "worker-died")
+                if expiry is not None and expiry.requeued:
+                    self.on_event(job.job_id,
+                                  {"type": "requeue",
+                                   "reason": "worker-died",
+                                   "attempt": job.attempts})
+                else:
+                    self._settle_slot(slot, "fatal", None,
+                                      f"{type(exc).__name__}: {exc}")
+                continue
+            except RetryableJobError as exc:
+                self._settle_slot(slot, "retry", None,
+                                  f"{type(exc).__name__}: {exc}")
+                continue
+            except Exception as exc:
+                self._settle_slot(slot, "fatal", None,
+                                  f"{type(exc).__name__}: {exc}")
+                continue
+            self._settle_slot(slot, "ok", value, "")

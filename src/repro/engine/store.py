@@ -3,6 +3,12 @@
 Layout (under ``.repro-cache/`` by default, or ``$REPRO_CACHE_DIR``)::
 
     <root>/v1/<key[:2]>/<key>.json
+    <root>/counters.json          # cumulative hit/miss/write tallies
+
+Each store instance also counts its own hits, misses, and writes;
+:meth:`ResultStore.flush_counters` folds them into the durable
+``counters.json`` sidecar that ``repro cache --stats`` reports, so
+operators can size the cache behind a long-running server.
 
 Each file wraps the job payload in a versioned, checksummed envelope;
 a schema bump makes every older file an automatic miss. Writes go
@@ -18,6 +24,7 @@ field existed still read back (schema unchanged).
 from __future__ import annotations
 
 import os
+import time
 from pathlib import Path
 
 from repro.resilience import atomio
@@ -42,6 +49,11 @@ class ResultStore:
 
     def __init__(self, root: Path | str | None = None) -> None:
         self.root = Path(root) if root is not None else default_cache_dir()
+        #: Per-instance read/write accounting, folded into the durable
+        #: sidecar by :meth:`flush_counters` (``repro cache --stats``).
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
 
     # ------------------------------------------------------------ layout
 
@@ -57,6 +69,14 @@ class ResultStore:
     def get(self, key: str) -> dict | None:
         """The stored payload for ``key``, or ``None`` on any miss
         (absent, corrupt, checksum failure, wrong schema, wrong key)."""
+        payload = self._read(key)
+        if payload is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return payload
+
+    def _read(self, key: str) -> dict | None:
         path = self.path_for(key)
         envelope = atomio.read_json(path)
         if not isinstance(envelope, dict):
@@ -81,6 +101,73 @@ class ResultStore:
             "payload": payload,
         }
         atomio.atomic_write_json(self.path_for(key), envelope)
+        self.writes += 1
+
+    # --------------------------------------------------------- accounting
+
+    @property
+    def _counters_path(self) -> Path:
+        return self.root / "counters.json"
+
+    def stats(self) -> dict:
+        """Live sizing stats plus cumulative counters: entry count,
+        total bytes on disk, and the hit/miss/write tallies flushed by
+        past runs (plus this instance's unflushed ones)."""
+        entries = 0
+        size = 0
+        if self._version_dir.is_dir():
+            for path in self._version_dir.rglob("*.json"):
+                entries += 1
+                try:
+                    size += path.stat().st_size
+                except OSError:
+                    pass
+        durable = atomio.read_json(self._counters_path)
+        if not isinstance(durable, dict):
+            durable = {}
+        return {
+            "entries": entries,
+            "bytes": size,
+            "hits": int(durable.get("hits", 0)) + self.hits,
+            "misses": int(durable.get("misses", 0)) + self.misses,
+            "writes": int(durable.get("writes", 0)) + self.writes,
+        }
+
+    def flush_counters(self) -> None:
+        """Merge this instance's hit/miss/write counters into the
+        durable ``counters.json`` sidecar (add, under an ``mkdir``
+        advisory lock so concurrent flushers don't drop each other's
+        increments), then zero the in-memory tallies."""
+        if self.hits == self.misses == self.writes == 0:
+            return
+        path = self._counters_path
+        path.parent.mkdir(parents=True, exist_ok=True)
+        lock = path.parent / ".counters.lock"
+        deadline = time.monotonic() + 5.0
+        locked = False
+        while time.monotonic() < deadline:
+            try:
+                os.mkdir(lock)
+                locked = True
+                break
+            except FileExistsError:
+                time.sleep(0.01)
+        try:
+            durable = atomio.read_json(path)
+            if not isinstance(durable, dict):
+                durable = {}
+            atomio.atomic_write_json(path, {
+                "hits": int(durable.get("hits", 0)) + self.hits,
+                "misses": int(durable.get("misses", 0)) + self.misses,
+                "writes": int(durable.get("writes", 0)) + self.writes,
+            })
+            self.hits = self.misses = self.writes = 0
+        finally:
+            if locked:
+                try:
+                    os.rmdir(lock)
+                except OSError:
+                    pass
 
     def purge(self) -> int:
         """Delete every stored result (all schema versions); return the

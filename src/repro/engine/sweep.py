@@ -14,7 +14,9 @@ and the fault-tolerant pool:
 
 The summary renders the same speedup numbers as the serial harness —
 ``scalar.cycles / multiscalar.cycles`` per cell — plus the engine's
-cache and fault accounting.
+cache and fault accounting. :func:`run_sweep_via_server` runs the
+identical grid as a thin HTTP client of a ``repro serve`` instance
+instead of a local pool — same keys, same table, shared cache.
 """
 
 from __future__ import annotations
@@ -260,6 +262,8 @@ def run_sweep(request: SweepRequest, store: ResultStore | None,
             summary.failures += 1
             summary.errors.append(f"{by_key[key].label()}: {outcome.error}")
     _tabulate(summary, by_key, payloads)
+    if store is not None:
+        store.flush_counters()
     return summary
 
 
@@ -303,6 +307,76 @@ def _tabulate(summary: SweepSummary, by_key: dict[str, SimJob],
                         if scalar is not None:
                             cell.speedup = scalar.cycles / multi.cycles
                     summary.cells.append(cell)
+
+
+def run_sweep_via_server(request: SweepRequest, url: str,
+                         progress=None,
+                         client_id: str = "sweep") -> SweepSummary:
+    """Run the same sweep grid as a thin client of ``repro serve``.
+
+    Every grid job is submitted as a ``sim`` envelope built from
+    :meth:`SimJob.spec`, so the server's content-addressed keys are
+    exactly the local ones — whatever a standalone sweep already
+    cached on that server's store is an instant hit, and the summary's
+    hit/retry/death accounting comes from the server's job records.
+    ``self_test`` submits the first multiscalar job with a
+    kill-the-worker fault (the server must be running ``--chaos``).
+    """
+    from repro.server.client import ServerClient, ServerError
+
+    progress = progress or (lambda message: None)
+    client = ServerClient(url, client_id=client_id)
+    grid = build_grid(request)
+    summary = SweepSummary(request=request, total_jobs=len(grid))
+    by_key = {job.key(): job for job in grid}
+
+    faults: dict[str, dict] = {}
+    if request.self_test:
+        for job in grid:
+            if job.kind == "multiscalar":
+                faults[job.key()] = {"kill_on_attempts": [0]}
+                break
+    keys: list[str] = []
+    for job in grid:
+        key = job.key()
+        try:
+            answer = client.submit({"type": "sim", "spec": job.spec()},
+                                   priority="batch",
+                                   fresh=not request.use_cache,
+                                   fault=faults.get(key))
+        except ServerError as exc:
+            if exc.status == 0:  # unreachable, not a rejected job
+                raise
+            summary.failures += 1
+            summary.errors.append(f"{job.label()}: {exc}")
+            continue
+        if answer.get("cached"):
+            summary.cache_hits += 1
+        else:
+            summary.cache_misses += 1
+        keys.append(answer["key"])
+    progress(f"{summary.cache_hits} cached on the server, "
+             f"{summary.cache_misses} submitted to {url}")
+    records = client.wait(
+        keys, timeout=request.timeout * max(1, len(keys)),
+        progress=lambda done, total: progress(f"{done}/{total} jobs "
+                                              "settled"))
+    payloads: dict[str, dict] = {}
+    for key in keys:
+        record = records[key]
+        summary.retries += record.get("requeues", 0)
+        summary.worker_deaths += record.get("worker_deaths", 0)
+        if record["status"] == "done":
+            payload = client.result(key)
+            if payload is not None:
+                payloads[key] = payload
+                continue
+        summary.failures += 1
+        label = by_key[key].label() if key in by_key else key[:12]
+        summary.errors.append(
+            f"{label}: {record.get('error') or 'no result'}")
+    _tabulate(summary, by_key, payloads)
+    return summary
 
 
 def render_timelines(request: SweepRequest, width: int = 72) -> str:

@@ -68,6 +68,10 @@ class CheckpointManager:
         self.saved_cycle: int | None = None
         #: Chaos switch: die immediately after the next capture.
         self.die_after_capture = False
+        #: Optional observer called with the cycle of each durable
+        #: checkpoint — the server daemon turns it into a lease
+        #: heartbeat + progress event.
+        self.on_capture = None
 
     # ----------------------------------------------------------- capture
 
@@ -84,6 +88,8 @@ class CheckpointManager:
         atomio.atomic_write_json(self.path, envelope)
         self.saved_cycle = processor.cycle
         self.next_cycle = processor.cycle + self.every
+        if self.on_capture is not None:
+            self.on_capture(processor.cycle)
         if self.die_after_capture:
             self.die_after_capture = False
             self._die()

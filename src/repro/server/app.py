@@ -1,0 +1,499 @@
+"""``python -m repro serve`` — the asyncio simulation-as-a-service app.
+
+A stdlib-only HTTP/1.1 server (``asyncio.start_server``; one request
+per connection) in front of the long-lived
+:class:`~repro.engine.scheduler.WorkerDaemon`:
+
+=======================  ==============================================
+``POST /v1/jobs``        submit ``{"type","spec"[,"priority","client",
+                         "fresh","fault"]}``; cached keys answer
+                         instantly without touching a worker; a full
+                         queue or exhausted client quota answers
+                         ``429`` with a ``Retry-After`` header
+``GET /v1/jobs/K``       status record (state, attempts, lease, counts)
+``GET /v1/jobs/K/result``  the stored payload (``202`` while running,
+                         ``409`` for failed jobs, ``404`` unknown)
+``GET /v1/jobs/K/stream``  Server-Sent Events: the job's full event
+                         history, then live progress until terminal
+``GET /v1/queue``        queue snapshot (depth per priority, leases)
+``GET /metrics``         the server registry merged with every
+                         completed job's simulation metrics
+                         (``?format=json`` for machine readers)
+``GET /healthz``         liveness + fleet size
+=======================  ==============================================
+
+Job lifecycle: ``queued → running → done | failed``, with ``requeue``
+events in between whenever a lease expired (worker death, timeout,
+stale heartbeat) and the job went back for another attempt — sim jobs
+resume from their last durable checkpoint. ``fault`` injections
+(SIGKILL a worker on given attempts) are refused unless the server was
+started with ``--chaos``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from dataclasses import dataclass, field
+
+from repro.engine.job import metrics_from_payload
+from repro.engine.scheduler import (
+    DEFAULT_PRIORITY,
+    PRIORITY_CLASSES,
+    LeaseQueue,
+    QueuedJob,
+    QueueFullError,
+    QuotaExceededError,
+    WorkerDaemon,
+    priority_value,
+)
+from repro.engine.store import ResultStore
+from repro.observability.metrics import MetricsRegistry
+from repro.resilience.checkpoint import CheckpointPolicy
+from repro.server.jobs import BadJobError, ServerJob, execute_server_job
+
+#: Submission bodies larger than this are rejected outright.
+MAX_BODY_BYTES = 8 << 20
+
+#: Job states a record can be in.
+TERMINAL = ("done", "failed")
+
+
+class _HttpError(Exception):
+    """Route-level failure carrying its HTTP response."""
+
+    def __init__(self, status: int, message: str,
+                 headers: dict | None = None) -> None:
+        super().__init__(message)
+        self.status = status
+        self.headers = headers or {}
+
+
+@dataclass
+class JobRecord:
+    """Server-side view of one submitted job key."""
+
+    key: str
+    envelope: dict
+    label: str
+    status: str
+    priority: str
+    client: str
+    cached: bool = False
+    attempts: int = 0
+    requeues: int = 0
+    worker_deaths: int = 0
+    error: str = ""
+    events: list[dict] = field(default_factory=list)
+
+    def to_dict(self, lease=None) -> dict:
+        """JSON status record for the ``/v1/jobs/<key>`` endpoint."""
+        return {
+            "key": self.key, "label": self.label, "status": self.status,
+            "priority": self.priority, "client": self.client,
+            "cached": self.cached, "attempts": self.attempts,
+            "requeues": self.requeues,
+            "worker_deaths": self.worker_deaths, "error": self.error,
+            "events": len(self.events),
+            "lease": lease.to_dict() if lease is not None else None,
+        }
+
+
+class ReproServer:
+    """The HTTP application plus its daemon, queue, and job table."""
+
+    def __init__(self, *, workers: int = 2, lease_ttl: float = 30.0,
+                 timeout: float = 600.0, retries: int = 2,
+                 max_queue: int = 256, quota: int | None = None,
+                 checkpoint_every: int = 2_000_000, chaos: bool = False,
+                 store: ResultStore | None = None,
+                 force_serial: bool = False) -> None:
+        self.store = store
+        self.chaos = chaos
+        self.queue = LeaseQueue(lease_ttl=lease_ttl, max_depth=max_queue,
+                                retries=retries, quota=quota)
+        self.daemon = WorkerDaemon(execute_server_job, workers=workers,
+                                   queue=self.queue, timeout=timeout,
+                                   force_serial=force_serial,
+                                   on_event=self._on_event,
+                                   on_settled=self._on_settled)
+        self.policy = None
+        if store is not None:
+            self.policy = CheckpointPolicy(
+                directory=str(store.root / "ckpt"), every=checkpoint_every)
+        self._lock = threading.Lock()
+        self.jobs: dict[str, JobRecord] = {}
+        self._results: dict[str, dict] = {}    # only when store is None
+        self._seq = 0
+        self.metrics = MetricsRegistry()
+        self.job_metrics = MetricsRegistry()
+        self.port: int | None = None
+        self._stopped: asyncio.Event | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+
+    # -------------------------------------------------- daemon callbacks
+
+    def _append_event(self, record: JobRecord, event: dict) -> None:
+        self._seq += 1
+        record.events.append({"seq": self._seq, **event})
+
+    def _on_event(self, job_id: str, event: dict) -> None:
+        with self._lock:
+            record = self.jobs.get(job_id)
+            if record is None:
+                return
+            kind = event.get("type")
+            if kind == "lease":
+                record.status = "running"
+                record.attempts = event.get("attempt", 0) + 1
+                self.metrics.count("server.leases_granted")
+            elif kind == "requeue":
+                record.status = "queued"
+                record.requeues += 1
+                if event.get("reason") != "timeout":
+                    record.worker_deaths += 1
+                self.metrics.count("server.requeues")
+            elif kind == "failed":
+                record.status = "failed"
+                record.error = event.get("error") \
+                    or event.get("reason", "failed")
+            elif kind == "interrupted":
+                record.status = "failed"
+                record.error = "interrupted"
+            elif kind == "done":
+                record.status = "done"
+            self._append_event(record, event)
+
+    def _on_settled(self, job_id: str, outcome) -> None:
+        with self._lock:
+            record = self.jobs.get(job_id)
+        if record is None:
+            return
+        if outcome.ok:
+            if self.store is not None:
+                job = ServerJob.from_envelope(record.envelope)
+                self.store.put(job_id, outcome.value, job=job.describe())
+            else:
+                with self._lock:
+                    self._results[job_id] = outcome.value
+            registry = metrics_from_payload(outcome.value) \
+                if isinstance(outcome.value, dict) else None
+            with self._lock:
+                record.status = "done"
+                record.error = ""
+                self.metrics.count("server.jobs_completed")
+                if registry is not None:
+                    self.job_metrics.merge(registry)
+        else:
+            with self._lock:
+                record.status = "failed"
+                record.error = record.error or outcome.error
+                self.metrics.count("server.jobs_failed")
+
+    # ------------------------------------------------------------ routes
+
+    def _payload_for(self, key: str) -> dict | None:
+        if self.store is not None:
+            return self.store.get(key)
+        with self._lock:
+            return self._results.get(key)
+
+    def submit(self, body: dict) -> tuple[int, dict]:
+        """Handle one submission; returns (HTTP status, response body).
+
+        Raises :class:`_HttpError` for malformed envelopes (400),
+        refused fault injections (403), and backpressure (429 with a
+        ``Retry-After`` header).
+        """
+        try:
+            job = ServerJob.from_envelope(body)
+            priority = priority_value(body.get("priority",
+                                               DEFAULT_PRIORITY))
+        except (BadJobError, ValueError) as exc:
+            raise _HttpError(400, str(exc)) from None
+        client = str(body.get("client") or "anon")
+        fault = body.get("fault") or {}
+        if fault and not self.chaos:
+            raise _HttpError(403, "fault injection requires a server "
+                                  "started with --chaos")
+        kill_on = tuple(int(a) for a in fault.get("kill_on_attempts", ()))
+        fresh = bool(body.get("fresh")) or bool(fault)
+        key = job.key()
+        self.metrics.count("server.submissions")
+        with self._lock:
+            record = self.jobs.get(key)
+            if record is not None and record.status in ("queued",
+                                                        "running"):
+                self.metrics.count("server.dedup_hits")
+                return 200, {"key": key, "status": record.status,
+                             "cached": False, "deduped": True}
+            if record is not None and record.status == "done" \
+                    and not fresh:
+                self.metrics.count("server.cache_hits")
+                return 200, {"key": key, "status": "done",
+                             "cached": True}
+        if not fresh:
+            payload = self._payload_for(key)
+            if payload is not None:
+                with self._lock:
+                    record = JobRecord(
+                        key=key, envelope=self._core(body),
+                        label=job.label(), status="done",
+                        priority=PRIORITY_CLASSES[priority],
+                        client=client, cached=True)
+                    self._append_event(record, {"type": "cached"})
+                    self.jobs[key] = record
+                    self.metrics.count("server.cache_hits")
+                return 200, {"key": key, "status": "done",
+                             "cached": True}
+        queued = QueuedJob(job_id=key,
+                           payload=(self._core(body), self.policy),
+                           priority=priority, client=client,
+                           kill_on_attempts=kill_on)
+        with self._lock:
+            record = JobRecord(key=key, envelope=self._core(body),
+                               label=job.label(), status="queued",
+                               priority=PRIORITY_CLASSES[priority],
+                               client=client)
+            self.jobs[key] = record
+        try:
+            self.daemon.submit(queued)
+        except (QueueFullError, QuotaExceededError) as exc:
+            with self._lock:
+                self.jobs.pop(key, None)
+            self.metrics.count("server.backpressure_429")
+            raise _HttpError(
+                429, str(exc),
+                headers={"Retry-After":
+                         f"{exc.retry_after:.0f}"}) from None
+        self.metrics.count("server.jobs_enqueued")
+        return 200, {"key": key, "status": "queued", "cached": False}
+
+    @staticmethod
+    def _core(body: dict) -> dict:
+        """The part of a submission that defines the work itself."""
+        return {"type": body.get("type"), "spec": body.get("spec")}
+
+    def status(self, key: str) -> dict:
+        """The status record for one key (raises 404 when unknown)."""
+        with self._lock:
+            record = self.jobs.get(key)
+        if record is None:
+            # A previous server life may have cached it.
+            if self._payload_for(key) is not None:
+                return {"key": key, "status": "done", "cached": True,
+                        "attempts": 0, "requeues": 0,
+                        "worker_deaths": 0, "error": "", "events": 0,
+                        "lease": None}
+            raise _HttpError(404, f"unknown job {key}")
+        return record.to_dict(lease=self.queue.lease_of(key))
+
+    def result(self, key: str) -> tuple[int, dict]:
+        """The result payload, or the right not-yet/never answer."""
+        with self._lock:
+            record = self.jobs.get(key)
+        if record is not None and record.status == "failed":
+            raise _HttpError(409, record.error or "job failed")
+        payload = self._payload_for(key)
+        if payload is not None:
+            return 200, payload
+        if record is None:
+            raise _HttpError(404, f"unknown job {key}")
+        return 202, {"key": key, "status": record.status}
+
+    def _render_metrics(self) -> MetricsRegistry:
+        merged = MetricsRegistry()
+        with self._lock:
+            merged.merge(self.metrics)
+            merged.merge(self.job_metrics)
+        merged.gauge("server.queue_depth", self.queue.depth())
+        merged.gauge("server.workers", self.daemon.workers)
+        if self.store is not None:
+            merged.gauge("server.store_entries", len(self.store))
+        return merged
+
+    # ------------------------------------------------------- HTTP server
+
+    async def _read_request(self, reader):
+        line = await reader.readline()
+        if not line:
+            return None
+        try:
+            method, target, _ = line.decode("latin-1").split(" ", 2)
+        except ValueError:
+            return None
+        headers = {}
+        while True:
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = raw.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", 0) or 0)
+        if length > MAX_BODY_BYTES:
+            raise _HttpError(413, "request body too large")
+        body = await reader.readexactly(length) if length else b""
+        path, _, query = target.partition("?")
+        return method.upper(), path, query, headers, body
+
+    @staticmethod
+    def _respond(writer, status: int, body: dict | str,
+                 headers: dict | None = None) -> None:
+        reasons = {200: "OK", 202: "Accepted", 400: "Bad Request",
+                   403: "Forbidden", 404: "Not Found", 405: "Method Not "
+                   "Allowed", 409: "Conflict", 413: "Payload Too Large",
+                   429: "Too Many Requests", 500: "Internal Server Error"}
+        if isinstance(body, str):
+            blob = body.encode()
+            ctype = "text/plain; charset=utf-8"
+        else:
+            blob = json.dumps(body).encode()
+            ctype = "application/json"
+        head = [f"HTTP/1.1 {status} {reasons.get(status, 'Unknown')}",
+                f"Content-Type: {ctype}",
+                f"Content-Length: {len(blob)}",
+                "Connection: close"]
+        for name, value in (headers or {}).items():
+            head.append(f"{name}: {value}")
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode() + blob)
+
+    def _route(self, method: str, path: str, query: str,
+               body: bytes) -> tuple[int, dict | str, dict]:
+        """Dispatch every non-streaming route; returns
+        (status, body, extra headers)."""
+        if path == "/healthz":
+            return 200, {"ok": True, "workers": self.daemon.workers,
+                         "queue_depth": self.queue.depth(),
+                         "jobs": len(self.jobs)}, {}
+        if path == "/metrics":
+            registry = self._render_metrics()
+            if "format=json" in query:
+                return 200, registry.to_dict(), {}
+            return 200, registry.render() + "\n", {}
+        if path == "/v1/queue":
+            return 200, self.queue.snapshot(), {}
+        if path == "/v1/jobs":
+            if method != "POST":
+                raise _HttpError(405, "POST a job envelope here")
+            try:
+                data = json.loads(body.decode() or "null")
+            except ValueError:
+                raise _HttpError(400, "body is not valid JSON") from None
+            status, answer = self.submit(data)
+            return status, answer, {}
+        if path.startswith("/v1/jobs/"):
+            rest = path[len("/v1/jobs/"):]
+            key, _, tail = rest.partition("/")
+            if not key:
+                raise _HttpError(404, "missing job key")
+            if tail == "":
+                return 200, self.status(key), {}
+            if tail == "result":
+                status, answer = self.result(key)
+                return status, answer, {}
+            raise _HttpError(404, f"unknown endpoint {path!r}")
+        raise _HttpError(404, f"unknown endpoint {path!r}")
+
+    async def _stream(self, writer, key: str) -> None:
+        """Serve one ``/stream`` connection: replay, then follow."""
+        writer.write(b"HTTP/1.1 200 OK\r\n"
+                     b"Content-Type: text/event-stream\r\n"
+                     b"Cache-Control: no-store\r\n"
+                     b"Connection: close\r\n\r\n")
+        sent = 0
+        while True:
+            terminal = False
+            chunk = []
+            with self._lock:
+                record = self.jobs.get(key)
+                events = list(record.events[sent:]) if record else []
+                status = record.status if record else None
+            if record is None:
+                if self._payload_for(key) is not None:
+                    events = [{"seq": 0, "type": "cached"}]
+                    terminal = True
+                else:
+                    self._respond(writer, 404, {"error": "unknown job"})
+                    return
+            sent += len(events)
+            for event in events:
+                kind = event.get("type", "event")
+                chunk.append(f"event: {kind}\n"
+                             f"data: {json.dumps(event)}\n\n")
+                if kind in ("done", "failed", "cached", "interrupted"):
+                    terminal = True
+            if not events and status in TERMINAL:
+                terminal = True
+            if chunk:
+                writer.write("".join(chunk).encode())
+                await writer.drain()
+            if terminal:
+                return
+            await asyncio.sleep(0.05)
+
+    async def _handle(self, reader, writer) -> None:
+        self.metrics.count("server.http_requests")
+        try:
+            request = await self._read_request(reader)
+            if request is None:
+                return
+            method, path, query, _, body = request
+            if method == "GET" and path.startswith("/v1/jobs/") \
+                    and path.endswith("/stream"):
+                key = path[len("/v1/jobs/"):-len("/stream")]
+                await self._stream(writer, key)
+                return
+            try:
+                status, answer, headers = self._route(method, path,
+                                                      query, body)
+                self._respond(writer, status, answer, headers)
+            except _HttpError as exc:
+                self._respond(writer, exc.status, {"error": str(exc)},
+                              exc.headers)
+            except Exception as exc:   # route bug: report, keep serving
+                self._respond(writer, 500,
+                              {"error": f"{type(exc).__name__}: {exc}"})
+        except (_HttpError, asyncio.IncompleteReadError,
+                ConnectionError):
+            pass
+        finally:
+            try:
+                await writer.drain()
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    # --------------------------------------------------------- lifecycle
+
+    async def _run_async(self, host: str, port: int, ready) -> None:
+        self.daemon.start()
+        server = await asyncio.start_server(self._handle, host, port)
+        self.port = server.sockets[0].getsockname()[1]
+        self._loop = asyncio.get_running_loop()
+        self._stopped = asyncio.Event()
+        if ready is not None:
+            ready(self.port)
+        async with server:
+            await self._stopped.wait()
+
+    def run(self, host: str = "127.0.0.1", port: int = 0,
+            ready=None) -> None:
+        """Serve until :meth:`stop` (or KeyboardInterrupt, which the
+        caller handles). ``ready(port)`` fires once the socket is
+        bound — with ``port=0`` that is the only way to learn it."""
+        asyncio.run(self._run_async(host, port, ready))
+
+    def stop(self) -> None:
+        """Thread-safe: unblock :meth:`run` (used by tests/shutdown)."""
+        if self._loop is not None and self._stopped is not None:
+            self._loop.call_soon_threadsafe(self._stopped.set)
+
+    def shutdown(self) -> list[str]:
+        """Drain the daemon (kill + join workers, revoke leases) and
+        flush store counters; returns the interrupted job ids."""
+        drained = self.daemon.shutdown()
+        if self.store is not None:
+            self.store.flush_counters()
+        return drained

@@ -1,0 +1,156 @@
+"""Stdlib-only HTTP client for a running ``repro serve`` instance.
+
+The same :class:`ServerClient` backs both CLI client modes
+(``repro sweep --server URL`` and ``repro fuzz --server URL``) and the
+tests. It speaks plain ``urllib`` — one request per call, no
+connection reuse — which is exactly right for a job API where every
+interesting wait happens server-side. Backpressure (HTTP 429) is
+retried with the server's own ``Retry-After`` hint, bounded, so a
+client pointed at a saturated server degrades to patience instead of
+an error.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+
+class ServerError(RuntimeError):
+    """A server answer that is not what the caller asked for."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServerClient:
+    """Submit/poll/fetch against one ``repro serve`` base URL."""
+
+    def __init__(self, base_url: str, client_id: str = "",
+                 timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.client_id = client_id
+        self.timeout = timeout
+
+    # ------------------------------------------------------------- plumbing
+
+    def _request(self, method: str, path: str,
+                 body: dict | None = None) -> tuple[int, dict, dict]:
+        """One HTTP exchange; returns (status, headers, decoded body)."""
+        data = json.dumps(body).encode() if body is not None else None
+        request = urllib.request.Request(
+            self.base_url + path, data=data, method=method,
+            headers={"Content-Type": "application/json"} if data else {})
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as answer:
+                status = answer.status
+                headers = dict(answer.headers)
+                blob = answer.read()
+        except urllib.error.HTTPError as exc:
+            status = exc.code
+            headers = dict(exc.headers or {})
+            blob = exc.read()
+        except (urllib.error.URLError, OSError) as exc:
+            reason = getattr(exc, "reason", None) or exc
+            raise ServerError(
+                0, f"cannot reach {self.base_url}: {reason}") from exc
+        try:
+            decoded = json.loads(blob.decode() or "null")
+        except ValueError:
+            decoded = {"error": blob.decode(errors="replace")}
+        if not isinstance(decoded, dict):
+            decoded = {"value": decoded}
+        return status, headers, decoded
+
+    # ------------------------------------------------------------------ api
+
+    def submit(self, envelope: dict, *, priority: str | None = None,
+               fresh: bool = False, fault: dict | None = None,
+               max_retries: int = 20) -> dict:
+        """POST one job envelope; waits out up to ``max_retries``
+        rounds of 429 backpressure using the server's ``Retry-After``."""
+        body = dict(envelope)
+        if priority is not None:
+            body["priority"] = priority
+        if self.client_id:
+            body["client"] = self.client_id
+        if fresh:
+            body["fresh"] = True
+        if fault:
+            body["fault"] = fault
+        for _ in range(max_retries + 1):
+            status, headers, answer = self._request("POST", "/v1/jobs",
+                                                    body)
+            if status != 429:
+                break
+            time.sleep(min(5.0, float(headers.get("Retry-After", 1))))
+        if status != 200:
+            raise ServerError(status, answer.get("error", "submit failed"))
+        return answer
+
+    def status(self, key: str) -> dict:
+        """The job's status record (raises :class:`ServerError` on 404)."""
+        status, _, answer = self._request("GET", f"/v1/jobs/{key}")
+        if status != 200:
+            raise ServerError(status, answer.get("error", "no status"))
+        return answer
+
+    def result(self, key: str) -> dict | None:
+        """The result payload, or ``None`` while the job is still
+        pending; failed jobs raise with the server's error."""
+        status, _, answer = self._request("GET", f"/v1/jobs/{key}/result")
+        if status == 200:
+            return answer
+        if status == 202:
+            return None
+        raise ServerError(status, answer.get("error", "no result"))
+
+    def wait(self, keys, poll: float = 0.2, timeout: float = 600.0,
+             progress=None) -> dict[str, dict]:
+        """Poll until every key is terminal; returns key → status
+        record. ``progress(done, total)`` fires whenever the done
+        count advances."""
+        pending = list(dict.fromkeys(keys))
+        records: dict[str, dict] = {}
+        deadline = time.monotonic() + timeout
+        reported = -1
+        while pending:
+            for key in list(pending):
+                record = self.status(key)
+                if record["status"] in ("done", "failed"):
+                    records[key] = record
+                    pending.remove(key)
+            if progress is not None and len(records) != reported:
+                reported = len(records)
+                progress(reported, reported + len(pending))
+            if pending:
+                if time.monotonic() > deadline:
+                    raise ServerError(
+                        504, f"timed out waiting on {len(pending)} jobs")
+                time.sleep(poll)
+        return records
+
+    def metrics(self) -> dict:
+        """The server's merged metrics registry as a dict."""
+        status, _, answer = self._request("GET", "/metrics?format=json")
+        if status != 200:
+            raise ServerError(status, answer.get("error", "no metrics"))
+        return answer
+
+    def queue(self) -> dict:
+        """The live queue snapshot (depths, leases)."""
+        status, _, answer = self._request("GET", "/v1/queue")
+        if status != 200:
+            raise ServerError(status, answer.get("error", "no queue"))
+        return answer
+
+    def health(self) -> dict:
+        """The ``/healthz`` liveness record."""
+        status, _, answer = self._request("GET", "/healthz")
+        if status != 200:
+            raise ServerError(status, answer.get("error", "unhealthy"))
+        return answer

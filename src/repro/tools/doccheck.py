@@ -7,7 +7,9 @@ Three surfaces must be documented, and CI fails when any is not:
    browsable.
 2. **Every exported name** of the public packages (``repro.engine``,
    ``repro.resilience``, ``repro.observability``) — everything their
-   ``__all__`` promises is API and gets a docstring.
+   ``__all__`` promises is API and gets a docstring (and
+   ``repro.server``, the job-service package, is held to the same
+   contract).
 3. **Every CLI entry point** in ``repro.cli`` — each ``cmd_*``
    function plus ``build_parser`` and ``main``.
 
@@ -28,6 +30,7 @@ PUBLIC_PACKAGES = (
     "repro.engine",
     "repro.resilience",
     "repro.observability",
+    "repro.server",
 )
 
 

@@ -1,0 +1,88 @@
+"""Concurrent-writer safety for the persistent result store.
+
+Two real processes hammer ``put()`` on the same key while the parent
+reads in a tight loop: because writes are same-directory temp file +
+fsync + ``os.replace`` and reads verify a content checksum, every read
+must be either a miss or one of the writers' exact payloads — never a
+torn or interleaved file. The counters sidecar gets the same
+treatment: concurrent ``flush_counters()`` calls must add up, not
+drop increments.
+"""
+
+import multiprocessing
+
+from repro.engine.store import ResultStore
+
+KEY = "ab" * 32
+
+
+def writer_main(root, worker, rounds):
+    """Overwrite KEY ``rounds`` times with payloads unique per round."""
+    store = ResultStore(root)
+    for i in range(rounds):
+        store.put(KEY, {"type": "count", "worker": worker, "round": i,
+                        "pad": "x" * 512})
+
+
+def flusher_main(root, rounds):
+    """Fold ``rounds`` single-read flushes into the counters sidecar."""
+    store = ResultStore(root)
+    for _ in range(rounds):
+        store.get(KEY)
+        store.flush_counters()
+
+
+def spawn(target, args):
+    ctx = multiprocessing.get_context()
+    process = ctx.Process(target=target, args=args)
+    process.start()
+    return process
+
+
+def test_concurrent_writers_never_produce_torn_reads(tmp_path):
+    root = str(tmp_path / "store")
+    rounds = 60
+    writers = [spawn(writer_main, (root, w, rounds)) for w in (1, 2)]
+    reader = ResultStore(root)
+    seen = 0
+    try:
+        while any(p.is_alive() for p in writers):
+            payload = reader.get(KEY)
+            if payload is None:
+                continue            # not written yet: a miss, not a tear
+            seen += 1
+            assert payload["type"] == "count"
+            assert payload["worker"] in (1, 2)
+            assert 0 <= payload["round"] < rounds
+            assert payload["pad"] == "x" * 512
+    finally:
+        for p in writers:
+            p.join(30)
+    assert all(p.exitcode == 0 for p in writers)
+    assert seen > 0, "reader never observed a committed write"
+    final = reader.get(KEY)
+    assert final is not None and final["round"] == rounds - 1
+
+
+def test_last_writer_wins_and_reads_back_exactly(tmp_path):
+    store = ResultStore(str(tmp_path / "store"))
+    store.put(KEY, {"type": "count", "value": 1})
+    store.put(KEY, {"type": "count", "value": 2})
+    assert store.get(KEY) == {"type": "count", "value": 2}
+    assert len(store) == 1
+
+
+def test_concurrent_counter_flushes_add_up(tmp_path):
+    root = str(tmp_path / "store")
+    setup = ResultStore(root)
+    setup.put(KEY, {"type": "count", "value": 1})
+    setup.flush_counters()
+    rounds = 25
+    flushers = [spawn(flusher_main, (root, rounds)) for _ in range(3)]
+    for p in flushers:
+        p.join(60)
+    assert all(p.exitcode == 0 for p in flushers)
+    stats = ResultStore(root).stats()
+    # 3 processes x 25 reads, all hits; plus setup's 1 write.
+    assert stats["hits"] == 3 * rounds
+    assert stats["writes"] == 1
