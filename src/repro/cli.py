@@ -12,6 +12,10 @@ Subcommands:
   on every backend and diff the results (exit 1 on divergence);
 * ``sweep``          — run a workload × configuration grid through the
   sharded job engine with persistent result caching;
+* ``explore``        — design-space autopilot: a seeded search over
+  hardware axes and compiler knobs that renders per-workload Pareto
+  frontiers (cycles vs hardware cost) and writes deterministic
+  Markdown/JSON reports;
 * ``bench``          — measure simulator throughput (simulated cycles
   per wall-clock second), write ``BENCH_simulator.json``, and
   optionally gate against the committed baseline;
@@ -37,6 +41,8 @@ Examples::
     python -m repro tables 2
     python -m repro fuzz --seed 7 --budget 200 --jobs 4
     python -m repro sweep --workloads wc,cmp --units 1,4 --jobs 4
+    python -m repro explore gcc --budget 30 --seed 7 --out reports/
+    python -m repro explore all --budget 40 --jobs 4
     python -m repro bench --quick --check
     python -m repro chaos --self-test
     python -m repro trace wc --units 8 --out trace.json
@@ -365,10 +371,16 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             store = ResultStore()
         summary = run_sweep(request, store, progress=progress)
     print(summary.render())
-    if args.metrics and summary.metrics is not None:
-        print()
-        print("aggregated metrics (all grid cells, cached + fresh):")
-        print(summary.metrics.render())
+    if args.metrics:
+        if summary.metrics is not None:
+            print()
+            print("aggregated metrics (all grid cells, cached + fresh):")
+            print(summary.metrics.render())
+        if summary.cells_without_metrics:
+            print(f"note: {summary.cells_without_metrics} of "
+                  f"{summary.total_jobs} payloads carried no metrics "
+                  "(pre-metrics cache entries); the aggregate above "
+                  "under-counts them. Re-run with --fresh to regenerate.")
     if summary.interrupted:
         print("sweep: interrupted; completed results were persisted",
               file=sys.stderr)
@@ -386,6 +398,128 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     if args.require_hit_rate is not None \
             and summary.hit_rate < args.require_hit_rate:
         print(f"sweep: persistent-cache hit rate "
+              f"{100.0 * summary.hit_rate:.1f}% is below the required "
+              f"{100.0 * args.require_hit_rate:.1f}%", file=sys.stderr)
+        return 1
+    return 0 if summary.ok else 1
+
+
+def _explore_self_test(args: argparse.Namespace) -> int:
+    """``repro explore --self-test``: run a tiny search twice against a
+    private store; require byte-identical reports and a fully-cached
+    second run."""
+    import json as _json
+    import tempfile
+
+    from repro.engine import ResultStore
+    from repro.explore import (
+        ExploreRequest,
+        LocalEvaluator,
+        build_report,
+        run_explore,
+        validate_report,
+    )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        request = ExploreRequest(workloads=("cmp",), budget=6,
+                                 seed=args.seed,
+                                 max_cycles=args.max_cycles)
+        store = ResultStore(tmp)
+        blobs, fresh = [], []
+        for _ in range(2):
+            evaluator = LocalEvaluator(store, jobs=1,
+                                       max_cycles=request.max_cycles)
+            summary = run_explore(request, evaluator)
+            report = build_report(summary)
+            validate_report(report)
+            blobs.append(_json.dumps(report, sort_keys=True))
+            fresh.append(summary.fresh_runs)
+    if blobs[0] != blobs[1]:
+        print("explore: self-test FAILED -- two identical runs produced "
+              "different reports", file=sys.stderr)
+        return 1
+    if fresh[1] != 0:
+        print(f"explore: self-test FAILED -- warm re-run simulated "
+              f"{fresh[1]} fresh jobs (expected 0)", file=sys.stderr)
+        return 1
+    print(f"explore: self-test ok -- deterministic report, warm re-run "
+          f"fully cached ({fresh[0]} cold simulations)", file=sys.stderr)
+    return 0
+
+
+def cmd_explore(args: argparse.Namespace) -> int:
+    """Entry point for ``repro explore``: the design-space autopilot."""
+    from repro.engine import ResultStore, persistent_cache_enabled
+    from repro.explore import (
+        ExploreRequest,
+        LocalEvaluator,
+        ServerEvaluator,
+        build_report,
+        render_terminal,
+        run_explore,
+        validate_report,
+        write_report,
+    )
+    from repro.workloads import WORKLOADS
+
+    _apply_cache_flags(args)
+    if args.budget < 1:
+        print(f"repro explore: error: --budget must be >= 1, "
+              f"got {args.budget}", file=sys.stderr)
+        return 2
+    if args.self_test:
+        return _explore_self_test(args)
+    if args.target == "all":
+        workloads = tuple(sorted(WORKLOADS))
+    else:
+        workloads = tuple(args.target.split(","))
+        unknown = [name for name in workloads if name not in WORKLOADS]
+        if unknown:
+            print(f"repro explore: error: unknown workloads {unknown}",
+                  file=sys.stderr)
+            return 2
+    request = ExploreRequest(
+        workloads=workloads, budget=args.budget, seed=args.seed,
+        max_cycles=args.max_cycles, jobs=args.jobs, timeout=args.timeout,
+        retries=args.retries, use_cache=not args.no_cache)
+    progress = (lambda message: print(f"explore: {message}",
+                                      file=sys.stderr))
+    if args.server:
+        from repro.server import ServerError
+
+        evaluator = ServerEvaluator(args.server, timeout=args.timeout,
+                                    max_cycles=args.max_cycles,
+                                    progress=progress)
+        try:
+            summary = run_explore(request, evaluator, progress=progress)
+        except ServerError as error:
+            print(f"repro explore: server error: {error}", file=sys.stderr)
+            return 2
+    else:
+        store = None
+        if request.use_cache and persistent_cache_enabled():
+            store = ResultStore()
+        evaluator = LocalEvaluator(store, jobs=args.jobs,
+                                   timeout=args.timeout,
+                                   retries=args.retries,
+                                   max_cycles=args.max_cycles,
+                                   progress=progress)
+        summary = run_explore(request, evaluator, progress=progress)
+        if store is not None:
+            store.flush_counters()
+    report = build_report(summary)
+    validate_report(report)
+    print(render_terminal(report))
+    print(f"explore: {summary.fresh_runs} fresh simulations, "
+          f"{summary.cache_hits} cache hits "
+          f"(hit rate {100.0 * summary.hit_rate:.1f}%)", file=sys.stderr)
+    if args.out:
+        json_path, md_path = write_report(report, args.out)
+        print(f"explore: wrote {json_path} and {md_path}",
+              file=sys.stderr)
+    if args.require_hit_rate is not None \
+            and summary.hit_rate < args.require_hit_rate:
+        print(f"explore: cache hit rate "
               f"{100.0 * summary.hit_rate:.1f}% is below the required "
               f"{100.0 * args.require_hit_rate:.1f}%", file=sys.stderr)
         return 1
@@ -749,6 +883,42 @@ def build_parser() -> argparse.ArgumentParser:
                             "(e.g. http://127.0.0.1:8642)")
     add_cache_flags(sweep)
     sweep.set_defaults(fn=cmd_sweep)
+
+    explore = sub.add_parser(
+        "explore", help="design-space autopilot: search hardware axes + "
+                        "compiler knobs, report Pareto frontiers")
+    explore.add_argument("target", nargs="?", default="all",
+                         help="comma-separated workloads, or 'all'")
+    explore.add_argument("--budget", type=int, default=40,
+                         help="design points evaluated per workload "
+                              "(default 40)")
+    explore.add_argument("--seed", type=int, default=0,
+                         help="search RNG seed; same seed + budget = "
+                              "byte-identical report")
+    explore.add_argument("--jobs", type=int, default=1,
+                         help="worker processes (1 = serial in-process)")
+    explore.add_argument("--timeout", type=float, default=600.0,
+                         help="per-job wall-clock budget in seconds")
+    explore.add_argument("--retries", type=int, default=2,
+                         help="retry budget per job for crashes/timeouts")
+    explore.add_argument("--max-cycles", type=int, default=20_000_000)
+    explore.add_argument("--out", default=None, metavar="DIR",
+                         help="write explore.json + explore.md reports "
+                              "under this directory")
+    explore.add_argument("--require-hit-rate", type=float, default=None,
+                         metavar="FRACTION",
+                         help="exit 1 unless the cache hit rate is at "
+                              "least this fraction (e.g. 0.9)")
+    explore.add_argument("--self-test", action="store_true",
+                         help="run a tiny search twice against a private "
+                              "store; require byte-identical reports and "
+                              "a fully-cached second run")
+    explore.add_argument("--server", default=None, metavar="URL",
+                         help="evaluate points as a thin client of a "
+                              "`repro serve` instance instead of a local "
+                              "worker pool")
+    add_cache_flags(explore)
+    explore.set_defaults(fn=cmd_explore)
 
     bench = sub.add_parser(
         "bench", help="measure simulator throughput and gate against "

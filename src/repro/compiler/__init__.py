@@ -25,12 +25,22 @@ from repro.compiler.annotate import (
     strip_annotations,
 )
 from repro.compiler.cfg import ControlFlowGraph, build_cfg
+from repro.compiler.knobs import (
+    CREATE_MASK_POLICIES,
+    DEFAULT_KNOBS,
+    LOOP_CUT_STRATEGIES,
+    CompilerKnobs,
+)
 from repro.compiler.liveness import LivenessAnalysis
 from repro.compiler.regions import TaskRegion, compute_regions
 
 __all__ = [
     "AnnotationError",
+    "CREATE_MASK_POLICIES",
+    "CompilerKnobs",
     "ControlFlowGraph",
+    "DEFAULT_KNOBS",
+    "LOOP_CUT_STRATEGIES",
     "LivenessAnalysis",
     "TaskRegion",
     "annotate_program",

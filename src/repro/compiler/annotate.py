@@ -31,6 +31,7 @@ from __future__ import annotations
 from dataclasses import replace
 
 from repro.compiler.cfg import ControlFlowGraph, build_cfg
+from repro.compiler.knobs import DEFAULT_KNOBS, CompilerKnobs
 from repro.compiler.liveness import LivenessAnalysis
 from repro.compiler.regions import (
     RegionError,
@@ -55,7 +56,8 @@ class AnnotationError(Exception):
 
 def annotate_program(program: Program,
                      task_entries: list[str] | None = None,
-                     auto_loops: bool = False) -> Program:
+                     auto_loops: bool = False,
+                     knobs: CompilerKnobs | None = None) -> Program:
     """Produce an annotated multiscalar binary.
 
     Parameters
@@ -69,18 +71,36 @@ def annotate_program(program: Program,
     auto_loops:
         Also make every natural-loop header a task entry (one task per
         loop iteration — the paper's canonical partitioning).
+    knobs:
+        Tunable partitioning heuristics
+        (:class:`~repro.compiler.knobs.CompilerKnobs`): the loop-cut
+        strategy (which may override ``task_entries``/``auto_loops``),
+        the create-mask policy, and the task-size cap. ``None`` means
+        the hand-tuned defaults, which reproduce the historical
+        behaviour of this pass exactly.
     """
-    entries: set[int] = set(program.tasks)
-    for label in task_entries or []:
-        entries.add(program.label_addr(label))
+    knobs = knobs or DEFAULT_KNOBS
+    if knobs.loop_cut == "none":
+        # Degenerate partitioning: ignore every nominated entry and
+        # keep only what closure forces. (Near-sequential execution —
+        # the "what does partitioning buy" baseline of the search.)
+        entries: set[int] = set()
+    else:
+        entries = set(program.tasks)
+        for label in task_entries or []:
+            entries.add(program.label_addr(label))
     # Entry labels need not be branch targets; hand them to the CFG
     # builder so blocks split at every requested entry.
     cfg = build_cfg(program, extra_leaders=entries)
-    if auto_loops:
+    if knobs.loop_cut == "all" or (auto_loops and knobs.loop_cut != "none"):
         entries |= cfg.loop_headers(program.entry)
     entries = close_entries(cfg, entries, program.entry)
     liveness = LivenessAnalysis(cfg, program.entry, whole_program=True)
-    regions = compute_regions(cfg, entries, liveness)
+    regions = compute_regions(cfg, entries, liveness,
+                              mask_policy=knobs.create_mask)
+    if knobs.task_size:
+        regions, entries = _split_oversized_regions(
+            cfg, regions, entries, liveness, knobs)
     # How many regions share each block (shared blocks are annotated
     # conservatively).
     block_owners: dict[int, int] = {}
@@ -97,10 +117,63 @@ def annotate_program(program: Program,
         _plan_forwarding(cfg, region, block_owners, forward_sites,
                          insertions)
 
-    descriptors = _plan_descriptors(program, regions)
+    descriptors = _plan_descriptors(program, regions,
+                                    honor_explicit_masks=knobs.loop_cut
+                                    != "none")
     release_rewrites = _prune_stale_releases(cfg, regions)
     return _rebuild(program, forward_sites, stop_sites, insertions,
                     descriptors, release_rewrites)
+
+
+def _split_oversized_regions(cfg: ControlFlowGraph,
+                             regions: dict[int, TaskRegion],
+                             entries: set[int],
+                             liveness: LivenessAnalysis,
+                             knobs: CompilerKnobs):
+    """Enforce the ``task_size`` knob: promote an interior block of any
+    region holding more than ``task_size`` static instructions to a
+    task entry, re-close, and recompute, until every region fits (or no
+    region can shrink further — a single oversized basic block stays
+    whole). Deterministic: regions and blocks are visited in address
+    order, so the same knob always yields the same partitioning."""
+    entries = set(entries)
+    while True:
+        new_entries: set[int] = set()
+        for entry in sorted(regions):
+            region = regions[entry]
+            blocks = sorted(region.blocks)
+            total = sum(len(cfg.blocks[a].instructions) for a in blocks)
+            if total <= knobs.task_size:
+                continue
+            running = 0
+            for addr in blocks:
+                running += len(cfg.blocks[addr].instructions)
+                if running > knobs.task_size and addr != region.entry \
+                        and addr not in entries \
+                        and _splittable(cfg, addr, entries):
+                    new_entries.add(addr)
+                    break
+        if not new_entries:
+            return regions, entries
+        entries |= new_entries
+        entries = close_entries(cfg, entries, cfg.program.entry)
+        regions = compute_regions(cfg, entries, liveness,
+                                  mask_policy=knobs.create_mask)
+
+
+def _splittable(cfg: ControlFlowGraph, addr: int,
+                entries: set[int]) -> bool:
+    """A block may become a task entry only if no predecessor ends in a
+    *suppressed* call: the return point of an inlined ``jal`` cannot be
+    a task boundary, because the runtime PC follows the call into the
+    callee while the static exit model would stop the task at the
+    ``jal`` itself. (Call-*boundary* return points are already entries
+    via :func:`close_entries`, so they never reach this check.)"""
+    for pred in cfg.blocks[addr].predecessors:
+        last = cfg.blocks[pred].last
+        if last.kind is Kind.CALL and last.target not in entries:
+            return False
+    return True
 
 
 # ----------------------------------------------------------- stop bits
@@ -301,7 +374,9 @@ def _next_in_region(cfg: ControlFlowGraph, region: TaskRegion,
 # -------------------------------------------------------- descriptors
 
 def _plan_descriptors(program: Program,
-                      regions: dict[int, TaskRegion]) -> list[TaskDescriptor]:
+                      regions: dict[int, TaskRegion],
+                      honor_explicit_masks: bool = True
+                      ) -> list[TaskDescriptor]:
     addr_to_label = {a: n for n, a in program.labels.items()}
     descriptors = []
     for region in regions.values():
@@ -336,7 +411,8 @@ def _plan_descriptors(program: Program,
                 "supports at most 4 — choose a different partitioning")
         existing = program.tasks.get(region.entry)
         mask = region.create_mask
-        if existing is not None and existing.mask_is_explicit:
+        if honor_explicit_masks and existing is not None \
+                and existing.mask_is_explicit:
             mask = existing.create_mask  # hand-written masks win
         descriptors.append(TaskDescriptor(
             entry=region.entry, targets=tuple(targets), create_mask=mask,

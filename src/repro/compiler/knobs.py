@@ -1,0 +1,97 @@
+"""Compiler knobs: the task-partitioning heuristics as parameters.
+
+The paper attributes most of a multiscalar processor's performance to
+software decisions — where the compiler cuts the CFG into tasks, how
+large tasks are, and how conservatively create masks are computed
+(Sections 3.2 and 5). Those heuristics were constants in this
+reproduction until the design-space autopilot (``repro explore``)
+needed to *search* over them; this module names each one as a field of
+:class:`CompilerKnobs` so a knob setting can ride a
+:class:`~repro.engine.job.SimJob` cache key, round-trip through JSON,
+and be swept like any hardware axis.
+
+Every knob is performance-only: any setting produces a *correct*
+annotated binary (or a deterministic :class:`AnnotationError` when the
+partitioning is infeasible, e.g. a task with more successor targets
+than the sequencer supports); outputs never change, only cycle counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Accepted values for the loop-cut strategy knob.
+LOOP_CUT_STRATEGIES = ("marked", "all", "none")
+
+#: Accepted values for the create-mask policy knob.
+CREATE_MASK_POLICIES = ("pruned", "maydef")
+
+
+@dataclass(frozen=True)
+class CompilerKnobs:
+    """Tunable task-partitioning heuristics of the annotation pass.
+
+    ``task_size``
+        Maximum task size in static instructions; oversized regions are
+        split by promoting an interior basic block to a task entry
+        until every task fits. ``0`` (the default) means unlimited —
+        tasks are exactly what the entry set implies.
+    ``loop_cut``
+        Where loops are cut into tasks: ``"marked"`` (default) uses
+        only the nominated entries (``parallel`` loops, ``.task``
+        directives, explicit labels); ``"all"`` additionally makes
+        every natural-loop header a task entry (one iteration = one
+        task, the paper's canonical partitioning); ``"none"`` ignores
+        nominated entries entirely and keeps only the entries forced by
+        closure — the degenerate near-sequential partitioning.
+    ``create_mask``
+        ``"pruned"`` (default) intersects each task's may-def set with
+        the registers live at its exits (the paper's dead-register
+        pruning); ``"maydef"`` skips the pruning and puts every
+        possibly-defined register in the mask — correct but
+        conservative, so successors wait on (and the ring carries)
+        values nobody needs.
+    """
+
+    task_size: int = 0
+    loop_cut: str = "marked"
+    create_mask: str = "pruned"
+
+    def __post_init__(self) -> None:
+        if self.task_size < 0:
+            raise ValueError(f"task_size must be >= 0, got {self.task_size}")
+        if self.loop_cut not in LOOP_CUT_STRATEGIES:
+            raise ValueError(f"unknown loop_cut strategy "
+                             f"{self.loop_cut!r}; expected one of "
+                             f"{LOOP_CUT_STRATEGIES}")
+        if self.create_mask not in CREATE_MASK_POLICIES:
+            raise ValueError(f"unknown create_mask policy "
+                             f"{self.create_mask!r}; expected one of "
+                             f"{CREATE_MASK_POLICIES}")
+
+    @property
+    def is_default(self) -> bool:
+        """True when every knob sits at its hand-tuned default."""
+        return self == DEFAULT_KNOBS
+
+    def to_dict(self) -> dict:
+        """Stable JSON form (insertion-ordered; inverse of
+        :meth:`from_dict`)."""
+        return {"task_size": self.task_size, "loop_cut": self.loop_cut,
+                "create_mask": self.create_mask}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CompilerKnobs":
+        """Rebuild knobs from :meth:`to_dict` output."""
+        return cls(task_size=int(data.get("task_size", 0)),
+                   loop_cut=str(data.get("loop_cut", "marked")),
+                   create_mask=str(data.get("create_mask", "pruned")))
+
+    def label(self) -> str:
+        """Compact human-readable form for tables and logs."""
+        size = "inf" if self.task_size == 0 else str(self.task_size)
+        return f"ts={size}/cut={self.loop_cut}/mask={self.create_mask}"
+
+
+#: The hand-tuned defaults every existing caller gets implicitly.
+DEFAULT_KNOBS = CompilerKnobs()

@@ -114,11 +114,20 @@ def _region_blocks(cfg: ControlFlowGraph, entry: int,
 
 
 def compute_regions(cfg: ControlFlowGraph, entries: set[int],
-                    liveness: LivenessAnalysis) -> dict[int, TaskRegion]:
+                    liveness: LivenessAnalysis,
+                    mask_policy: str = "pruned") -> dict[int, TaskRegion]:
     """Build every task region with exits and create masks.
 
     ``entries`` must already be closed (see :func:`close_entries`).
+    ``mask_policy`` selects the create-mask computation: ``"pruned"``
+    (the default) is the paper's may-def ∩ live-at-exits; ``"maydef"``
+    skips the dead-register pruning and masks every register the
+    region may define — correct (unforwarded mask registers are
+    auto-released at the stop) but conservative, a knob the
+    design-space search flips to measure what the pruning buys.
     """
+    if mask_policy not in ("pruned", "maydef"):
+        raise RegionError(f"unknown create-mask policy {mask_policy!r}")
     addr_to_label = {a: n for n, a in cfg.program.labels.items()}
     regions: dict[int, TaskRegion] = {}
     for entry in sorted(entries):
@@ -145,7 +154,11 @@ def compute_regions(cfg: ControlFlowGraph, entries: set[int],
                     # Return edge: the continuation is unknown here, so
                     # every register must be considered live.
                     live_at_exits |= ALL_REGS
-        region.create_mask = frozenset(may_def & live_at_exits)
+        if mask_policy == "maydef":
+            # $0 is architecturally constant — never forwardable.
+            region.create_mask = frozenset(may_def & ALL_REGS)
+        else:
+            region.create_mask = frozenset(may_def & live_at_exits)
         regions[entry] = region
     return regions
 

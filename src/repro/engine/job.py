@@ -21,12 +21,15 @@ import os
 from dataclasses import asdict, dataclass
 from pathlib import Path
 
-from repro.config import multiscalar_config, scalar_config
+from dataclasses import replace as _dc_replace
+
+from repro.compiler import CompilerKnobs
+from repro.config import MachineConfig, multiscalar_config, scalar_config
 from repro.core.processor import MultiscalarProcessor, MultiscalarResult
 from repro.core.scalar import ScalarProcessor, ScalarResult
 
 #: Bump when the job-key recipe or payload layout changes shape.
-JOB_SCHEMA_VERSION = 1
+JOB_SCHEMA_VERSION = 2
 
 DEFAULT_MAX_CYCLES = 20_000_000
 
@@ -98,12 +101,55 @@ class SimJob:
     #: Cycle-exact either way, but keyed separately for the same
     #: reason as ``fast_path``.
     jit: bool = True
+    # -------- hardware axes beyond the paper's Section-5.1 defaults
+    #: Cycles per ring hop (paper default 1).
+    ring_hop: int = 1
+    #: ARB entries per data-cache bank (paper default 256).
+    arb_entries: int = 256
+    #: Predictor first-level (history) table entries.
+    pred_history: int = 64
+    #: Predictor second-level (pattern) table entries.
+    pred_pattern: int = 4096
+    #: Data-cache bank size in KB (paper default 8).
+    dcache_bank_kb: int = 8
+    # -------- compiler knobs (annotated binaries only)
+    #: Static-instruction task-size cap, 0 = unlimited.
+    task_size: int = 0
+    #: Loop-cutting strategy: "marked" | "all" | "none".
+    loop_cut: str = "marked"
+    #: Create-mask policy: "pruned" | "maydef".
+    create_mask: str = "pruned"
 
     def __post_init__(self) -> None:
         if self.kind not in ("scalar", "multiscalar", "count"):
             raise ValueError(f"unknown job kind {self.kind!r}")
         if (self.workload is None) == (self.source is None):
             raise ValueError("exactly one of workload/source required")
+        # Raises ValueError on a bad knob combination.
+        knobs = CompilerKnobs(task_size=self.task_size,
+                              loop_cut=self.loop_cut,
+                              create_mask=self.create_mask)
+        if self.kind != "multiscalar" and not self._hw_is_default():
+            raise ValueError(
+                "hardware axes (ring_hop/arb_entries/pred_*/dcache_bank_kb)"
+                " only apply to multiscalar jobs")
+        if not self._annotated() and not knobs.is_default:
+            raise ValueError(
+                "compiler knobs only apply to annotated binaries")
+
+    def _hw_is_default(self) -> bool:
+        return (self.ring_hop == 1 and self.arb_entries == 256
+                and self.pred_history == 64 and self.pred_pattern == 4096
+                and self.dcache_bank_kb == 8)
+
+    def compiler_knobs(self) -> CompilerKnobs | None:
+        """The job's knob setting, or ``None`` at the defaults (so the
+        per-workload compile cache shares one entry with callers that
+        never pass knobs)."""
+        knobs = CompilerKnobs(task_size=self.task_size,
+                              loop_cut=self.loop_cut,
+                              create_mask=self.create_mask)
+        return None if knobs.is_default else knobs
 
     # ---------------------------------------------------------- identity
 
@@ -136,6 +182,18 @@ class SimJob:
             "max_cycles": self.max_cycles,
             "fast_path": self.fast_path,
             "jit": self.jit,
+            "hardware": {
+                "ring_hop": self.ring_hop,
+                "arb_entries": self.arb_entries,
+                "pred_history": self.pred_history,
+                "pred_pattern": self.pred_pattern,
+                "dcache_bank_kb": self.dcache_bank_kb,
+            },
+            "knobs": {
+                "task_size": self.task_size,
+                "loop_cut": self.loop_cut,
+                "create_mask": self.create_mask,
+            },
         }
         blob = json.dumps(material, sort_keys=True).encode()
         return hashlib.sha256(blob).hexdigest()
@@ -181,10 +239,11 @@ class SimJob:
 
     def _build(self):
         """(program, expected output or None) for this job."""
+        knobs = self.compiler_knobs()
         if self.workload is not None:
             spec = _workload_spec(self.workload)
-            program = spec.multiscalar_program() if self._annotated() \
-                else spec.scalar_program()
+            program = spec.multiscalar_program(knobs=knobs) \
+                if self._annotated() else spec.scalar_program()
             return program, spec.expected_output
         if self.language == "asm":
             from repro.compiler import annotate_program
@@ -193,16 +252,35 @@ class SimJob:
             program = assemble(self.source)
             if self._annotated():
                 program = annotate_program(
-                    program, task_entries=list(self.entries))
+                    program, task_entries=list(self.entries), knobs=knobs)
         else:
             from repro.minic import compile_and_annotate, compile_scalar
 
             if self._annotated():
                 program = compile_and_annotate(
-                    self.source, extra_entries=list(self.entries))
+                    self.source, extra_entries=list(self.entries),
+                    knobs=knobs)
             else:
                 program = compile_scalar(self.source)
         return program, None
+
+    def machine_config(self) -> MachineConfig:
+        """The multiscalar :class:`~repro.config.MachineConfig` this job
+        simulates: the paper's Section-5.1 machine with the job's
+        hardware axes applied."""
+        cfg = multiscalar_config(self.units, self.issue_width,
+                                 self.out_of_order,
+                                 fast_path=self.fast_path, jit=self.jit)
+        cfg = _dc_replace(
+            cfg,
+            ring_hop_latency=self.ring_hop,
+            memory=_dc_replace(cfg.memory,
+                               arb_entries_per_bank=self.arb_entries,
+                               dcache_bank_size=self.dcache_bank_kb * 1024),
+            predictor=_dc_replace(cfg.predictor,
+                                  history_entries=self.pred_history,
+                                  pattern_entries=self.pred_pattern))
+        return cfg
 
     def _verify(self, output: str, expected: str | None) -> None:
         if expected is not None and output != expected:
@@ -225,11 +303,21 @@ def scalar_job(name: str, issue_width: int = 1, out_of_order: bool = False,
 def multiscalar_job(name: str, units: int, issue_width: int = 1,
                     out_of_order: bool = False,
                     max_cycles: int = DEFAULT_MAX_CYCLES,
-                    fast_path: bool = True, jit: bool = True) -> SimJob:
+                    fast_path: bool = True, jit: bool = True,
+                    ring_hop: int = 1, arb_entries: int = 256,
+                    pred_history: int = 64, pred_pattern: int = 4096,
+                    dcache_bank_kb: int = 8,
+                    knobs: CompilerKnobs | None = None) -> SimJob:
     """A multiscalar timing job for the named workload."""
+    knobs = knobs or CompilerKnobs()
     return SimJob(kind="multiscalar", workload=name, units=units,
                   issue_width=issue_width, out_of_order=out_of_order,
-                  max_cycles=max_cycles, fast_path=fast_path, jit=jit)
+                  max_cycles=max_cycles, fast_path=fast_path, jit=jit,
+                  ring_hop=ring_hop, arb_entries=arb_entries,
+                  pred_history=pred_history, pred_pattern=pred_pattern,
+                  dcache_bank_kb=dcache_bank_kb,
+                  task_size=knobs.task_size, loop_cut=knobs.loop_cut,
+                  create_mask=knobs.create_mask)
 
 
 def count_job(name: str, annotated: bool) -> SimJob:
@@ -282,11 +370,7 @@ def execute(job: SimJob, checkpoints=None, attempt: int = 0,
             program, scalar_config(job.issue_width, job.out_of_order,
                                    fast_path=job.fast_path, jit=job.jit))
     elif job.kind == "multiscalar":
-        processor = MultiscalarProcessor(
-            program, multiscalar_config(job.units, job.issue_width,
-                                        job.out_of_order,
-                                        fast_path=job.fast_path,
-                                        jit=job.jit))
+        processor = MultiscalarProcessor(program, job.machine_config())
     else:
         from repro.isa import FunctionalCPU
 

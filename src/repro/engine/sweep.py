@@ -91,6 +91,10 @@ class SweepSummary:
     #: (cache hits and fresh runs alike); ``None`` until tabulation, or
     #: when no payload carried metrics (pre-metrics cache entries).
     metrics: "object | None" = None
+    #: Payloads that carried no metrics (pre-metrics cache entries and
+    #: count jobs) — surfaced so a ``--metrics`` reader knows the merged
+    #: registry under-counts instead of silently missing cells.
+    cells_without_metrics: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -135,6 +139,9 @@ class SweepSummary:
             f"{self.failures} failures, {self.retries} retries, "
             f"{self.worker_deaths} worker deaths, "
             f"{self.timeouts} timeouts")
+        if self.cells_without_metrics:
+            lines.append(f"metrics: {self.cells_without_metrics} payloads "
+                         "without metrics (pre-metrics cache entries)")
         if self.interrupted:
             lines.append("sweep interrupted: partial results above were "
                          "flushed; unfinished jobs read 'interrupted'")
@@ -275,6 +282,7 @@ def _tabulate(summary: SweepSummary, by_key: dict[str, SimJob],
     for payload in payloads.values():
         registry = metrics_from_payload(payload)
         if registry is None:
+            summary.cells_without_metrics += 1
             continue
         if summary.metrics is None:
             summary.metrics = registry

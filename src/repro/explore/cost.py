@@ -1,0 +1,76 @@
+"""The hardware-cost model behind the Pareto frontier.
+
+Cycles alone cannot rank design points — a 16-unit machine with a
+maximal predictor trivially beats the paper's 4-unit baseline. The
+search therefore reports the *frontier* of (cost, cycles), with cost a
+deterministic abstract-area estimate of each point's hardware:
+
+* each processing unit carries a fixed pipeline cost;
+* the ring interconnect costs more the *faster* it is (a 1-cycle hop
+  needs wider, more aggressively repeated wires than a 3-cycle hop) and
+  scales with the number of stops;
+* ARB and data-cache storage scale with entries/KB per bank times the
+  bank count (two banks per unit, Section 5.1);
+* predictor storage scales with its table bits (first-level history
+  entries of 6 two-bit outcomes; 3-bit pattern entries).
+
+Compiler knobs are free: they change the binary, not the die. The unit
+of cost is arbitrary ("area points"); only ratios matter, and the model
+exists so the frontier is stable, explainable, and reproducible — see
+``docs/EXPLORE.md`` for the exact constants.
+"""
+
+from __future__ import annotations
+
+from repro.explore.space import PRED_GEOMETRIES, DesignPoint
+
+__all__ = [
+    "UNIT_COST",
+    "RING_COST_PER_UNIT",
+    "ARB_COST_PER_ENTRY",
+    "DCACHE_COST_PER_KB",
+    "PREDICTOR_BIT_COST",
+    "hardware_cost",
+    "cost_breakdown",
+]
+
+#: Fixed cost of one processing unit's pipeline + functional units.
+UNIT_COST = 100.0
+#: Ring interconnect: per unit, divided by the hop latency (a faster
+#: ring is more expensive).
+RING_COST_PER_UNIT = 36.0
+#: Per ARB entry per bank.
+ARB_COST_PER_ENTRY = 0.25
+#: Per data-cache KB per bank.
+DCACHE_COST_PER_KB = 4.0
+#: Per predictor storage bit (shared across units).
+PREDICTOR_BIT_COST = 1.0 / 256.0
+
+#: Banks per unit (Section 5.1: twice as many banks as units).
+_BANKS_PER_UNIT = 2
+
+
+def cost_breakdown(point: DesignPoint) -> dict[str, float]:
+    """Per-component cost of a design point, in abstract area points.
+
+    Keys: ``units``, ``ring``, ``arb``, ``dcache``, ``predictor``.
+    Every component is rounded to 2 decimals so breakdowns serialize
+    identically everywhere.
+    """
+    banks = point.units * _BANKS_PER_UNIT
+    history, pattern = PRED_GEOMETRIES[point.pred_geometry]
+    predictor_bits = history * 6 * 2 + pattern * 3
+    return {
+        "units": round(UNIT_COST * point.units, 2),
+        "ring": round(RING_COST_PER_UNIT * point.units / point.ring_hop, 2),
+        "arb": round(ARB_COST_PER_ENTRY * point.arb_entries * banks, 2),
+        "dcache": round(DCACHE_COST_PER_KB * point.dcache_bank_kb * banks,
+                        2),
+        "predictor": round(PREDICTOR_BIT_COST * predictor_bits, 2),
+    }
+
+
+def hardware_cost(point: DesignPoint) -> float:
+    """Total abstract-area cost of a design point (compiler knobs are
+    free — they change the binary, not the die)."""
+    return round(sum(cost_breakdown(point).values()), 2)

@@ -1,0 +1,312 @@
+"""Point evaluation: design points -> (cycles, speedup, stalls).
+
+Both evaluators speak the same content-addressed :class:`SimJob`
+language as ``repro sweep``, so every evaluated point lands in (and is
+served from) the shared result store — a search resumed tomorrow, or
+pointed at a ``repro serve`` instance another client already warmed,
+re-simulates nothing.
+
+Infeasible points are filtered *before* any job is dispatched: the
+compiler knobs are tried in-process (a compile, no simulation), and a
+point whose knob combination the annotator rejects is reported as
+``infeasible`` without consuming a simulation. This matters for cache
+accounting — failed jobs are never cached, so submitting doomed points
+would make a warm re-run do fresh work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.job import (
+    SimJob,
+    execute,
+    metrics_from_payload,
+    result_from_payload,
+    scalar_job,
+)
+from repro.engine.scheduler import PoolJob, WorkerPool
+from repro.engine.store import ResultStore
+from repro.explore.cost import hardware_cost
+from repro.explore.space import DesignPoint
+
+__all__ = [
+    "PointResult",
+    "LocalEvaluator",
+    "ServerEvaluator",
+]
+
+
+@dataclass
+class PointResult:
+    """One evaluated design point for one workload."""
+
+    point: DesignPoint
+    cost: float
+    cycles: int | None = None
+    speedup: float | None = None
+    prediction_accuracy: float | None = None
+    #: ``cycles.*`` stall-attribution counters (empty for payloads
+    #: without metrics).
+    stalls: dict[str, int] = field(default_factory=dict)
+    cached: bool = False
+    infeasible: bool = False
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        """True when the point simulated to completion."""
+        return self.cycles is not None
+
+
+def _stalls(payload: dict) -> dict[str, int]:
+    registry = metrics_from_payload(payload)
+    if registry is None:
+        return {}
+    prefix = "cycles."
+    return {name[len(prefix):]: count
+            for name, count in sorted(registry.counters.items())
+            if name.startswith(prefix)}
+
+
+class _EvaluatorBase:
+    """Shared accounting + feasibility precheck."""
+
+    def __init__(self, max_cycles: int, fast_path: bool, jit: bool) -> None:
+        self.max_cycles = max_cycles
+        self.fast_path = fast_path
+        self.jit = jit
+        self.cache_hits = 0
+        self.fresh_runs = 0
+        self.failures = 0
+        self.points_without_metrics = 0
+        self._scalar_cycles: dict[str, int] = {}
+        self._feasible: dict[tuple, str | None] = {}
+
+    def _job(self, workload: str, point: DesignPoint) -> SimJob:
+        return point.to_job(workload, max_cycles=self.max_cycles,
+                            fast_path=self.fast_path, jit=self.jit)
+
+    def _precheck(self, workload: str, point: DesignPoint) -> str | None:
+        """``None`` when the point's knobs compile for ``workload``,
+        else the compile error (memoized per knob setting)."""
+        key = (workload, point.task_size, point.loop_cut, point.create_mask)
+        if key not in self._feasible:
+            from repro.workloads import WORKLOADS
+
+            job = self._job(workload, point)
+            try:
+                WORKLOADS[workload].multiscalar_program(
+                    knobs=job.compiler_knobs())
+            except Exception as exc:  # annotator rejected the knobs
+                self._feasible[key] = f"{type(exc).__name__}: {exc}"
+            else:
+                self._feasible[key] = None
+        return self._feasible[key]
+
+    def _finish(self, result: PointResult, payload: dict,
+                scalar_cycles: int) -> PointResult:
+        sim = result_from_payload(payload)
+        result.cycles = sim.cycles
+        result.speedup = scalar_cycles / sim.cycles
+        result.prediction_accuracy = sim.prediction_accuracy
+        result.stalls = _stalls(payload)
+        if not result.stalls:
+            self.points_without_metrics += 1
+        return result
+
+
+class LocalEvaluator(_EvaluatorBase):
+    """Evaluate points through the persistent store and a local
+    :class:`~repro.engine.scheduler.WorkerPool` (``jobs=1`` executes
+    in-process, no pool)."""
+
+    def __init__(self, store: ResultStore | None, jobs: int = 1,
+                 timeout: float = 600.0, retries: int = 2,
+                 max_cycles: int = 20_000_000, fast_path: bool = True,
+                 jit: bool = True, progress=None) -> None:
+        super().__init__(max_cycles, fast_path, jit)
+        self.store = store
+        self.jobs = jobs
+        self.timeout = timeout
+        self.retries = retries
+        self.progress = progress or (lambda message: None)
+
+    def _run_job(self, job: SimJob) -> tuple[dict | None, bool, str]:
+        """(payload, cached, error) for one job via store + execute."""
+        key = job.key()
+        if self.store is not None:
+            payload = self.store.get(key)
+            if payload is not None:
+                return payload, True, ""
+        try:
+            payload = execute(job)
+        except Exception as exc:
+            return None, False, f"{type(exc).__name__}: {exc}"
+        if self.store is not None:
+            self.store.put(key, payload, job=job.describe())
+        return payload, False, ""
+
+    def scalar_cycles(self, workload: str) -> int:
+        """The workload's scalar-baseline cycle count (cache-backed,
+        memoized)."""
+        if workload not in self._scalar_cycles:
+            job = scalar_job(workload, max_cycles=self.max_cycles,
+                             fast_path=self.fast_path, jit=self.jit)
+            payload, cached, error = self._run_job(job)
+            if payload is None:
+                raise RuntimeError(f"scalar baseline failed: {error}")
+            self.cache_hits += cached
+            self.fresh_runs += not cached
+            self._scalar_cycles[workload] = \
+                result_from_payload(payload).cycles
+        return self._scalar_cycles[workload]
+
+    def evaluate(self, workload: str,
+                 points: list[DesignPoint]) -> list[PointResult]:
+        """Evaluate ``points`` for ``workload``; results align with the
+        input order. Cache hits and infeasible points never dispatch."""
+        scalar = self.scalar_cycles(workload)
+        results = [PointResult(point=p, cost=hardware_cost(p))
+                   for p in points]
+        to_run: list[PoolJob] = []
+        by_key: dict[str, list[int]] = {}
+        for index, result in enumerate(results):
+            error = self._precheck(workload, result.point)
+            if error is not None:
+                result.infeasible = True
+                result.error = error
+                continue
+            job = self._job(workload, result.point)
+            key = job.key()
+            if self.store is not None:
+                payload = self.store.get(key)
+                if payload is not None:
+                    self.cache_hits += 1
+                    result.cached = True
+                    self._finish(result, payload, scalar)
+                    continue
+            by_key.setdefault(key, []).append(index)
+            if len(by_key[key]) == 1:
+                to_run.append(PoolJob(job_id=key, payload=job))
+        if to_run and self.jobs > 1:
+            pool = WorkerPool(_entrypoint, jobs=self.jobs,
+                              timeout=self.timeout, retries=self.retries,
+                              progress=self.progress)
+            outcomes = pool.run(to_run)
+        else:
+            outcomes = {pj.job_id: _inline(pj.payload) for pj in to_run}
+        for pool_job, key in ((pj, pj.job_id) for pj in to_run):
+            outcome = outcomes[key]
+            self.fresh_runs += 1
+            for index in by_key[key]:
+                result = results[index]
+                if getattr(outcome, "ok", False):
+                    payload = outcome.value
+                    if self.store is not None:
+                        self.store.put(key, payload,
+                                       job=pool_job.payload.describe())
+                    self._finish(result, payload, scalar)
+                else:
+                    self.failures += 1
+                    result.error = outcome.error
+        return results
+
+
+class _Outcome:
+    __slots__ = ("ok", "value", "error")
+
+    def __init__(self, ok, value, error):
+        self.ok, self.value, self.error = ok, value, error
+
+
+def _inline(job: SimJob) -> _Outcome:
+    try:
+        return _Outcome(True, execute(job), "")
+    except Exception as exc:
+        return _Outcome(False, None, f"{type(exc).__name__}: {exc}")
+
+
+def _entrypoint(payload, attempt: int) -> dict:
+    """Module-level pool entrypoint (picklable)."""
+    return execute(payload)
+
+
+class ServerEvaluator(_EvaluatorBase):
+    """Evaluate points as a thin client of a ``repro serve`` instance —
+    same keys as :class:`LocalEvaluator`, shared server-side cache."""
+
+    def __init__(self, url: str, client_id: str = "explore",
+                 timeout: float = 600.0, max_cycles: int = 20_000_000,
+                 fast_path: bool = True, jit: bool = True,
+                 progress=None) -> None:
+        super().__init__(max_cycles, fast_path, jit)
+        from repro.server.client import ServerClient
+
+        self.client = ServerClient(url, client_id=client_id)
+        self.timeout = timeout
+        self.progress = progress or (lambda message: None)
+
+    def _submit_and_wait(self, jobs: list[SimJob]) -> dict[str, dict | None]:
+        """Submit jobs, wait, return key -> payload (or None)."""
+        keys: list[str] = []
+        cached: set[str] = set()
+        for job in jobs:
+            answer = self.client.submit({"type": "sim", "spec": job.spec()},
+                                        priority="batch")
+            if answer.get("cached"):
+                cached.add(answer["key"])
+            keys.append(answer["key"])
+        unique = list(dict.fromkeys(keys))
+        records = self.client.wait(
+            unique, timeout=self.timeout * max(1, len(unique)))
+        payloads: dict[str, dict | None] = {}
+        for key in unique:
+            record = records[key]
+            payloads[key] = self.client.result(key) \
+                if record["status"] == "done" else None
+            if key in cached:
+                self.cache_hits += 1
+            else:
+                self.fresh_runs += 1
+        return payloads
+
+    def scalar_cycles(self, workload: str) -> int:
+        """The workload's scalar-baseline cycle count via the server."""
+        if workload not in self._scalar_cycles:
+            job = scalar_job(workload, max_cycles=self.max_cycles,
+                             fast_path=self.fast_path, jit=self.jit)
+            payload = self._submit_and_wait([job])[job.key()]
+            if payload is None:
+                raise RuntimeError("scalar baseline failed on the server")
+            self._scalar_cycles[workload] = \
+                result_from_payload(payload).cycles
+        return self._scalar_cycles[workload]
+
+    def evaluate(self, workload: str,
+                 points: list[DesignPoint]) -> list[PointResult]:
+        """Evaluate ``points`` via the server; aligns with input order."""
+        scalar = self.scalar_cycles(workload)
+        results = [PointResult(point=p, cost=hardware_cost(p))
+                   for p in points]
+        jobs: list[SimJob] = []
+        indices: list[int] = []
+        for index, result in enumerate(results):
+            error = self._precheck(workload, result.point)
+            if error is not None:
+                result.infeasible = True
+                result.error = error
+                continue
+            jobs.append(self._job(workload, result.point))
+            indices.append(index)
+        if jobs:
+            payloads = self._submit_and_wait(jobs)
+            for job, index in zip(jobs, indices):
+                payload = payloads[job.key()]
+                result = results[index]
+                if payload is None:
+                    self.failures += 1
+                    result.error = "job failed on the server"
+                else:
+                    self._finish(result, payload, scalar)
+        return results

@@ -1,0 +1,285 @@
+"""Explore reports: build, validate, render, write.
+
+One explore run produces one report — a JSON document plus a Markdown
+rendering of the same content. Reports are **deterministic**: no
+timestamps, no absolute paths, no float formatting that depends on
+locale; the same (seed, budget, workloads, simulator version) produces
+byte-identical files, which CI exploits by diffing two runs (and the
+second run, served entirely from the content-addressed cache, must not
+simulate anything).
+
+The JSON schema (``repro-explore-report`` version 1) is documented in
+``docs/EXPLORE.md`` and enforced by :func:`validate_report`, which
+``repro.tools.doccheck`` runs against the committed example report in
+``docs/reports/``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.engine.job import code_fingerprint
+from repro.explore.evaluate import PointResult
+from repro.explore.search import ExploreSummary, WorkloadSearch
+from repro.explore.space import DesignPoint
+
+__all__ = [
+    "REPORT_SCHEMA",
+    "REPORT_VERSION",
+    "build_report",
+    "validate_report",
+    "render_markdown",
+    "render_terminal",
+    "write_report",
+]
+
+REPORT_SCHEMA = "repro-explore-report"
+REPORT_VERSION = 1
+
+#: Maximum knob wins listed per workload.
+_MAX_WINS = 5
+
+
+def _point_entry(result: PointResult) -> dict:
+    return {
+        "point": result.point.to_dict(),
+        "cost": result.cost,
+        "cycles": result.cycles,
+        "speedup": round(result.speedup, 4),
+    }
+
+
+def _stall_shares(stalls: dict[str, int]) -> dict[str, float]:
+    total = sum(stalls.values())
+    if not total:
+        return {}
+    return {name: round(100.0 * count / total, 1)
+            for name, count in sorted(stalls.items())}
+
+
+def _knob_wins(search: WorkloadSearch) -> list[dict]:
+    """Knob settings that beat the default knobs on identical
+    hardware, best improvement first."""
+    defaults: dict[tuple, PointResult] = {}
+    for result in search.evaluated:
+        if result.ok and result.point.is_default_knobs:
+            defaults.setdefault(result.point.hardware_id(), result)
+    wins: list[dict] = []
+    for result in search.evaluated:
+        if not result.ok or result.point.is_default_knobs:
+            continue
+        base = defaults.get(result.point.hardware_id())
+        if base is None or result.cycles >= base.cycles:
+            continue
+        wins.append({
+            "hardware": (f"{result.point.units}u "
+                         f"ring{result.point.ring_hop} "
+                         f"arb{result.point.arb_entries} "
+                         f"pred:{result.point.pred_geometry} "
+                         f"d${result.point.dcache_bank_kb}k"),
+            "knobs": result.point.knob_label(),
+            "cycles": result.cycles,
+            "speedup": round(result.speedup, 4),
+            "default_cycles": base.cycles,
+            "default_speedup": round(base.speedup, 4),
+            "improvement_pct": round(
+                100.0 * (base.cycles - result.cycles) / base.cycles, 1),
+        })
+    wins.sort(key=lambda w: (-w["improvement_pct"], w["hardware"],
+                             w["knobs"]))
+    return wins[:_MAX_WINS]
+
+
+def _workload_entry(search: WorkloadSearch) -> dict:
+    entry = {
+        "workload": search.workload,
+        "scalar_cycles": search.scalar_cycles,
+        "points_evaluated": len(search.evaluated),
+        "infeasible": search.infeasible,
+        "failures": search.failures,
+        "pareto": [_point_entry(r) for r in search.pareto],
+        "best": None,
+        "knob_wins": _knob_wins(search),
+    }
+    if search.best is not None:
+        best = _point_entry(search.best)
+        best["prediction_accuracy"] = \
+            round(100.0 * search.best.prediction_accuracy, 1)
+        best["stall_shares"] = _stall_shares(search.best.stalls)
+        entry["best"] = best
+    return entry
+
+
+def build_report(summary: ExploreSummary) -> dict:
+    """The JSON report for one explore run."""
+    request = summary.request
+    return {
+        "schema": REPORT_SCHEMA,
+        "version": REPORT_VERSION,
+        "seed": request.seed,
+        "budget": request.budget,
+        "simulator_fingerprint": code_fingerprint(),
+        "points_without_metrics": summary.points_without_metrics,
+        "workloads": [_workload_entry(s) for s in summary.searches],
+    }
+
+
+def validate_report(data: dict) -> None:
+    """Raise ``ValueError`` describing every schema violation found."""
+    problems: list[str] = []
+
+    def need(obj, key, types, where):
+        value = obj.get(key)
+        if not isinstance(value, types):
+            problems.append(f"{where}: {key!r} must be "
+                            f"{getattr(types, '__name__', types)}, "
+                            f"got {type(value).__name__}")
+            return None
+        return value
+
+    if data.get("schema") != REPORT_SCHEMA:
+        problems.append(f"schema must be {REPORT_SCHEMA!r}")
+    if data.get("version") != REPORT_VERSION:
+        problems.append(f"version must be {REPORT_VERSION}")
+    need(data, "seed", int, "report")
+    need(data, "budget", int, "report")
+    need(data, "simulator_fingerprint", str, "report")
+    need(data, "points_without_metrics", int, "report")
+    workloads = need(data, "workloads", list, "report") or []
+    for entry in workloads:
+        name = entry.get("workload", "<unnamed>")
+        where = f"workload {name}"
+        need(entry, "workload", str, where)
+        need(entry, "scalar_cycles", int, where)
+        need(entry, "points_evaluated", int, where)
+        need(entry, "infeasible", int, where)
+        need(entry, "failures", int, where)
+        pareto = need(entry, "pareto", list, where) or []
+        if not pareto:
+            problems.append(f"{where}: pareto frontier is empty")
+        costs = []
+        for item in pareto:
+            for key, types in (("cost", (int, float)), ("cycles", int),
+                               ("speedup", (int, float))):
+                need(item, key, types, f"{where} pareto")
+            point = item.get("point")
+            if not isinstance(point, dict):
+                problems.append(f"{where} pareto: missing point dict")
+            else:
+                try:
+                    DesignPoint.from_dict(point)
+                except (TypeError, ValueError) as exc:
+                    problems.append(f"{where} pareto: bad point: {exc}")
+            if isinstance(item.get("cost"), (int, float)):
+                costs.append(item["cost"])
+        if costs != sorted(costs):
+            problems.append(f"{where}: pareto not sorted by cost")
+        for win in entry.get("knob_wins") or []:
+            for key in ("hardware", "knobs"):
+                need(win, key, str, f"{where} knob_wins")
+            for key in ("cycles", "default_cycles"):
+                need(win, key, int, f"{where} knob_wins")
+            for key in ("speedup", "default_speedup", "improvement_pct"):
+                need(win, key, (int, float), f"{where} knob_wins")
+    if problems:
+        raise ValueError("invalid explore report: " + "; ".join(problems))
+
+
+def render_markdown(data: dict) -> str:
+    """Deterministic Markdown rendering of a report dict."""
+    lines = [
+        "# Design-space exploration report",
+        "",
+        f"Seed {data['seed']}, budget {data['budget']} points per "
+        f"workload, {len(data['workloads'])} workload(s). Simulator "
+        f"fingerprint `{data['simulator_fingerprint']}`.",
+        "",
+        "Cost is the abstract-area estimate of `repro.explore.cost` "
+        "(compiler knobs are free); speedup is scalar cycles over "
+        "multiscalar cycles. See `docs/EXPLORE.md` for the "
+        "methodology.",
+    ]
+    if data["points_without_metrics"]:
+        lines += ["",
+                  f"**Note:** {data['points_without_metrics']} point(s) "
+                  "carried no metrics (pre-metrics cache entries); their "
+                  "stall attribution is missing."]
+    for entry in data["workloads"]:
+        lines += ["", f"## {entry['workload']}", "",
+                  f"Scalar baseline: {entry['scalar_cycles']} cycles. "
+                  f"Evaluated {entry['points_evaluated']} points "
+                  f"({entry['infeasible']} infeasible, "
+                  f"{entry['failures']} failed).", "",
+                  "### Pareto frontier (cost vs cycles)", "",
+                  "| cost | cycles | speedup | configuration |",
+                  "|---:|---:|---:|:---|"]
+        for item in entry["pareto"]:
+            point = DesignPoint.from_dict(item["point"])
+            lines.append(f"| {item['cost']} | {item['cycles']} | "
+                         f"{item['speedup']:.2f} | {point.label()} |")
+        best = entry["best"]
+        if best is not None:
+            point = DesignPoint.from_dict(best["point"])
+            lines += ["", "### Best point", "",
+                      f"`{point.label()}` — speedup {best['speedup']:.2f} "
+                      f"at cost {best['cost']}, prediction accuracy "
+                      f"{best['prediction_accuracy']:.1f}%."]
+            if best["stall_shares"]:
+                shares = ", ".join(
+                    f"{name} {pct:.1f}%"
+                    for name, pct in best["stall_shares"].items())
+                lines += ["", f"Cycle attribution: {shares}."]
+        if entry["knob_wins"]:
+            lines += ["", "### Compiler-knob wins", "",
+                      "| hardware | knobs | speedup | default knobs | "
+                      "gain |", "|:---|:---|---:|---:|---:|"]
+            for win in entry["knob_wins"]:
+                lines.append(
+                    f"| {win['hardware']} | {win['knobs']} | "
+                    f"{win['speedup']:.2f} | {win['default_speedup']:.2f} "
+                    f"| {win['improvement_pct']:.1f}% |")
+        else:
+            lines += ["", "No compiler-knob setting beat the default "
+                          "knobs on matched hardware in this run."]
+    lines.append("")
+    return "\n".join(lines)
+
+
+def render_terminal(data: dict) -> str:
+    """Plain-text per-workload frontier tables for the terminal."""
+    lines: list[str] = []
+    for entry in data["workloads"]:
+        lines.append(f"-- {entry['workload']}: pareto frontier "
+                     f"(scalar {entry['scalar_cycles']} cycles, "
+                     f"{entry['points_evaluated']} points, "
+                     f"{entry['infeasible']} infeasible, "
+                     f"{entry['failures']} failed) --")
+        lines.append(f"{'cost':>8} {'cycles':>9} {'speedup':>8}  "
+                     "configuration")
+        for item in entry["pareto"]:
+            point = DesignPoint.from_dict(item["point"])
+            lines.append(f"{item['cost']:>8} {item['cycles']:>9} "
+                         f"{item['speedup']:>8.2f}  {point.label()}")
+        for win in entry["knob_wins"]:
+            lines.append(f"  knob win: {win['knobs']} on "
+                         f"{win['hardware']}: speedup "
+                         f"{win['speedup']:.2f} vs "
+                         f"{win['default_speedup']:.2f} default "
+                         f"(+{win['improvement_pct']:.1f}%)")
+    return "\n".join(lines)
+
+
+def write_report(data: dict, out_dir: Path | str) -> tuple[Path, Path]:
+    """Write ``explore.json`` + ``explore.md`` under ``out_dir``;
+    returns both paths. Serialization is canonical (sorted keys,
+    2-space indent, trailing newline) so identical reports are
+    byte-identical files."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    json_path = out / "explore.json"
+    md_path = out / "explore.md"
+    json_path.write_text(
+        json.dumps(data, indent=2, sort_keys=True) + "\n")
+    md_path.write_text(render_markdown(data))
+    return json_path, md_path

@@ -1,0 +1,169 @@
+"""The design space: hardware axes x compiler knobs.
+
+A :class:`DesignPoint` fixes one value per axis — the machine shape
+(unit count, ring latency, ARB capacity, predictor geometry, data-cache
+bank size) and the compiler's partitioning knobs (task-size cap,
+loop-cutting strategy, create-mask policy). Points are frozen and
+hashable, convert losslessly to/from JSON dicts, and map onto
+:class:`~repro.engine.job.SimJob` fields, so every evaluated point is a
+content-addressed cache entry shared with sweeps and other searches.
+
+The axes deliberately stay coarse (3-5 values each): the full cross
+product is ~13k points, and the search's job is to find the frontier in
+a few dozen evaluations, not to enumerate.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, fields, replace
+
+from repro.engine.job import DEFAULT_MAX_CYCLES, SimJob
+
+__all__ = [
+    "AXES",
+    "PRED_GEOMETRIES",
+    "DesignPoint",
+    "default_point",
+    "knob_probes",
+    "mutate",
+    "sample",
+    "space_size",
+]
+
+#: Predictor geometry presets: name -> (history entries, pattern entries).
+PRED_GEOMETRIES: dict[str, tuple[int, int]] = {
+    "small": (16, 256),
+    "default": (64, 4096),
+    "large": (256, 16384),
+}
+
+#: Axis name -> candidate values, in display order. The paper's
+#: Section-5.1 machine with default compiler knobs is one point of this
+#: grid (see :func:`default_point`).
+AXES: dict[str, tuple] = {
+    "units": (1, 2, 4, 8, 16),
+    "ring_hop": (1, 2, 3),
+    "arb_entries": (16, 32, 64, 128, 256),
+    "pred_geometry": ("small", "default", "large"),
+    "dcache_bank_kb": (2, 4, 8, 16),
+    "task_size": (0, 8, 16, 32, 64),
+    "loop_cut": ("marked", "all", "none"),
+    "create_mask": ("pruned", "maydef"),
+}
+
+#: Axes that tune the compiler rather than the machine (zero hardware
+#: cost; see :mod:`repro.explore.cost`).
+KNOB_AXES = ("task_size", "loop_cut", "create_mask")
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One point of the design space (defaults = the paper's machine)."""
+
+    units: int = 4
+    ring_hop: int = 1
+    arb_entries: int = 256
+    pred_geometry: str = "default"
+    dcache_bank_kb: int = 8
+    task_size: int = 0
+    loop_cut: str = "marked"
+    create_mask: str = "pruned"
+
+    def __post_init__(self) -> None:
+        for name, values in AXES.items():
+            if getattr(self, name) not in values:
+                raise ValueError(
+                    f"{name}={getattr(self, name)!r} is not one of {values}")
+
+    def to_job(self, workload: str, max_cycles: int = DEFAULT_MAX_CYCLES,
+               fast_path: bool = True, jit: bool = True) -> SimJob:
+        """The multiscalar timing job this point names for ``workload``."""
+        history, pattern = PRED_GEOMETRIES[self.pred_geometry]
+        return SimJob(kind="multiscalar", workload=workload,
+                      units=self.units, max_cycles=max_cycles,
+                      fast_path=fast_path, jit=jit,
+                      ring_hop=self.ring_hop, arb_entries=self.arb_entries,
+                      pred_history=history, pred_pattern=pattern,
+                      dcache_bank_kb=self.dcache_bank_kb,
+                      task_size=self.task_size, loop_cut=self.loop_cut,
+                      create_mask=self.create_mask)
+
+    @property
+    def is_default_knobs(self) -> bool:
+        """True when every compiler knob is at its default."""
+        return (self.task_size == 0 and self.loop_cut == "marked"
+                and self.create_mask == "pruned")
+
+    def hardware_id(self) -> tuple:
+        """The hardware half of the point (knob axes stripped) — points
+        sharing a ``hardware_id`` cost the same and differ only in how
+        the compiler carved tasks."""
+        return (self.units, self.ring_hop, self.arb_entries,
+                self.pred_geometry, self.dcache_bank_kb)
+
+    def knob_label(self) -> str:
+        """Compact ``ts=../cut=../mask=..`` form of the knob axes."""
+        return (f"ts={self.task_size}/cut={self.loop_cut}"
+                f"/mask={self.create_mask}")
+
+    def label(self) -> str:
+        """Compact one-line form, e.g. ``4u ring1 arb256 pred:default
+        d$8k ts=0/cut=marked/mask=pruned``."""
+        return (f"{self.units}u ring{self.ring_hop} arb{self.arb_entries} "
+                f"pred:{self.pred_geometry} d${self.dcache_bank_kb}k "
+                f"{self.knob_label()}")
+
+    def to_dict(self) -> dict:
+        """JSON form; inverse of :meth:`from_dict`."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DesignPoint":
+        """Rebuild a point from :meth:`to_dict` output (unknown keys
+        are rejected)."""
+        return cls(**data)
+
+
+def default_point() -> DesignPoint:
+    """The paper's Section-5.1 machine with default compiler knobs."""
+    return DesignPoint()
+
+
+def space_size() -> int:
+    """Total number of points in the cross product of all axes."""
+    total = 1
+    for values in AXES.values():
+        total *= len(values)
+    return total
+
+
+def sample(rng: random.Random) -> DesignPoint:
+    """Draw a uniform random point (axis order is fixed, so the same
+    RNG state always yields the same point)."""
+    return DesignPoint(**{name: rng.choice(values)
+                          for name, values in AXES.items()})
+
+
+def mutate(point: DesignPoint, rng: random.Random) -> DesignPoint:
+    """Flip exactly one axis of ``point`` to a different value."""
+    name = rng.choice(list(AXES))
+    values = [v for v in AXES[name] if v != getattr(point, name)]
+    return replace(point, **{name: rng.choice(values)})
+
+
+def knob_probes(base: DesignPoint | None = None) -> list[DesignPoint]:
+    """Deterministic seed batch: ``base`` (default: the paper's
+    machine) plus every single-knob deviation from it. Evaluating these
+    first guarantees the report can compare default-knob against
+    knob-variant speedups on identical hardware."""
+    base = base or default_point()
+    probes = [base]
+    for name in KNOB_AXES:
+        for value in AXES[name]:
+            if value == getattr(base, name):
+                continue
+            probe = replace(base, **{name: value})
+            if probe not in probes:
+                probes.append(probe)
+    return probes

@@ -9,7 +9,7 @@ Extra task entry labels can be supplied for manual partitioning hints
 
 from __future__ import annotations
 
-from repro.compiler import annotate_program
+from repro.compiler import CompilerKnobs, annotate_program
 from repro.isa import Program, assemble
 from repro.minic.codegen import compile_minic
 
@@ -22,15 +22,18 @@ def compile_scalar(source: str, name: str = "<minc>") -> Program:
 
 def compile_and_annotate(source: str, name: str = "<minc>",
                          extra_entries: list[str] | None = None,
-                         auto_loops: bool = False) -> Program:
+                         auto_loops: bool = False,
+                         knobs: CompilerKnobs | None = None) -> Program:
     """Compile MinC to an annotated multiscalar binary.
 
     Task entries are the headers of ``parallel`` loops plus any
     ``extra_entries`` labels (which must exist in the generated
     assembly; use :func:`repro.minic.compile_minic` to inspect it).
+    ``knobs`` tunes the partitioning heuristics
+    (:class:`~repro.compiler.CompilerKnobs`; ``None`` = defaults).
     """
     unit = compile_minic(source, name)
     program = assemble(unit.asm, name)
     entries = list(unit.task_labels) + list(extra_entries or [])
     return annotate_program(program, task_entries=entries,
-                            auto_loops=auto_loops)
+                            auto_loops=auto_loops, knobs=knobs)

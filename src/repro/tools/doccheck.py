@@ -1,6 +1,6 @@
 """Docstring coverage gate (``python -m repro.tools.doccheck``).
 
-Three surfaces must be documented, and CI fails when any is not:
+Four surfaces must be documented/valid, and CI fails when any is not:
 
 1. **Every module** under ``repro`` needs a module docstring — the
    one-paragraph "why does this file exist" that makes the package
@@ -8,10 +8,14 @@ Three surfaces must be documented, and CI fails when any is not:
 2. **Every exported name** of the public packages (``repro.engine``,
    ``repro.resilience``, ``repro.observability``) — everything their
    ``__all__`` promises is API and gets a docstring (and
-   ``repro.server``, the job-service package, is held to the same
-   contract).
+   ``repro.server`` and ``repro.explore``, the job-service and
+   design-space packages, are held to the same contract).
 3. **Every CLI entry point** in ``repro.cli`` — each ``cmd_*``
    function plus ``build_parser`` and ``main``.
+4. **Every committed explore report** under ``docs/reports/`` parses
+   and validates against the ``repro-explore-report`` schema
+   (:func:`repro.explore.report.validate_report`), so the documented
+   example can never drift from what ``repro explore`` emits.
 
 The check imports the real objects rather than parsing source, so it
 cannot drift from what users actually see in ``help()``. Exit status is
@@ -22,8 +26,10 @@ from __future__ import annotations
 
 import importlib
 import inspect
+import json
 import pkgutil
 import sys
+from pathlib import Path
 
 #: Packages whose ``__all__`` constitutes a documented API contract.
 PUBLIC_PACKAGES = (
@@ -31,6 +37,7 @@ PUBLIC_PACKAGES = (
     "repro.resilience",
     "repro.observability",
     "repro.server",
+    "repro.explore",
 )
 
 
@@ -95,12 +102,39 @@ def check_cli_entry_points(problems: list[str]) -> None:
             problems.append(f"repro.cli.{name}: missing docstring")
 
 
+def reports_dir() -> Path:
+    """``docs/reports/`` relative to the repository root (located from
+    this file, so the check works from any working directory)."""
+    return Path(__file__).resolve().parents[3] / "docs" / "reports"
+
+
+def check_example_reports(problems: list[str]) -> None:
+    """Surface 4: committed ``docs/reports/*.json`` validate against
+    the explore-report schema."""
+    from repro.explore import validate_report
+
+    directory = reports_dir()
+    if not directory.is_dir():
+        return
+    for path in sorted(directory.glob("*.json")):
+        try:
+            data = json.loads(path.read_text())
+        except ValueError as exc:
+            problems.append(f"{path.name}: not valid JSON: {exc}")
+            continue
+        try:
+            validate_report(data)
+        except ValueError as exc:
+            problems.append(f"{path.name}: {exc}")
+
+
 def run_doccheck() -> list[str]:
-    """All problems across the three surfaces (empty = pass)."""
+    """All problems across the four surfaces (empty = pass)."""
     problems: list[str] = []
     check_module_docstrings(problems)
     check_public_exports(problems)
     check_cli_entry_points(problems)
+    check_example_reports(problems)
     return problems
 
 

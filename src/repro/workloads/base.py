@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from functools import lru_cache
 
+from repro.compiler import CompilerKnobs
 from repro.isa import Program
 from repro.minic import compile_and_annotate, compile_scalar
 
@@ -50,9 +51,13 @@ class WorkloadSpec:
     def scalar_program(self) -> Program:
         return _compile_scalar_cached(self.source, self.name)
 
-    def multiscalar_program(self) -> Program:
+    def multiscalar_program(self,
+                            knobs: CompilerKnobs | None = None) -> Program:
+        """The annotated binary, optionally re-partitioned under a
+        non-default :class:`~repro.compiler.CompilerKnobs` setting
+        (the design-space search compiles one binary per knob point)."""
         return _compile_multiscalar_cached(self.source, self.name,
-                                           self.extra_entries)
+                                           self.extra_entries, knobs)
 
 
 @lru_cache(maxsize=64)
@@ -60,8 +65,10 @@ def _compile_scalar_cached(source: str, name: str) -> Program:
     return compile_scalar(source, name)
 
 
-@lru_cache(maxsize=64)
+@lru_cache(maxsize=128)
 def _compile_multiscalar_cached(source: str, name: str,
-                                extra_entries: tuple[str, ...]) -> Program:
+                                extra_entries: tuple[str, ...],
+                                knobs: CompilerKnobs | None) -> Program:
     return compile_and_annotate(source, name,
-                                extra_entries=list(extra_entries))
+                                extra_entries=list(extra_entries),
+                                knobs=knobs)

@@ -92,3 +92,32 @@ def test_every_subcommand_is_documented_in_readme():
     for sub in _known_subcommands():
         assert re.search(rf"repro\s+{sub}\b", readme), (
             f"README.md never shows 'repro {sub}'")
+
+
+def _subcommand_flags(name: str) -> set[str]:
+    for action in build_parser()._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            flags: set[str] = set()
+            for sub_action in action.choices[name]._actions:
+                flags.update(s for s in sub_action.option_strings
+                             if s.startswith("--"))
+            return flags - {"--help"}
+    return set()
+
+
+def test_explore_doc_covers_every_explore_flag():
+    """docs/EXPLORE.md is the `repro explore` reference: every flag the
+    subcommand accepts must appear there, so adding a flag without
+    documenting it fails CI."""
+    doc = (REPO / "docs" / "EXPLORE.md").read_text()
+    missing = sorted(flag for flag in _subcommand_flags("explore")
+                     if flag not in doc)
+    assert missing == [], (
+        f"docs/EXPLORE.md never mentions explore flags: {missing}")
+
+
+def test_explore_subcommand_registered_with_core_flags():
+    flags = _subcommand_flags("explore")
+    for required in ("--budget", "--seed", "--server", "--out",
+                     "--self-test", "--require-hit-rate"):
+        assert required in flags
